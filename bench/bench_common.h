@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure benchmark harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation. Two profiles control cost:
+ *
+ *  - default: a reduced but representative sample (subset of the 27
+ *    applications, fewer multi-app workloads, compressed workloads) so
+ *    the whole suite finishes in minutes;
+ *  - MOSAIC_BENCH_FULL=1: the full application list and workload counts.
+ *
+ * Working sets are scaled and the PCIe constants compressed per the
+ * substitution notes in DESIGN.md; the *relative* results (who wins,
+ * crossovers) are the reproduction target, not absolute cycle counts.
+ */
+
+#ifndef MOSAIC_BENCH_BENCH_COMMON_H
+#define MOSAIC_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runner/report.h"
+#include "runner/simulation.h"
+#include "workload/apps.h"
+#include "workload/metrics.h"
+#include "workload/workload.h"
+
+namespace mosaic::bench {
+
+/** Knobs that trade fidelity for wall-clock time. */
+struct BenchProfile
+{
+    bool full = false;
+    double scale = 0.25;          ///< working-set scale factor
+    std::uint64_t instrPerWarp = 700;
+    unsigned warpsPerSm = 16;
+    double ioCompression = 16.0;  ///< see SimConfig::withIoCompression
+    unsigned hetWorkloadsPerLevel = 6;
+    /** Default sample: three TLB-sensitive/irregular apps (HISTO, NW,
+     *  BP), three moderate (CONS, SGEMM, LUL), three streaming-friendly
+     *  (TRD, SCAN, PATH) -- roughly the catalog's mix. */
+    std::vector<std::string> homogeneousApps = {
+        "HISTO", "NW", "BP", "CONS", "SGEMM", "LUL", "TRD", "SCAN",
+        "PATH",
+    };
+
+    /** Reads MOSAIC_BENCH_FULL from the environment. */
+    static BenchProfile
+    fromEnv()
+    {
+        BenchProfile p;
+        const char *full = std::getenv("MOSAIC_BENCH_FULL");
+        if (full != nullptr && full[0] == '1') {
+            p.full = true;
+            p.scale = 0.5;
+            p.instrPerWarp = 1500;
+            p.warpsPerSm = 24;
+            p.hetWorkloadsPerLevel = 25;
+            p.homogeneousApps.clear();
+            for (const AppParams &app : appCatalog())
+                p.homogeneousApps.push_back(app.name);
+        }
+        return p;
+    }
+
+    /** Applies the profile's workload knobs. */
+    Workload
+    shape(Workload w) const
+    {
+        w = scaledWorkload(w, scale);
+        for (AppParams &app : w.apps)
+            app.instrPerWarp = instrPerWarp;
+        return w;
+    }
+
+    /** Applies the profile's system knobs. */
+    SimConfig
+    shape(SimConfig c, bool compressIo = true) const
+    {
+        c.gpu.sm.warpsPerSm = warpsPerSm;
+        if (compressIo)
+            c = c.withIoCompression(ioCompression);
+        return c;
+    }
+};
+
+/** Prints the standard bench banner (experiment id + Table 1 config). */
+inline void
+banner(const char *experiment, const char *what, const BenchProfile &p)
+{
+    std::printf("==================================================\n");
+    std::printf("%s: %s\n", experiment, what);
+    std::printf("profile: %s (scale %.2f, %u warps/SM, %llu instr/warp, "
+                "IO compression %.0fx)\n",
+                p.full ? "FULL" : "default (set MOSAIC_BENCH_FULL=1)",
+                p.scale, p.warpsPerSm,
+                static_cast<unsigned long long>(p.instrPerWarp),
+                p.ioCompression);
+    std::printf("system: 30 SMs @1020MHz, L1 TLB 128/16, shared L2 TLB "
+                "512/256, 64-walk PTW, 16KB L1$, 2MB L2$, 6-channel "
+                "GDDR5, PCIe per GTX 1080\n");
+    std::printf("==================================================\n");
+}
+
+/** Runs a workload and returns the sum of per-app IPCs. */
+inline double
+ipcOf(const Workload &w, const SimConfig &c)
+{
+    return runSimulation(w, c).totalIpc();
+}
+
+/**
+ * Shrinks GPU memory to ~8x the workload working set (plus the
+ * page-table pool). The paper's stress experiments run workloads whose
+ * footprints approach physical memory; scaled-down workloads in a full
+ * 3GB would never pressure the allocator, so the stress benches restore
+ * the paper's memory-pressure ratio explicitly.
+ */
+inline SimConfig
+withTightMemory(SimConfig c, const Workload &w)
+{
+    c.pageTablePoolBytes = 16ull << 20;
+    const std::uint64_t target =
+        roundUp(w.workingSetBytes() * 8, kLargePageSize) +
+        c.pageTablePoolBytes + (8ull << 20);
+    c.dram.capacityBytes = std::max<std::uint64_t>(target, 64ull << 20);
+    return c;
+}
+
+}  // namespace mosaic::bench
+
+#endif  // MOSAIC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 14: sensitivity of GPU-MMU and Mosaic to the number of
+ * base-page entries in (a) the per-SM L1 TLBs (8..256) and (b) the
+ * shared L2 TLB (64..4096), normalized to GPU-MMU with the baseline
+ * 128/512 base-page entries.
+ *
+ * Paper result: Mosaic is almost insensitive to L1 base entries (its
+ * pages are coalesced), losing only ~7.6% even at 8 entries, while
+ * GPU-MMU scales poorly; both remain sensitive to L2 base entries.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace mosaic;
+    using namespace mosaic::bench;
+
+    const BenchProfile profile = BenchProfile::fromEnv();
+    banner("Figure 14", "sensitivity to TLB base-page entries",
+           profile);
+
+    // Two-app homogeneous sample keeps the sweep affordable; in the
+    // default profile only five representative applications sweep (the
+    // full profile uses the whole catalog).
+    std::vector<std::string> apps = profile.homogeneousApps;
+    if (!profile.full)
+        apps = {"HISTO", "BP", "CONS", "SGEMM", "TRD"};
+    std::vector<Workload> workloads;
+    for (const std::string &name : apps)
+        workloads.push_back(profile.shape(homogeneousWorkload(name, 2)));
+
+    auto sweep = [&](const char *title, bool l1_level,
+                     const std::vector<std::size_t> &sizes) {
+        std::printf("\n(%s)\n", title);
+        // Normalization: GPU-MMU at the baseline geometry.
+        std::vector<double> norm;
+        for (const Workload &w : workloads)
+            norm.push_back(ipcOf(w, profile.shape(SimConfig::baseline())));
+
+        TextTable t;
+        t.header({"entries", "GPU-MMU", "Mosaic"});
+        for (const std::size_t entries : sizes) {
+            std::vector<double> base_r, mosaic_r;
+            for (std::size_t i = 0; i < workloads.size(); ++i) {
+                SimConfig base = profile.shape(SimConfig::baseline());
+                SimConfig mosaic =
+                    profile.shape(SimConfig::mosaicDefault());
+                if (l1_level) {
+                    base.translation.l1.baseEntries = entries;
+                    mosaic.translation.l1.baseEntries = entries;
+                } else {
+                    base.translation.l2.baseEntries = entries;
+                    base.translation.l2.baseWays =
+                        std::min<std::size_t>(16, entries);
+                    mosaic.translation.l2.baseEntries = entries;
+                    mosaic.translation.l2.baseWays =
+                        std::min<std::size_t>(16, entries);
+                }
+                base_r.push_back(
+                    safeRatio(ipcOf(workloads[i], base), norm[i]));
+                mosaic_r.push_back(
+                    safeRatio(ipcOf(workloads[i], mosaic), norm[i]));
+            }
+            t.row({std::to_string(entries), TextTable::num(mean(base_r), 3),
+                   TextTable::num(mean(mosaic_r), 3)});
+        }
+        t.print();
+    };
+
+    sweep("a: per-SM L1 TLB base-page entries", true,
+          {8, 16, 32, 64, 128, 256});
+    sweep("b: shared L2 TLB base-page entries", false,
+          {64, 128, 256, 512, 1024, 4096});
+
+    std::printf("\npaper: Mosaic loses only ~7.6%% even with 8 L1 base "
+                "entries; GPU-MMU degrades steadily; both gain from "
+                "larger L2 base arrays\n");
+    return 0;
+}

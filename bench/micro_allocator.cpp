@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the memory-manager hot paths:
+ * CoCoA chunk reservation (with immediate coalescing), loose base-page
+ * allocation, the baseline cursor allocator, release, and compaction.
+ * These quantify the software cost of the runtime portion of Mosaic.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mm/gpu_mmu_manager.h"
+#include "mm/mosaic_manager.h"
+#include "vm/page_table.h"
+
+namespace {
+
+using namespace mosaic;
+
+constexpr Addr kVa = 1ull << 40;
+
+void
+BM_CocoaReserveCoalesce(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        RegionPtNodeAllocator alloc(1ull << 33, 256ull << 20);
+        MosaicManager mgr(0, 256 * kLargePageSize);
+        PageTable pt(0, alloc);
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+        state.ResumeTiming();
+
+        mgr.reserveRegion(0, kVa, 64 * kLargePageSize);
+        benchmark::DoNotOptimize(mgr.stats().coalesceOps);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 *
+                            long(kBasePagesPerLargePage));
+}
+BENCHMARK(BM_CocoaReserveCoalesce)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CocoaLooseBackPage(benchmark::State &state)
+{
+    RegionPtNodeAllocator alloc(1ull << 33, 256ull << 20);
+    MosaicManager mgr(0, 1024 * kLargePageSize);
+    PageTable pt(0, alloc);
+    mgr.setEnv(ManagerEnv{});
+    mgr.registerApp(0, pt);
+    mgr.reserveRegion(0, kVa, kBasePageSize);  // forces the loose path
+
+    Addr va = kVa;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mgr.backPage(0, va));
+        va += kBasePageSize;
+        if (va >= kVa + 900 * kLargePageSize) {
+            state.PauseTiming();
+            mgr.releaseRegion(0, kVa, va - kVa);
+            va = kVa;
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CocoaLooseBackPage);
+
+void
+BM_BaselineBackPage(benchmark::State &state)
+{
+    RegionPtNodeAllocator alloc(1ull << 33, 256ull << 20);
+    GpuMmuManager mgr(0, 1024 * kLargePageSize);
+    PageTable pt(0, alloc);
+    mgr.setEnv(ManagerEnv{});
+    mgr.registerApp(0, pt);
+
+    Addr va = kVa;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mgr.backPage(0, va));
+        va += kBasePageSize;
+        if (va >= kVa + 900 * kLargePageSize) {
+            state.PauseTiming();
+            mgr.releaseRegion(0, kVa, va - kVa);
+            va = kVa;
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineBackPage);
+
+void
+BM_ReleaseCoalescedRegion(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        RegionPtNodeAllocator alloc(1ull << 33, 256ull << 20);
+        MosaicManager mgr(0, 64 * kLargePageSize);
+        PageTable pt(0, alloc);
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+        mgr.reserveRegion(0, kVa, 16 * kLargePageSize);
+        for (Addr p = kVa; p < kVa + 16 * kLargePageSize;
+             p += kBasePageSize)
+            mgr.backPage(0, p);
+        state.ResumeTiming();
+
+        mgr.releaseRegion(0, kVa, 16 * kLargePageSize);
+    }
+    state.SetItemsProcessed(state.iterations() * 16 *
+                            long(kBasePagesPerLargePage));
+}
+BENCHMARK(BM_ReleaseCoalescedRegion)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CompactionSplinterAndMigrate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        RegionPtNodeAllocator alloc(1ull << 33, 256ull << 20);
+        MosaicConfig cfg;
+        cfg.cac.ideal = true;  // isolate bookkeeping cost
+        MosaicManager mgr(0, 64 * kLargePageSize, cfg);
+        PageTable pt(0, alloc);
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+        mgr.reserveRegion(0, kVa, kLargePageSize);
+        for (Addr p = kVa; p < kVa + kLargePageSize; p += kBasePageSize)
+            mgr.backPage(0, p);
+        // Loose destinations for the survivors.
+        const Addr vb = 2ull << 40;
+        mgr.reserveRegion(0, vb, 256 * kBasePageSize);
+        for (Addr p = vb; p < vb + 256 * kBasePageSize; p += kBasePageSize)
+            mgr.backPage(0, p);
+        state.ResumeTiming();
+
+        // Release 7/8: splinter + migrate 64 pages + free the frame.
+        mgr.releaseRegion(0, kVa, (kLargePageSize * 7) / 8);
+        benchmark::DoNotOptimize(mgr.stats().migrations);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CompactionSplinterAndMigrate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Two-level GPU cache hierarchy (per-SM L1s, shared banked L2, DRAM).
+ *
+ * Geometry follows the paper's Table 1: a 16KB 4-way L1 per SM with
+ * 1-cycle latency, and a 2MB 16-way shared L2 split into 12 banks
+ * (2 banks in each of the 6 memory partitions) with 10-cycle latency.
+ * Misses allocate MSHRs so concurrent requests to one line merge. The
+ * page-table walker injects its accesses at the L2 (walker data is shared
+ * across SMs, so it bypasses private L1s, as in the GPU-MMU baseline).
+ */
+
+#ifndef MOSAIC_CACHE_HIERARCHY_H
+#define MOSAIC_CACHE_HIERARCHY_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/mshr.h"
+#include "cache/set_assoc_cache.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram.h"
+#include "engine/event_queue.h"
+
+namespace mosaic {
+
+/** Cache hierarchy geometry and timing. */
+struct CacheHierarchyConfig
+{
+    unsigned numSms = 30;
+
+    std::uint64_t l1Bytes = 16 * 1024;
+    std::size_t l1Ways = 4;
+    Cycles l1LatencyCycles = 1;
+    std::size_t l1MshrEntries = 64;
+
+    std::uint64_t l2Bytes = 2 * 1024 * 1024;
+    std::size_t l2Ways = 16;
+    unsigned l2Banks = 12;
+    Cycles l2LatencyCycles = 10;
+    Cycles l2BankCycleTime = 1;  ///< pipelined issue interval per bank
+    std::size_t l2MshrEntries = 256;
+
+    Cycles interconnectCycles = 8;  ///< SM <-> L2 crossbar latency
+};
+
+/**
+ * The full data-cache path from an SM to DRAM.
+ *
+ * All completion callbacks are scheduled on the shared EventQueue; none
+ * run synchronously from access(), so callers may issue accesses from
+ * within completion callbacks safely.
+ */
+class CacheHierarchy
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Aggregate hit/miss statistics. */
+    struct Stats
+    {
+        std::uint64_t l1Accesses = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t writebacks = 0;
+    };
+
+    CacheHierarchy(EventQueue &events, DramModel &dram,
+                   const CacheHierarchyConfig &config);
+
+    /** SM data access: L1 -> L2 -> DRAM. */
+    void access(SmId sm, Addr paddr, bool isWrite, Callback onDone);
+
+    /** Walker/runtime access that starts at the shared L2. */
+    void accessFromL2(Addr paddr, bool isWrite, Callback onDone);
+
+    /** Uncached access that goes straight to DRAM (walker PTE reads). */
+    void accessDram(Addr paddr, bool isWrite, Callback onDone);
+
+    /** Statistics. */
+    const Stats &stats() const { return stats_; }
+
+    /** Configuration. */
+    const CacheHierarchyConfig &config() const { return config_; }
+
+  private:
+    struct L2Bank
+    {
+        std::unique_ptr<SetAssocCache> tags;
+        MshrFile mshr;
+        Cycles nextIssueAt = 0;
+
+        explicit L2Bank(std::size_t mshrs) : mshr(mshrs) {}
+    };
+
+    std::uint64_t lineOf(Addr paddr) const { return paddr / kCacheLineSize; }
+    unsigned bankOf(std::uint64_t line) const { return line % config_.l2Banks; }
+
+    /**
+     * Runs the L2 lookup for @p line and invokes @p onDone when the data
+     * is available at the L2 (caller adds any interconnect latency).
+     */
+    void accessL2Line(std::uint64_t line, bool isWrite, Callback onDone);
+
+    EventQueue &events_;
+    DramModel &dram_;
+    CacheHierarchyConfig config_;
+
+    std::vector<SetAssocCache> l1Tags_;
+    std::vector<MshrFile> l1Mshrs_;
+    std::vector<L2Bank> l2Banks_;
+    Stats stats_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_CACHE_HIERARCHY_H

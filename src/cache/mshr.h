@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Miss-status holding registers: merge concurrent misses to one line.
+ */
+
+#ifndef MOSAIC_CACHE_MSHR_H
+#define MOSAIC_CACHE_MSHR_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mosaic {
+
+/**
+ * Tracks in-flight misses keyed by an abstract 64-bit identifier (line
+ * address or page number). The first miss to a key allocates an entry;
+ * subsequent misses to the same key merge into it. When the fill arrives,
+ * every merged waiter's callback runs.
+ */
+class MshrFile
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** @param maxEntries capacity; 0 means unlimited. */
+    explicit MshrFile(std::size_t maxEntries = 0)
+        : maxEntries_(maxEntries)
+    {
+    }
+
+    /** Result of registering a miss. */
+    enum class Outcome {
+        NewMiss,  ///< first miss; the caller must start the fill
+        Merged,   ///< an earlier miss to the same key is in flight
+    };
+
+    /**
+     * Registers a miss on @p key; @p onFill runs when the fill arrives.
+     * The file is elastic: allocations beyond the nominal capacity are
+     * accepted (real hardware would stall the requester) and counted in
+     * overflows() so experiments can verify the capacity was adequate.
+     */
+    Outcome
+    registerMiss(std::uint64_t key, Callback onFill)
+    {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second.push_back(std::move(onFill));
+            ++merged_;
+            return Outcome::Merged;
+        }
+        if (maxEntries_ != 0 && entries_.size() >= maxEntries_)
+            ++overflows_;
+        entries_[key].push_back(std::move(onFill));
+        ++allocated_;
+        return Outcome::NewMiss;
+    }
+
+    /** Completes the miss on @p key, running all merged callbacks. */
+    void
+    fill(std::uint64_t key)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return;
+        std::vector<Callback> waiters = std::move(it->second);
+        entries_.erase(it);
+        for (Callback &cb : waiters)
+            cb();
+    }
+
+    /** True if a miss on @p key is in flight. */
+    bool pending(std::uint64_t key) const { return entries_.count(key) > 0; }
+
+    /** Number of distinct in-flight misses. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Total primary misses allocated. */
+    std::uint64_t allocations() const { return allocated_; }
+
+    /** Total secondary misses merged into existing entries. */
+    std::uint64_t merges() const { return merged_; }
+
+    /** Allocations that exceeded the nominal capacity. */
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    std::size_t maxEntries_;
+    std::unordered_map<std::uint64_t, std::vector<Callback>> entries_;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t merged_ = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_CACHE_MSHR_H

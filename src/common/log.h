@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal simulator invariant was violated; aborts.
+ * fatal()  -- the user supplied an impossible configuration; exits.
+ * warn()   -- something questionable happened; simulation continues.
+ */
+
+#ifndef MOSAIC_COMMON_LOG_H
+#define MOSAIC_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mosaic {
+
+namespace detail {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+}  // namespace detail
+
+}  // namespace mosaic
+
+/** Abort on a broken simulator invariant. */
+#define MOSAIC_PANIC(msg) \
+    ::mosaic::detail::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Exit on an invalid user-provided configuration. */
+#define MOSAIC_FATAL(msg) \
+    ::mosaic::detail::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Report a suspicious condition without stopping the simulation. */
+#define MOSAIC_WARN(msg) \
+    ::mosaic::detail::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Cheap always-on assertion that panics with context on failure. */
+#define MOSAIC_ASSERT(cond, msg)                    \
+    do {                                            \
+        if (!(cond)) {                              \
+            MOSAIC_PANIC(std::string("assertion '") \
+                + #cond + "' failed: " + (msg));    \
+        }                                           \
+    } while (0)
+
+#endif  // MOSAIC_COMMON_LOG_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by simulator components.
+ *
+ * Components keep a plain `Stats` aggregate of counters/histograms and
+ * expose it by const reference; the runner formats reports from them.
+ */
+
+#ifndef MOSAIC_COMMON_STATS_H
+#define MOSAIC_COMMON_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mosaic {
+
+/** Ratio helper that tolerates a zero denominator. */
+constexpr double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/**
+ * Fixed-bucket histogram for latency-style distributions.
+ * Buckets are [0,w), [w,2w), ...; the final bucket is an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** Creates @p buckets buckets of @p width units each. */
+    explicit Histogram(std::uint64_t width = 64, std::size_t buckets = 64)
+        : width_(width), counts_(buckets + 1, 0)
+    {
+    }
+
+    /** Records one sample. */
+    void
+    record(std::uint64_t value)
+    {
+        const std::size_t idx =
+            std::min(static_cast<std::size_t>(value / width_),
+                     counts_.size() - 1);
+        ++counts_[idx];
+        sum_ += value;
+        ++samples_;
+        max_ = std::max(max_, value);
+    }
+
+    /** Number of recorded samples. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Mean of all samples (0 when empty). */
+    double mean() const { return safeRatio(double(sum_), double(samples_)); }
+
+    /** Largest recorded sample. */
+    std::uint64_t max() const { return max_; }
+
+    /** Raw bucket counts; the last bucket holds overflow. */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** Width of each bucket. */
+    std::uint64_t bucketWidth() const { return width_; }
+
+    /** Approximate p-th percentile (p in [0,100]) from bucket midpoints. */
+    double
+    percentile(double p) const
+    {
+        if (samples_ == 0)
+            return 0.0;
+        const std::uint64_t target =
+            static_cast<std::uint64_t>(p / 100.0 * double(samples_));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= target)
+                return (double(i) + 0.5) * double(width_);
+        }
+        return double(max_);
+    }
+
+    /** Clears all samples. */
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        sum_ = samples_ = max_ = 0;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_STATS_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Aligned plain-text table printing for benchmark harness output.
+ */
+
+#ifndef MOSAIC_COMMON_TABLE_H
+#define MOSAIC_COMMON_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mosaic {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ * Used by the per-figure benchmark harnesses to render paper-style tables.
+ */
+class TextTable
+{
+  public:
+    /** Sets the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Appends a data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Formats a double with @p digits fractional digits. */
+    static std::string
+    num(double value, int digits = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+        return buf;
+    }
+
+    /** Formats a percentage ("12.3%"). */
+    static std::string
+    pct(double fraction, int digits = 1)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+        return buf;
+    }
+
+    /** Prints the table to @p out with two-space column gaps. */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::vector<std::size_t> widths;
+        auto grow = [&](const std::vector<std::string> &cells) {
+            if (widths.size() < cells.size())
+                widths.resize(cells.size(), 0);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                widths[i] = std::max(widths[i], cells[i].size());
+        };
+        grow(header_);
+        for (const auto &r : rows_)
+            grow(r);
+
+        auto emit = [&](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                std::fprintf(out, "%-*s", static_cast<int>(widths[i] + 2),
+                             cells[i].c_str());
+            }
+            std::fprintf(out, "\n");
+        };
+        if (!header_.empty()) {
+            emit(header_);
+            std::size_t total = 0;
+            for (std::size_t w : widths)
+                total += w + 2;
+            std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+        }
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_TABLE_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fundamental types and constants shared across the Mosaic simulator.
+ */
+
+#ifndef MOSAIC_COMMON_TYPES_H
+#define MOSAIC_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace mosaic {
+
+/** Simulation time, measured in GPU core cycles. */
+using Cycles = std::uint64_t;
+
+/** A virtual or physical memory address (48-bit in practice). */
+using Addr = std::uint64_t;
+
+/** Identifier of a memory protection domain (one per application). */
+using AppId = std::uint16_t;
+
+/** Identifier of a streaming multiprocessor. */
+using SmId = std::uint16_t;
+
+/** Sentinel for "no application". */
+inline constexpr AppId kInvalidAppId = std::numeric_limits<AppId>::max();
+
+/** Sentinel address used for "not mapped" results. */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Base (small) page size: 4KB, as in x86-64 and the paper. */
+inline constexpr std::uint64_t kBasePageSize = 4096;
+
+/** Large page size: 2MB, as in x86-64 and the paper. */
+inline constexpr std::uint64_t kLargePageSize = 2 * 1024 * 1024;
+
+/** Number of base pages per large page frame (512). */
+inline constexpr std::uint64_t kBasePagesPerLargePage =
+    kLargePageSize / kBasePageSize;
+
+/** log2 of the base page size. */
+inline constexpr unsigned kBasePageBits = 12;
+
+/** log2 of the large page size. */
+inline constexpr unsigned kLargePageBits = 21;
+
+/** Cache line (sector) size used throughout the memory hierarchy. */
+inline constexpr std::uint64_t kCacheLineSize = 128;
+
+/** Page sizes the translation machinery understands. */
+enum class PageSize : std::uint8_t {
+    Base,   ///< 4KB base page
+    Large,  ///< 2MB large page
+};
+
+/** Returns the size in bytes of @p size. */
+constexpr std::uint64_t
+pageBytes(PageSize size)
+{
+    return size == PageSize::Base ? kBasePageSize : kLargePageSize;
+}
+
+/** Virtual page number of a virtual address (base-page granularity). */
+constexpr std::uint64_t
+basePageNumber(Addr addr)
+{
+    return addr >> kBasePageBits;
+}
+
+/** Virtual page number of a virtual address (large-page granularity). */
+constexpr std::uint64_t
+largePageNumber(Addr addr)
+{
+    return addr >> kLargePageBits;
+}
+
+/** Address of the start of the base page containing @p addr. */
+constexpr Addr
+basePageBase(Addr addr)
+{
+    return addr & ~(kBasePageSize - 1);
+}
+
+/** Address of the start of the large page frame containing @p addr. */
+constexpr Addr
+largePageBase(Addr addr)
+{
+    return addr & ~(kLargePageSize - 1);
+}
+
+/** Index of the base page containing @p addr within its large page. */
+constexpr std::uint64_t
+basePageIndexInLargePage(Addr addr)
+{
+    return (addr & (kLargePageSize - 1)) >> kBasePageBits;
+}
+
+/** True if @p addr is aligned to the start of a large page frame. */
+constexpr bool
+isLargePageAligned(Addr addr)
+{
+    return (addr & (kLargePageSize - 1)) == 0;
+}
+
+/** Rounds @p value up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p value down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_TYPES_H

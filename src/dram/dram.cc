@@ -1,0 +1,169 @@
+#include "dram/dram.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mosaic {
+
+DramModel::DramModel(EventQueue &events, const DramConfig &config)
+    : events_(events), config_(config), channels_(config.channels)
+{
+    for (auto &channel : channels_)
+        channel.banks.assign(config_.banksPerChannel, Bank{});
+}
+
+DramModel::Decoded
+DramModel::decode(Addr addr) const
+{
+    // Channels interleave at line granularity (bandwidth); within a
+    // channel, banks interleave at row granularity so streaming accesses
+    // enjoy row-buffer hits.
+    const std::uint64_t line = addr / kCacheLineSize;
+    const unsigned channel = line % config_.channels;
+    const std::uint64_t idx = line / config_.channels;
+    const std::uint64_t lines_per_row = config_.rowBytes / kCacheLineSize;
+    const std::uint64_t row_seq = idx / lines_per_row;
+    const unsigned bank = row_seq % config_.banksPerChannel;
+    const std::uint64_t row = row_seq / config_.banksPerChannel;
+    return Decoded{channel, bank, row};
+}
+
+unsigned
+DramModel::channelOf(Addr addr) const
+{
+    return decode(addr).channel;
+}
+
+void
+DramModel::access(Addr addr, bool isWrite, std::function<void()> onDone)
+{
+    const Decoded d = decode(addr);
+    Channel &channel = channels_[d.channel];
+    channel.queue.push_back(
+        DramRequest{addr, isWrite, events_.now(), std::move(onDone)});
+    ++inFlight_;
+    if (isWrite)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+    tryDispatch(d.channel);
+}
+
+void
+DramModel::scheduleDispatch(unsigned channelIdx, Cycles when)
+{
+    Channel &channel = channels_[channelIdx];
+    if (channel.dispatchScheduled)
+        return;
+    channel.dispatchScheduled = true;
+    events_.schedule(std::max(when, events_.now()), [this, channelIdx] {
+        channels_[channelIdx].dispatchScheduled = false;
+        tryDispatch(channelIdx);
+    });
+}
+
+void
+DramModel::tryDispatch(unsigned channelIdx)
+{
+    Channel &channel = channels_[channelIdx];
+    const Cycles now = events_.now();
+
+    while (!channel.queue.empty()) {
+        // FR-FCFS: among requests whose bank is ready, prefer the oldest
+        // row hit, then the oldest request overall. The queue preserves
+        // arrival order, so a linear scan finds both candidates.
+        std::size_t pick = channel.queue.size();
+        bool pick_is_hit = false;
+        Cycles earliest_ready = std::numeric_limits<Cycles>::max();
+        const std::size_t window =
+            std::min(channel.queue.size(), config_.schedulerWindow);
+        for (std::size_t i = 0; i < window; ++i) {
+            const Decoded d = decode(channel.queue[i].addr);
+            const Bank &bank = channel.banks[d.bank];
+            if (bank.readyAt > now) {
+                earliest_ready = std::min(earliest_ready, bank.readyAt);
+                continue;
+            }
+            const bool hit =
+                bank.openRow == static_cast<std::int64_t>(d.row);
+            if (hit) {
+                pick = i;
+                pick_is_hit = true;
+                break;  // oldest ready row hit wins immediately
+            }
+            if (pick == channel.queue.size())
+                pick = i;  // remember the oldest ready request
+        }
+
+        if (pick == channel.queue.size()) {
+            // Every request in the window targets a busy bank; retry
+            // when the first bank frees up.
+            if (earliest_ready != std::numeric_limits<Cycles>::max())
+                scheduleDispatch(channelIdx, earliest_ready);
+            return;
+        }
+
+        DramRequest req = std::move(channel.queue[pick]);
+        channel.queue.erase(channel.queue.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+
+        const Decoded d = decode(req.addr);
+        Bank &bank = channel.banks[d.bank];
+        const Cycles access_latency =
+            pick_is_hit ? config_.rowHitCycles : config_.rowMissCycles;
+        if (pick_is_hit)
+            ++stats_.rowHits;
+        else
+            ++stats_.rowMisses;
+
+        // The data burst occupies the channel bus after the bank access;
+        // consecutive bursts on one channel serialize on busFreeAt. The
+        // bank frees earlier than the data arrives (it only needs tCCD on
+        // a hit / tRC on a conflict before accepting the next access).
+        const Cycles data_ready = now + access_latency;
+        const Cycles burst_start = std::max(data_ready, channel.busFreeAt);
+        const Cycles done = burst_start + config_.burstCycles;
+        channel.busFreeAt = done;
+        bank.openRow = static_cast<std::int64_t>(d.row);
+        bank.readyAt = now + (pick_is_hit ? config_.bankBusyHitCycles
+                                          : config_.bankBusyMissCycles);
+
+        stats_.latency.record(done - req.issued);
+        --inFlight_;
+        events_.schedule(done, std::move(req.onDone));
+    }
+}
+
+void
+DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
+                        std::function<void()> onDone)
+{
+    const unsigned src_channel = decode(src).channel;
+    const unsigned dst_channel = decode(dst).channel;
+    const bool same_channel = src_channel == dst_channel;
+
+    Cycles duration;
+    if (inDramCopy && same_channel) {
+        duration = config_.bulkCopyInDramCycles;
+    } else {
+        const std::uint64_t lines = kBasePageSize / kCacheLineSize;
+        duration = lines * config_.bulkCopyViaBusCyclesPerLine;
+    }
+
+    // The copy occupies the destination channel's bus (and the source's
+    // too when they differ); model it by pushing out busFreeAt.
+    Channel &dst_ch = channels_[dst_channel];
+    const Cycles start = std::max(events_.now(), dst_ch.busFreeAt);
+    const Cycles done = start + duration;
+    dst_ch.busFreeAt = done;
+    if (!same_channel) {
+        Channel &src_ch = channels_[src_channel];
+        src_ch.busFreeAt = std::max(src_ch.busFreeAt, done);
+    }
+
+    ++stats_.bulkCopies;
+    stats_.bulkCopyCycles += duration;
+    events_.schedule(done, std::move(onDone));
+}
+
+}  // namespace mosaic

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * GDDR5-style DRAM model with per-channel FR-FCFS scheduling.
+ *
+ * Matches the paper's Table 1 memory partition configuration: 6 channels,
+ * 8 banks per rank, FR-FCFS scheduling, burst length 8. Banks keep an open
+ * row; row hits are served faster than row conflicts; each channel's data
+ * bus serializes bursts while banks operate in parallel. The model also
+ * implements page-granularity bulk copy, both through the normal data bus
+ * (64 bits at a time) and via in-DRAM mechanisms (RowClone/LISA) used by
+ * Mosaic's CAC-BC compaction variant.
+ */
+
+#ifndef MOSAIC_DRAM_DRAM_H
+#define MOSAIC_DRAM_DRAM_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "engine/event_queue.h"
+
+namespace mosaic {
+
+/** Timing and geometry parameters of the DRAM model. */
+struct DramConfig
+{
+    unsigned channels = 6;          ///< independent memory partitions
+    unsigned banksPerChannel = 8;   ///< banks per rank (one rank modeled)
+    std::uint64_t rowBytes = 2048;  ///< row buffer size per bank
+    Cycles rowHitCycles = 60;       ///< access latency on a row-buffer hit
+    Cycles rowMissCycles = 160;     ///< latency on a row conflict
+    Cycles bankBusyHitCycles = 8;   ///< bank issue interval on a row hit
+    Cycles bankBusyMissCycles = 48; ///< bank occupancy (tRC) on a conflict
+    Cycles burstCycles = 2;         ///< channel data-bus occupancy per line
+    std::uint64_t capacityBytes = 3ull * 1024 * 1024 * 1024;
+    Cycles bulkCopyInDramCycles = 82;     ///< RowClone/LISA 4KB copy (~80ns)
+    Cycles bulkCopyViaBusCyclesPerLine = 8;  ///< read+write per line, no BC
+    /** FR-FCFS only considers the oldest this-many queued requests. */
+    std::size_t schedulerWindow = 48;
+};
+
+/** One outstanding line-granularity DRAM access. */
+struct DramRequest
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    Cycles issued = 0;
+    std::function<void()> onDone;
+};
+
+/**
+ * The DRAM subsystem: all channels, banks, and the FR-FCFS scheduler.
+ *
+ * Accesses are line-granularity (kCacheLineSize). Completion callbacks run
+ * on the shared EventQueue when the access finishes.
+ */
+class DramModel
+{
+  public:
+    /** Aggregate DRAM statistics. */
+    struct Stats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t rowHits = 0;
+        std::uint64_t rowMisses = 0;
+        std::uint64_t bulkCopies = 0;
+        std::uint64_t bulkCopyCycles = 0;
+        Histogram latency{32, 64};
+    };
+
+    DramModel(EventQueue &events, const DramConfig &config);
+
+    /** Issues a line access to @p addr; @p onDone runs at completion. */
+    void access(Addr addr, bool isWrite, std::function<void()> onDone);
+
+    /**
+     * Copies one base page from @p src to @p dst.
+     *
+     * With @p inDramCopy the copy uses RowClone/LISA-style in-DRAM
+     * operations (fast, fixed latency). Otherwise the copy streams through
+     * the channel data bus, occupying it for the full duration. Cross-
+     * channel copies always use the bus path (in-DRAM copy only works
+     * within a channel), mirroring CAC's same-channel migration policy.
+     */
+    void bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
+                      std::function<void()> onDone);
+
+    /** Memory channel servicing @p addr (used by CAC's placement policy). */
+    unsigned channelOf(Addr addr) const;
+
+    /** DRAM statistics. */
+    const Stats &stats() const { return stats_; }
+
+    /** Configuration used to build this model. */
+    const DramConfig &config() const { return config_; }
+
+    /** Number of requests currently queued or in flight. */
+    std::size_t inFlight() const { return inFlight_; }
+
+  private:
+    struct Bank
+    {
+        std::int64_t openRow = -1;
+        Cycles readyAt = 0;
+    };
+
+    struct Channel
+    {
+        std::vector<Bank> banks;
+        std::deque<DramRequest> queue;
+        Cycles busFreeAt = 0;
+        bool dispatchScheduled = false;
+    };
+
+    struct Decoded
+    {
+        unsigned channel;
+        unsigned bank;
+        std::uint64_t row;
+    };
+
+    Decoded decode(Addr addr) const;
+    void tryDispatch(unsigned channelIdx);
+    void scheduleDispatch(unsigned channelIdx, Cycles when);
+
+    EventQueue &events_;
+    DramConfig config_;
+    std::vector<Channel> channels_;
+    Stats stats_;
+    std::size_t inFlight_ = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_DRAM_DRAM_H

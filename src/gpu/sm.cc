@@ -1,0 +1,251 @@
+#include "gpu/sm.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mosaic {
+
+Sm::Sm(EventQueue &events, SmId id, PageTable &pageTable,
+       TranslationService &translation, CacheHierarchy &caches,
+       DemandPager *pager, const SmConfig &config,
+       std::function<void()> onAllWarpsDone)
+    : events_(events), id_(id), pageTable_(pageTable),
+      translation_(translation), caches_(caches), pager_(pager),
+      config_(config), onAllWarpsDone_(std::move(onAllWarpsDone))
+{
+}
+
+void
+Sm::addWarp(std::unique_ptr<WarpStream> stream)
+{
+    MOSAIC_ASSERT(!started_, "warps must be added before start()");
+    WarpCtx ctx;
+    ctx.stream = std::move(stream);
+    warps_.push_back(std::move(ctx));
+    pendingParts_.push_back(0);
+    ++liveWarps_;
+}
+
+void
+Sm::start(Cycles when)
+{
+    started_ = true;
+    if (liveWarps_ == 0) {
+        stats_.finishedAt = events_.now();
+        if (onAllWarpsDone_)
+            onAllWarpsDone_();
+        return;
+    }
+    for (WarpCtx &warp : warps_)
+        warp.readyAt = when;
+    scheduleIssue(when);
+}
+
+void
+Sm::stallUntil(Cycles until)
+{
+    stalledUntil_ = std::max(stalledUntil_, until);
+}
+
+void
+Sm::scheduleIssue(Cycles when)
+{
+    if (issueScheduled_)
+        return;
+    issueScheduled_ = true;
+    events_.schedule(std::max(when, events_.now()), [this] {
+        issueScheduled_ = false;
+        issueTick();
+    });
+}
+
+int
+Sm::pickWarp() const
+{
+    const Cycles now = events_.now();
+    auto ready = [&](const WarpCtx &w) {
+        return !w.done && !w.blocked && w.readyAt <= now;
+    };
+
+    if (config_.scheduler == WarpSchedPolicy::Gto && lastWarp_ >= 0 &&
+        ready(warps_[static_cast<unsigned>(lastWarp_)])) {
+        return lastWarp_;  // greedy: stick with the current warp
+    }
+
+    if (config_.scheduler == WarpSchedPolicy::RoundRobin) {
+        for (std::size_t i = 0; i < warps_.size(); ++i) {
+            const unsigned idx = (rrCursor_ + i) % warps_.size();
+            if (ready(warps_[idx]))
+                return static_cast<int>(idx);
+        }
+        return -1;
+    }
+
+    // Oldest: the ready warp that issued least recently.
+    int best = -1;
+    std::uint64_t best_age = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+        if (ready(warps_[i]) && warps_[i].age < best_age) {
+            best = static_cast<int>(i);
+            best_age = warps_[i].age;
+        }
+    }
+    return best;
+}
+
+void
+Sm::issueTick()
+{
+    const Cycles now = events_.now();
+    if (now < stalledUntil_) {
+        scheduleIssue(stalledUntil_);
+        return;
+    }
+    if (now < nextIssueAllowed_) {
+        scheduleIssue(nextIssueAllowed_);
+        return;
+    }
+
+    const int picked = pickWarp();
+    if (picked < 0) {
+        // Nobody is ready. Wake at the earliest compute completion;
+        // memory completions re-arm the issue event themselves.
+        Cycles earliest = std::numeric_limits<Cycles>::max();
+        for (const WarpCtx &w : warps_) {
+            if (!w.done && !w.blocked && w.readyAt > now)
+                earliest = std::min(earliest, w.readyAt);
+        }
+        if (earliest != std::numeric_limits<Cycles>::max())
+            scheduleIssue(earliest);
+        return;
+    }
+
+    const auto idx = static_cast<unsigned>(picked);
+    WarpCtx &warp = warps_[idx];
+    rrCursor_ = (idx + 1) % warps_.size();
+
+    WarpInstr instr;
+    if (!warp.stream->next(instr)) {
+        retireWarp(idx);
+        if (liveWarps_ > 0)
+            scheduleIssue(now);
+        return;
+    }
+
+    ++stats_.instructions;
+    warp.age = ++ageCounter_;
+    lastWarp_ = picked;
+    nextIssueAllowed_ = now + 1;
+
+    if (!instr.isMemory || instr.numLines == 0) {
+        warp.readyAt = now + std::max<Cycles>(1, instr.computeLatency);
+    } else {
+        ++stats_.memInstructions;
+        warp.blocked = true;
+        executeMemory(idx, instr);
+    }
+    scheduleIssue(now + 1);
+}
+
+void
+Sm::executeMemory(unsigned warpIdx, const WarpInstr &instr)
+{
+    // Group the coalesced lines by base page: each distinct page needs
+    // one translation, then every line in it accesses the data caches.
+    struct PageGroup
+    {
+        Addr pageVa;
+        std::array<Addr, kMaxLinesPerInstr> lines;
+        unsigned numLines = 0;
+    };
+    std::array<PageGroup, kMaxLinesPerInstr> groups;
+    unsigned num_groups = 0;
+
+    for (unsigned i = 0; i < instr.numLines; ++i) {
+        const Addr line = roundDown(instr.lineAddrs[i], kCacheLineSize);
+        const Addr page = basePageBase(line);
+        PageGroup *group = nullptr;
+        for (unsigned g = 0; g < num_groups; ++g) {
+            if (groups[g].pageVa == page) {
+                group = &groups[g];
+                break;
+            }
+        }
+        if (group == nullptr) {
+            group = &groups[num_groups++];
+            group->pageVa = page;
+        }
+        group->lines[group->numLines++] = line;
+    }
+
+    pendingParts_[warpIdx] = instr.numLines;
+    const bool is_store = instr.isStore;
+
+    for (unsigned g = 0; g < num_groups; ++g) {
+        const PageGroup group = groups[g];
+        translatePage(warpIdx, group.pageVa, 0,
+                      [this, warpIdx, group,
+                       is_store](const Translation &t) {
+            const Addr pa_page = basePageBase(t.physAddr);
+            for (unsigned i = 0; i < group.numLines; ++i) {
+                const Addr pa_line =
+                    pa_page + (group.lines[i] & (kBasePageSize - 1));
+                caches_.access(id_, pa_line, is_store, [this, warpIdx] {
+                    warpMemPartDone(warpIdx);
+                });
+            }
+        });
+    }
+}
+
+void
+Sm::translatePage(unsigned warpIdx, Addr pageVa, unsigned retries,
+                  std::function<void(const Translation &)> onDone)
+{
+    translation_.translate(id_, pageTable_, pageVa,
+                           [this, warpIdx, pageVa, retries,
+                            cb = std::move(onDone)](const Translation &t) {
+        if (t.valid && t.resident) {
+            cb(t);
+            return;
+        }
+        MOSAIC_ASSERT(pager_ != nullptr,
+                      "page fault with no demand pager attached");
+        MOSAIC_ASSERT(retries < config_.maxFaultRetries,
+                      "fault retry limit hit; allocator cannot back page");
+        ++stats_.farFaultStalls;
+        pager_->handleFarFault(pageTable_, pageVa,
+                               [this, warpIdx, pageVa, retries,
+                                cb = std::move(cb)]() mutable {
+            translatePage(warpIdx, pageVa, retries + 1, std::move(cb));
+        });
+    });
+}
+
+void
+Sm::warpMemPartDone(unsigned warpIdx)
+{
+    MOSAIC_ASSERT(pendingParts_[warpIdx] > 0, "spurious completion");
+    if (--pendingParts_[warpIdx] == 0) {
+        WarpCtx &warp = warps_[warpIdx];
+        warp.blocked = false;
+        warp.readyAt = events_.now();
+        scheduleIssue(events_.now());
+    }
+}
+
+void
+Sm::retireWarp(unsigned warpIdx)
+{
+    WarpCtx &warp = warps_[warpIdx];
+    MOSAIC_ASSERT(!warp.done, "double retire");
+    warp.done = true;
+    --liveWarps_;
+    if (liveWarps_ == 0) {
+        stats_.finishedAt = events_.now();
+        if (onAllWarpsDone_)
+            onAllWarpsDone_();
+    }
+}
+
+}  // namespace mosaic

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Demand-paging engine: turns far-faults into I/O-bus transfers.
+ *
+ * When a GPU thread touches a page that is not resident in GPU memory,
+ * the SM raises a far-fault here. The pager deduplicates concurrent
+ * faults to one transfer unit, queues a PCIe transfer at the active
+ * memory manager's granularity (4KB base pages under Mosaic and the
+ * baseline, 2MB under the large-page-only design), and, when the data
+ * arrives, asks the manager to commit physical memory and install the
+ * mapping before waking the faulting warps.
+ */
+
+#ifndef MOSAIC_IOBUS_DEMAND_PAGING_H
+#define MOSAIC_IOBUS_DEMAND_PAGING_H
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/mshr.h"
+#include "common/types.h"
+#include "engine/event_queue.h"
+#include "iobus/pcie.h"
+#include "mm/memory_manager.h"
+#include "vm/page_table.h"
+
+namespace mosaic {
+
+/** The far-fault handler. */
+class DemandPager
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Fault statistics. */
+    struct Stats
+    {
+        std::uint64_t farFaults = 0;       ///< transfers initiated
+        std::uint64_t mergedFaults = 0;    ///< faults merged into one
+        std::uint64_t bytesTransferred = 0;
+        std::uint64_t oomFaults = 0;       ///< backPage() ran out of memory
+        std::uint64_t prefetchedPages = 0;
+    };
+
+    DemandPager(EventQueue &events, PcieBus &bus, MemoryManager &manager)
+        : events_(events), bus_(bus), manager_(manager)
+    {
+    }
+
+    /**
+     * Handles a far-fault on @p va in @p pageTable's address space.
+     * @p onResolved runs once the page is resident and mapped.
+     */
+    void
+    handleFarFault(PageTable &pageTable, Addr va, Callback onResolved)
+    {
+        const PageSize gran = manager_.transferGranularity();
+        const AppId app = pageTable.appId();
+        const std::uint64_t unit = gran == PageSize::Base
+                                       ? basePageNumber(va)
+                                       : largePageNumber(va);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(app) << 44) | unit;
+
+        const auto outcome = faults_.registerMiss(key, std::move(onResolved));
+        if (outcome != MshrFile::Outcome::NewMiss) {
+            ++stats_.mergedFaults;
+            return;
+        }
+
+        ++stats_.farFaults;
+        const std::uint64_t bytes = pageBytes(gran);
+        stats_.bytesTransferred += bytes;
+        bus_.transfer(bytes, [this, app, va, key] {
+            if (!manager_.backPage(app, va))
+                ++stats_.oomFaults;
+            faults_.fill(key);
+        });
+    }
+
+    /**
+     * Eagerly backs every page of [vaBase, vaBase+bytes) (the no-demand-
+     * paging configurations). With @p chargeBus the region moves over the
+     * PCIe bus as one bulk transfer and @p onDone runs at completion;
+     * otherwise the pages appear instantly ("no paging overhead").
+     */
+    void
+    prefetchRegion(PageTable &pageTable, Addr vaBase, std::uint64_t bytes,
+                   bool chargeBus, Callback onDone)
+    {
+        const AppId app = pageTable.appId();
+        auto back_all = [this, &pageTable, app, vaBase, bytes] {
+            for (Addr va = basePageBase(vaBase); va < vaBase + bytes;
+                 va += kBasePageSize) {
+                if (!manager_.backPage(app, va))
+                    ++stats_.oomFaults;
+                else
+                    ++stats_.prefetchedPages;
+            }
+        };
+        if (chargeBus) {
+            stats_.bytesTransferred += bytes;
+            bus_.transfer(bytes, [back_all = std::move(back_all),
+                                  cb = std::move(onDone)] {
+                back_all();
+                cb();
+            });
+        } else {
+            back_all();
+            events_.scheduleAfter(0, std::move(onDone));
+        }
+    }
+
+    /** Statistics. */
+    const Stats &stats() const { return stats_; }
+
+    /** Number of distinct in-flight far-faults. */
+    std::size_t inFlight() const { return faults_.size(); }
+
+  private:
+    EventQueue &events_;
+    PcieBus &bus_;
+    MemoryManager &manager_;
+    MshrFile faults_;
+    Stats stats_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_IOBUS_DEMAND_PAGING_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * System I/O (PCIe) bus model for CPU->GPU page transfers.
+ *
+ * Calibrated to the paper's GTX 1080 measurements (§3.2): the load-to-use
+ * latency of a far-fault is 55us for a 4KB page and 318us for a 2MB page.
+ * Solving both anchors gives a fixed per-fault overhead of ~54.5us (fault
+ * handling, runtime, link turnaround -- does not occupy the data bus) and
+ * an effective data bandwidth of ~8GB/s that transfers serialize on.
+ */
+
+#ifndef MOSAIC_IOBUS_PCIE_H
+#define MOSAIC_IOBUS_PCIE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "engine/event_queue.h"
+
+namespace mosaic {
+
+/** PCIe bus timing parameters (GPU core cycles at 1020MHz). */
+struct PcieConfig
+{
+    /** Fixed per-transfer overhead that overlaps across transfers. */
+    Cycles fixedOverheadCycles = 55590;  // ~54.5us
+    /** Data bytes moved per GPU cycle while the bus is busy. */
+    double bytesPerCycle = 7.8;          // ~8GB/s effective
+};
+
+/** The shared, serializing system I/O bus. */
+class PcieBus
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Transfer statistics. */
+    struct Stats
+    {
+        std::uint64_t transfers = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t busBusyCycles = 0;
+        Histogram latency{4096, 128};  ///< request-to-done per transfer
+    };
+
+    PcieBus(EventQueue &events, const PcieConfig &config)
+        : events_(events), config_(config)
+    {
+    }
+
+    /**
+     * Queues a host-to-device transfer of @p bytes; @p onDone runs when
+     * the data is usable on the GPU. Transfers serialize on the data bus
+     * but their fixed overheads overlap.
+     */
+    void
+    transfer(std::uint64_t bytes, Callback onDone)
+    {
+        const Cycles now = events_.now();
+        const auto busy = static_cast<Cycles>(
+            static_cast<double>(bytes) / config_.bytesPerCycle);
+        const Cycles start = std::max(now, busFreeAt_);
+        busFreeAt_ = start + busy;
+        const Cycles done = start + busy + config_.fixedOverheadCycles;
+
+        ++stats_.transfers;
+        stats_.bytes += bytes;
+        stats_.busBusyCycles += busy;
+        stats_.latency.record(done - now);
+        events_.schedule(done, std::move(onDone));
+    }
+
+    /** Time at which the data bus next becomes free. */
+    Cycles busFreeAt() const { return busFreeAt_; }
+
+    /** Statistics. */
+    const Stats &stats() const { return stats_; }
+
+    /** Configuration. */
+    const PcieConfig &config() const { return config_; }
+
+  private:
+    EventQueue &events_;
+    PcieConfig config_;
+    Cycles busFreeAt_ = 0;
+    Stats stats_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_IOBUS_PCIE_H

@@ -1,0 +1,395 @@
+#include "mm/cac.h"
+
+#include <algorithm>
+
+#include "dram/dram.h"
+#include "vm/translation.h"
+
+namespace mosaic {
+
+namespace {
+
+/** Channel a page maps to for migration-locality purposes. */
+unsigned
+pageChannel(Addr pa, unsigned channels)
+{
+    return static_cast<unsigned>((pa >> kLargePageBits) % channels);
+}
+
+}  // namespace
+
+void
+Cac::onFrameFragmented(std::uint32_t frameIdx)
+{
+    FrameInfo &frame = state_.pool.frame(frameIdx);
+    MOSAIC_ASSERT(frame.coalesced, "fragment callback on uncoalesced frame");
+
+    if (!config_.enabled || frame.usedCount >= config_.occupancyThresholdPages) {
+        // Keep the coalesced translation (it still improves TLB reach);
+        // remember the frame as an emergency reserve.
+        if (!inEmergency_[frameIdx]) {
+            inEmergency_[frameIdx] = true;
+            state_.emergencyFrames.push_back(frameIdx);
+        }
+        return;
+    }
+
+    splinterFrame(frameIdx);
+    compactFrame(frameIdx);
+}
+
+void
+Cac::splinterFrame(std::uint32_t frameIdx)
+{
+    FrameInfo &frame = state_.pool.frame(frameIdx);
+    MOSAIC_ASSERT(frame.coalesced, "splinter of uncoalesced frame");
+    const Addr chunk_va = state_.frameChunkVa[frameIdx];
+    MOSAIC_ASSERT(chunk_va != kInvalidAddr, "coalesced frame without chunk");
+
+    auto app_it = state_.apps.find(frame.owner);
+    MOSAIC_ASSERT(app_it != state_.apps.end(), "splinter of ownerless frame");
+    PageTable &pt = *app_it->second.pageTable;
+
+    pt.splinter(chunk_va);
+    frame.coalesced = false;
+    ++state_.stats.splinterOps;
+
+    // Splintering must shoot the stale large-page mapping down in every
+    // TLB level before any base mapping can change (paper §4.4).
+    if (state_.env.translation != nullptr)
+        state_.env.translation->shootdownLarge(frame.owner, chunk_va);
+    if (state_.env.dram != nullptr) {
+        const auto path = pt.walkPath(chunk_va);
+        state_.env.dram->access(path[2], true, [] {});
+        state_.env.dram->access(path[3], true, [] {});
+    }
+}
+
+Cycles
+Cac::migrationCycles(Addr src, Addr dst) const
+{
+    if (config_.ideal || state_.env.dram == nullptr)
+        return 0;
+    const DramConfig &dram = state_.env.dram->config();
+    const bool same_channel = pageChannel(src, dram.channels) ==
+                              pageChannel(dst, dram.channels);
+    if (config_.useBulkCopy && same_channel)
+        return dram.bulkCopyInDramCycles;
+    const std::uint64_t lines = kBasePageSize / kCacheLineSize;
+    return lines * dram.bulkCopyViaBusCyclesPerLine;
+}
+
+bool
+Cac::compactFrame(std::uint32_t frameIdx)
+{
+    FrameInfo &frame = state_.pool.frame(frameIdx);
+    if (frame.coalesced || frame.mixed || frame.pinnedCount != 0)
+        return false;
+    if (frame.usedCount == 0) {
+        retireEmptyFrame(frameIdx);
+        return true;
+    }
+
+    auto app_it = state_.apps.find(frame.owner);
+    if (app_it == state_.apps.end())
+        return false;
+    MosaicAppState &app = app_it->second;
+
+    // Gather destination slots: free base pages in any non-coalesced,
+    // non-chunk-reserved frame. Prefer frames owned by this application
+    // (preserving the soft guarantee), and within those prefer the same
+    // memory channel so CAC-BC can use in-DRAM copy. Frames of other
+    // owners (including pre-fragmented ones) are a last resort under
+    // memory pressure.
+    const unsigned channels = state_.env.dram != nullptr
+                                  ? state_.env.dram->config().channels
+                                  : 6;
+    const unsigned src_channel =
+        pageChannel(state_.pool.frameBase(frameIdx), channels);
+
+    struct Dest
+    {
+        std::uint32_t frame;
+        std::uint16_t slot;
+        bool ownerMatch;
+        bool sameChannel;
+    };
+    std::vector<Dest> dests;
+    auto collect = [&](bool owner_pass) {
+        // Same-channel frames first (in-DRAM copy eligibility), then the
+        // rest, bounded so the scan stays cheap.
+        for (const bool channel_pass : {true, false}) {
+            for (std::size_t f = 0; f < state_.pool.numFrames() &&
+                                    dests.size() < 2 * frame.usedCount;
+                 ++f) {
+                if (f == frameIdx)
+                    continue;
+                const FrameInfo &info = state_.pool.frame(f);
+                if (info.coalesced || info.freeSlots() == 0)
+                    continue;
+                if (state_.frameChunkVa[f] != kInvalidAddr)
+                    continue;
+                const bool owner_match =
+                    info.owner == frame.owner && !info.mixed;
+                if (owner_match != owner_pass)
+                    continue;
+                if (!owner_match && info.usedCount + info.pinnedCount == 0)
+                    continue;  // empty foreign frame: nothing to gain
+                const bool same_channel =
+                    pageChannel(state_.pool.frameBase(f), channels) ==
+                    src_channel;
+                if (same_channel != channel_pass)
+                    continue;
+                for (unsigned s = 0; s < kBasePagesPerLargePage; ++s) {
+                    if (!info.used[s] && !info.pinned[s]) {
+                        dests.push_back(
+                            Dest{static_cast<std::uint32_t>(f),
+                                 static_cast<std::uint16_t>(s),
+                                 owner_match, same_channel});
+                    }
+                }
+            }
+        }
+    };
+    // Own frames first; foreign holes only under real memory pressure
+    // (no free frames left), which is the only path that may mix
+    // owners. With free frames available, an unprofitable compaction is
+    // simply skipped instead.
+    collect(true);
+    if (dests.size() < frame.usedCount && state_.freeFrames.empty())
+        collect(false);
+    if (dests.size() < frame.usedCount)
+        return false;  // not enough room to empty the frame
+
+    std::stable_sort(dests.begin(), dests.end(),
+                     [](const Dest &a, const Dest &b) {
+        if (a.ownerMatch != b.ownerMatch)
+            return a.ownerMatch;
+        return a.sameChannel > b.sameChannel;
+    });
+
+    Cycles total_stall = 0;
+    std::size_t next_dest = 0;
+    for (unsigned slot = 0; slot < kBasePagesPerLargePage; ++slot) {
+        if (!frame.used[slot])
+            continue;
+        const Dest dest = dests[next_dest++];
+        if (!dest.ownerMatch)
+            ++state_.stats.softGuaranteeViolations;
+
+        const Addr va = frame.slotVa[slot];
+        const Addr src_pa = state_.pool.slotAddr(frameIdx, slot);
+        const Addr dst_pa = state_.pool.slotAddr(dest.frame, dest.slot);
+
+        state_.pool.allocateSlot(dest.frame, dest.slot, frame.owner, va);
+        app.pageTable->remapBasePage(va, dst_pa);
+        if (state_.env.translation != nullptr)
+            state_.env.translation->shootdownBase(frame.owner, va);
+        state_.pool.freeSlot(frameIdx, slot);
+        ++state_.stats.migrations;
+
+        total_stall += migrationCycles(src_pa, dst_pa);
+        if (!config_.ideal && state_.env.dram != nullptr) {
+            state_.env.dram->bulkCopyPage(src_pa, dst_pa,
+                                          config_.useBulkCopy, [] {});
+        }
+    }
+
+    if (total_stall > 0 && state_.env.stallGpu)
+        state_.env.stallGpu(total_stall);
+
+    MOSAIC_ASSERT(frame.usedCount == 0, "compaction left pages behind");
+    retireEmptyFrame(frameIdx);
+    ++state_.stats.compactions;
+    return true;
+}
+
+bool
+Cac::consolidateAlienFrame()
+{
+    // Source: the alien-only frame with the fewest fragment pages (and
+    // below the occupancy threshold -- past that, the paper's data shows
+    // compaction stops paying off).
+    std::uint32_t src = 0;
+    std::uint16_t src_count = 0;
+    bool found = false;
+    for (std::size_t f = 0; f < state_.pool.numFrames(); ++f) {
+        const FrameInfo &info = state_.pool.frame(f);
+        if (info.usedCount != 0 || info.pinnedCount == 0)
+            continue;
+        if (info.coalesced || state_.frameChunkVa[f] != kInvalidAddr)
+            continue;
+        if (info.pinnedCount > config_.occupancyThresholdPages)
+            continue;
+        if (!found || info.pinnedCount < src_count) {
+            src = static_cast<std::uint32_t>(f);
+            src_count = info.pinnedCount;
+            found = true;
+        }
+    }
+    if (!found)
+        return false;
+
+    const unsigned channels = state_.env.dram != nullptr
+                                  ? state_.env.dram->config().channels
+                                  : 6;
+    const unsigned src_channel =
+        pageChannel(state_.pool.frameBase(src), channels);
+
+    // Destinations: holes in other alien frames (avoid polluting frames
+    // that hold application data), same channel first.
+    std::vector<std::pair<std::uint32_t, std::uint16_t>> dests;
+    for (const bool channel_pass : {true, false}) {
+        for (std::size_t f = 0; f < state_.pool.numFrames() &&
+                                dests.size() < src_count;
+             ++f) {
+            if (f == src)
+                continue;
+            const FrameInfo &info = state_.pool.frame(f);
+            if (info.pinnedCount == 0 || info.usedCount != 0 ||
+                info.coalesced || info.freeSlots() == 0)
+                continue;
+            if (state_.frameChunkVa[f] != kInvalidAddr)
+                continue;
+            const bool same_channel =
+                pageChannel(state_.pool.frameBase(f), channels) ==
+                src_channel;
+            if (same_channel != channel_pass)
+                continue;
+            for (unsigned s = 0;
+                 s < kBasePagesPerLargePage && dests.size() < src_count;
+                 ++s) {
+                if (!info.used[s] && !info.pinned[s])
+                    dests.emplace_back(static_cast<std::uint32_t>(f),
+                                       static_cast<std::uint16_t>(s));
+            }
+        }
+    }
+    if (dests.size() < src_count)
+        return false;
+
+    Cycles total_stall = 0;
+    std::size_t next_dest = 0;
+    FrameInfo &src_info = state_.pool.frame(src);
+    for (unsigned slot = 0; slot < kBasePagesPerLargePage; ++slot) {
+        if (!src_info.pinned[slot])
+            continue;
+        const auto [dst_frame, dst_slot] = dests[next_dest++];
+        const Addr src_pa = state_.pool.slotAddr(src, slot);
+        const Addr dst_pa = state_.pool.slotAddr(dst_frame, dst_slot);
+        state_.pool.moveFragment(src, slot, dst_frame, dst_slot);
+        ++state_.stats.migrations;
+        total_stall += migrationCycles(src_pa, dst_pa);
+        if (!config_.ideal && state_.env.dram != nullptr) {
+            state_.env.dram->bulkCopyPage(src_pa, dst_pa,
+                                          config_.useBulkCopy, [] {});
+        }
+    }
+    if (total_stall > 0 && state_.env.stallGpu)
+        state_.env.stallGpu(total_stall);
+
+    MOSAIC_ASSERT(src_info.empty(), "alien consolidation left data");
+    retireEmptyFrame(src);
+    ++state_.stats.compactions;
+    return true;
+}
+
+void
+Cac::retireEmptyFrame(std::uint32_t frameIdx)
+{
+    FrameInfo &frame = state_.pool.frame(frameIdx);
+    MOSAIC_ASSERT(frame.empty(), "retiring a non-empty frame");
+    MOSAIC_ASSERT(!frame.coalesced, "retiring a coalesced frame");
+
+    // Drop any chunk reservation and free-slot entries referring to the
+    // frame; it returns to CoCoA unassigned.
+    const Addr chunk_va = state_.frameChunkVa[frameIdx];
+    if (chunk_va != kInvalidAddr) {
+        for (auto &[id, app] : state_.apps)
+            app.chunkFrames.erase(largePageNumber(chunk_va));
+        state_.frameChunkVa[frameIdx] = kInvalidAddr;
+    }
+    for (auto &[id, app] : state_.apps) {
+        auto &slots = app.freeBaseSlots;
+        slots.erase(std::remove_if(slots.begin(), slots.end(),
+                                   [frameIdx](const auto &s) {
+                                       return s.first == frameIdx;
+                                   }),
+                    slots.end());
+    }
+    state_.pool.resetOwner(frameIdx);
+    inEmergency_[frameIdx] = false;
+    state_.freeFrames.push_back(frameIdx);
+}
+
+bool
+Cac::reclaim(AppId requester)
+{
+    // Pass 1: empty the most lightly-used compactable frame.
+    if (config_.enabled) {
+        std::uint32_t best = 0;
+        std::uint16_t best_count = 0;
+        bool found = false;
+        for (std::size_t i = 0; i < state_.pool.numFrames(); ++i) {
+            const FrameInfo &f = state_.pool.frame(i);
+            if (f.coalesced || f.mixed || f.pinnedCount != 0)
+                continue;
+            if (f.usedCount == 0 || f.usedCount > config_.occupancyThresholdPages)
+                continue;
+            if (state_.frameChunkVa[i] != kInvalidAddr)
+                continue;  // reserved chunks must keep their contiguity
+            if (!found || f.usedCount < best_count) {
+                best = static_cast<std::uint32_t>(i);
+                best_count = f.usedCount;
+                found = true;
+            }
+        }
+        if (found && compactFrame(best))
+            return true;
+    }
+
+    // Pass 1.5: consolidate pre-fragmented data to free a frame.
+    if (config_.enabled && consolidateAlienFrame())
+        return true;
+
+    // Pass 2: the failsafe -- splinter an emergency frame and donate its
+    // holes to the requester as plain base pages.
+    while (!state_.emergencyFrames.empty()) {
+        const std::uint32_t frameIdx = state_.emergencyFrames.back();
+        state_.emergencyFrames.pop_back();
+        if (!inEmergency_[frameIdx])
+            continue;  // stale entry (frame was retired meanwhile)
+        inEmergency_[frameIdx] = false;
+
+        FrameInfo &frame = state_.pool.frame(frameIdx);
+        if (!frame.coalesced || frame.empty())
+            continue;
+
+        splinterFrame(frameIdx);
+        ++state_.stats.emergencySplinters;
+        if (frame.owner != requester)
+            ++state_.stats.softGuaranteeViolations;
+
+        // The chunk reservation is gone for good: holes will now hold
+        // unrelated pages, so the region can never re-coalesce here.
+        const Addr chunk_va = state_.frameChunkVa[frameIdx];
+        if (chunk_va != kInvalidAddr) {
+            for (auto &[id, app] : state_.apps)
+                app.chunkFrames.erase(largePageNumber(chunk_va));
+            state_.frameChunkVa[frameIdx] = kInvalidAddr;
+        }
+
+        auto req_it = state_.apps.find(requester);
+        MOSAIC_ASSERT(req_it != state_.apps.end(), "unknown requester");
+        for (unsigned slot = 0; slot < kBasePagesPerLargePage; ++slot) {
+            if (!frame.used[slot] && !frame.pinned[slot]) {
+                req_it->second.freeBaseSlots.emplace_back(
+                    frameIdx, static_cast<std::uint16_t>(slot));
+            }
+        }
+        return true;
+    }
+    return false;
+}
+
+}  // namespace mosaic

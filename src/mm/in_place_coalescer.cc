@@ -1,0 +1,49 @@
+#include "mm/in_place_coalescer.h"
+
+#include "dram/dram.h"
+
+namespace mosaic {
+
+bool
+InPlaceCoalescer::eligible(std::uint32_t frameIdx) const
+{
+    const FrameInfo &frame = state_.pool.frame(frameIdx);
+    if (frame.coalesced || frame.mixed || frame.pinnedCount != 0)
+        return false;
+    if (!frame.fullyPopulated())
+        return false;
+    if (state_.frameChunkVa[frameIdx] == kInvalidAddr)
+        return false;  // not a contiguity-conserved chunk frame
+    return true;
+}
+
+bool
+InPlaceCoalescer::tryCoalesce(std::uint32_t frameIdx)
+{
+    if (!eligible(frameIdx))
+        return false;
+
+    FrameInfo &frame = state_.pool.frame(frameIdx);
+    const Addr chunk_va = state_.frameChunkVa[frameIdx];
+    auto app_it = state_.apps.find(frame.owner);
+    MOSAIC_ASSERT(app_it != state_.apps.end(),
+                  "coalescing a frame with no registered owner");
+    PageTable &pt = *app_it->second.pageTable;
+
+    // One atomic write sets the L3 large bit; the L4 disabled bits follow
+    // lazily and no TLB flush is needed (the stale base mappings still
+    // point into the same frame). The PTE writes consume a little DRAM
+    // bandwidth but never stall the SMs.
+    pt.coalesce(chunk_va);
+    frame.coalesced = true;
+    ++state_.stats.coalesceOps;
+
+    if (state_.env.dram != nullptr) {
+        const auto path = pt.walkPath(chunk_va);
+        state_.env.dram->access(path[2], true, [] {});
+        state_.env.dram->access(path[3], true, [] {});
+    }
+    return true;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The In-Place Coalescer: Mosaic's page-size selection mechanism (§4.3).
+ *
+ * Because CoCoA guarantees that the base pages inside a reserved frame
+ * are virtually contiguous, frame-aligned, and single-application,
+ * coalescing needs no utilization monitoring, no data migration, and no
+ * TLB flush: it sets the large bit in one L3 PTE and the disabled bits in
+ * the L4 PTEs. The only timing cost is the PTE update itself (a handful
+ * of DRAM writes), charged through the DRAM model when one is attached.
+ */
+
+#ifndef MOSAIC_MM_IN_PLACE_COALESCER_H
+#define MOSAIC_MM_IN_PLACE_COALESCER_H
+
+#include "mm/mosaic_state.h"
+
+namespace mosaic {
+
+/** Coalesces fully-populated, contiguity-conserved frames in place. */
+class InPlaceCoalescer
+{
+  public:
+    explicit InPlaceCoalescer(MosaicState &state) : state_(state) {}
+
+    /**
+     * Examines frame @p frameIdx after an allocation completed and
+     * coalesces it when eligible: reserved for a virtual chunk, fully
+     * populated, single-application, and not already coalesced.
+     * @return true if the frame was coalesced.
+     */
+    bool tryCoalesce(std::uint32_t frameIdx);
+
+    /** True if the frame satisfies every coalescing precondition. */
+    bool eligible(std::uint32_t frameIdx) const;
+
+  private:
+    MosaicState &state_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_MM_IN_PLACE_COALESCER_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Abstract GPU memory-manager interface.
+ *
+ * A memory manager owns the policy side of GPU physical memory: how
+ * virtual regions reserved en masse map onto physical base pages, at what
+ * granularity demand-paging transfers happen, and what happens on
+ * deallocation. Three concrete managers implement the paper's designs:
+ * GpuMmuManager (Power et al. baseline), MosaicManager (CoCoA +
+ * In-Place Coalescer + CAC), and LargeOnlyManager (2MB pages only).
+ */
+
+#ifndef MOSAIC_MM_MEMORY_MANAGER_H
+#define MOSAIC_MM_MEMORY_MANAGER_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "vm/page_table.h"
+
+namespace mosaic {
+
+class EventQueue;
+class DramModel;
+class TranslationService;
+
+/**
+ * Services the manager may use for timing side effects. All pointers are
+ * optional: a null service makes the corresponding effect free, which
+ * keeps the managers usable in functional unit tests.
+ */
+struct ManagerEnv
+{
+    EventQueue *events = nullptr;
+    DramModel *dram = nullptr;
+    TranslationService *translation = nullptr;
+    /** Stalls every SM for the given duration (CAC's worst-case cost). */
+    std::function<void(Cycles)> stallGpu;
+};
+
+/** Statistics every manager reports. */
+struct MemoryManagerStats
+{
+    std::uint64_t regionsReserved = 0;
+    std::uint64_t pagesBacked = 0;
+    std::uint64_t pagesReleased = 0;
+    std::uint64_t coalesceOps = 0;
+    std::uint64_t splinterOps = 0;
+    std::uint64_t compactions = 0;           ///< frames freed by CAC
+    std::uint64_t migrations = 0;            ///< base pages moved by CAC
+    std::uint64_t emergencySplinters = 0;
+    std::uint64_t softGuaranteeViolations = 0;
+    std::uint64_t outOfFrames = 0;           ///< free-frame-list misses
+};
+
+/** Abstract interface implemented by all GPU memory managers. */
+class MemoryManager
+{
+  public:
+    virtual ~MemoryManager() = default;
+
+    /** Provides timing services; call once before simulation starts. */
+    virtual void setEnv(const ManagerEnv &env) = 0;
+
+    /** Registers an application's page table with the manager. */
+    virtual void registerApp(AppId app, PageTable &pageTable) = 0;
+
+    /**
+     * Reserves the virtual region [vaBase, vaBase+bytes) for @p app
+     * (the application's en masse allocation request). No physical
+     * memory is committed; policy state (e.g., CoCoA's frame
+     * assignments) is established here.
+     */
+    virtual void reserveRegion(AppId app, Addr vaBase,
+                               std::uint64_t bytes) = 0;
+
+    /**
+     * Commits physical memory for the base page containing @p va and
+     * installs the mapping (the demand-paging path, called when the
+     * page's data has arrived over the I/O bus).
+     * @return false when physical memory is exhausted.
+     */
+    virtual bool backPage(AppId app, Addr va) = 0;
+
+    /** Releases the region (application deallocation / kernel end). */
+    virtual void releaseRegion(AppId app, Addr vaBase,
+                               std::uint64_t bytes) = 0;
+
+    /** Granularity of a single demand-paging transfer. */
+    virtual PageSize transferGranularity() const { return PageSize::Base; }
+
+    /** Physical bytes currently held on behalf of applications. */
+    virtual std::uint64_t allocatedBytes() const = 0;
+
+    /** Statistics. */
+    virtual const MemoryManagerStats &stats() const = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_MM_MEMORY_MANAGER_H

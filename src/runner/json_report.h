@@ -1,0 +1,99 @@
+/**
+ * @file
+ * JSON serialization of simulation results, for downstream plotting and
+ * regression tracking. No external JSON dependency: the schema is flat
+ * enough to emit directly.
+ */
+
+#ifndef MOSAIC_RUNNER_JSON_REPORT_H
+#define MOSAIC_RUNNER_JSON_REPORT_H
+
+#include <sstream>
+#include <string>
+
+#include "runner/simulation.h"
+
+namespace mosaic {
+
+namespace detail {
+
+/** Escapes a string for a JSON literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace detail
+
+/** Serializes @p result as a single JSON object. */
+inline std::string
+toJson(const SimResult &result)
+{
+    std::ostringstream out;
+    out << "{";
+    out << "\"config\":\"" << detail::jsonEscape(result.configLabel)
+        << "\",";
+    out << "\"workload\":\"" << detail::jsonEscape(result.workloadName)
+        << "\",";
+    out << "\"totalCycles\":" << result.totalCycles << ",";
+    out << "\"l1TlbHitRate\":" << result.l1TlbHitRate << ",";
+    out << "\"l2TlbHitRate\":" << result.l2TlbHitRate << ",";
+    out << "\"pageWalks\":" << result.pageWalks << ",";
+    out << "\"avgWalkLatency\":" << result.avgWalkLatency << ",";
+    out << "\"farFaults\":" << result.farFaults << ",";
+    out << "\"pagedBytes\":" << result.pagedBytes << ",";
+    out << "\"allocatedBytes\":" << result.allocatedBytes << ",";
+    out << "\"neededBytes\":" << result.neededBytes << ",";
+    out << "\"l1CacheHitRate\":" << result.l1CacheHitRate << ",";
+    out << "\"l2CacheHitRate\":" << result.l2CacheHitRate << ",";
+    out << "\"gpuStallCycles\":" << result.gpuStallCycles << ",";
+    out << "\"mm\":{"
+        << "\"coalesceOps\":" << result.mm.coalesceOps << ","
+        << "\"splinterOps\":" << result.mm.splinterOps << ","
+        << "\"compactions\":" << result.mm.compactions << ","
+        << "\"migrations\":" << result.mm.migrations << ","
+        << "\"emergencySplinters\":" << result.mm.emergencySplinters << ","
+        << "\"softGuaranteeViolations\":"
+        << result.mm.softGuaranteeViolations << ","
+        << "\"outOfFrames\":" << result.mm.outOfFrames << ","
+        << "\"pagesBacked\":" << result.mm.pagesBacked << ","
+        << "\"pagesReleased\":" << result.mm.pagesReleased << "},";
+    out << "\"apps\":[";
+    for (std::size_t i = 0; i < result.apps.size(); ++i) {
+        const AppResult &app = result.apps[i];
+        if (i > 0)
+            out << ",";
+        out << "{\"name\":\"" << detail::jsonEscape(app.name) << "\","
+            << "\"sms\":" << app.smCount << ","
+            << "\"instructions\":" << app.instructions << ","
+            << "\"finishCycle\":" << app.finishCycle << ","
+            << "\"ipc\":" << app.ipc << ","
+            << "\"farFaultStalls\":" << app.farFaultStalls << ","
+            << "\"l1TlbHitRate\":" << app.l1TlbHitRate << ","
+            << "\"pageWalks\":" << app.pageWalks << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_RUNNER_JSON_REPORT_H

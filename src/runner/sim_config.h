@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Top-level simulation configuration and the paper's named presets.
+ *
+ * The defaults reproduce Table 1: 30 SMs at 1020MHz with GTO scheduling,
+ * 16KB/4-way L1 caches, a 2MB/16-way shared L2 over 6 memory partitions,
+ * per-SM L1 TLBs with 128 base + 16 large entries, a shared L2 TLB with
+ * 512 base + 256 large entries, a 64-walk shared page-table walker, 3GB
+ * of GDDR5, and a PCIe bus calibrated to GTX 1080 far-fault latencies.
+ */
+
+#ifndef MOSAIC_RUNNER_SIM_CONFIG_H
+#define MOSAIC_RUNNER_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "cache/hierarchy.h"
+#include "dram/dram.h"
+#include "gpu/gpu.h"
+#include "iobus/pcie.h"
+#include "mm/mosaic_manager.h"
+#include "vm/translation.h"
+#include "vm/walker.h"
+
+namespace mosaic {
+
+/** Which memory manager runs the GPU. */
+enum class ManagerKind : std::uint8_t {
+    GpuMmu,     ///< baseline 4KB-only manager (Power et al.)
+    Mosaic,     ///< CoCoA + In-Place Coalescer + CAC
+    LargeOnly,  ///< 2MB pages only (§3.2 straw man)
+};
+
+/** Complete configuration of one simulation. */
+struct SimConfig
+{
+    std::string label = "GPU-MMU";
+    ManagerKind manager = ManagerKind::GpuMmu;
+
+    /** Demand paging on (far-faults) or off (prefetch before start). */
+    bool demandPaging = true;
+    /** When prefetching, charge the PCIe bus for the upfront transfer. */
+    bool chargePrefetchBus = false;
+
+    GpuConfig gpu;
+    TranslationConfig translation;
+    WalkerConfig walker;
+    CacheHierarchyConfig caches;
+    DramConfig dram;
+    PcieConfig pcie;
+    MosaicConfig mosaic;
+
+    /** Physical bytes reserved for page-table nodes (top of memory). */
+    std::uint64_t pageTablePoolBytes = 64ull << 20;
+
+    /** Fig. 16 stress knobs (Mosaic manager only). */
+    double fragmentationIndex = 0.0;
+    double fragmentationOccupancy = 0.0;
+
+    /**
+     * Allocation churn (the Fig. 16 / Table 2 stress): while the GPU
+     * runs, each tick (a) replaces one random buffer with a fresh
+     * virtual allocation of the same size -- the access stream follows,
+     * so whether the new allocation obtains a coalescible frame is
+     * performance-visible -- and (b) releases a random slice of another
+     * buffer, creating the internal fragmentation CAC cleans up.
+     */
+    struct Churn
+    {
+        bool enabled = false;
+        Cycles periodCycles = 64000;
+        /** Slice of the fragmented buffer released per event. */
+        double releaseFraction = 0.5;
+    } churn;
+
+    std::uint64_t seed = 1;
+    Cycles maxCycles = 4'000'000'000ull;
+
+    /** Baseline GPU-MMU with 4KB pages and demand paging (Table 1). */
+    static SimConfig
+    baseline()
+    {
+        SimConfig c;
+        c.label = "GPU-MMU";
+        return c;
+    }
+
+    /** Mosaic with demand paging. */
+    static SimConfig
+    mosaicDefault()
+    {
+        SimConfig c;
+        c.label = "Mosaic";
+        c.manager = ManagerKind::Mosaic;
+        return c;
+    }
+
+    /** Ideal TLB: every translation request hits in the L1 TLB. */
+    static SimConfig
+    idealTlb()
+    {
+        SimConfig c;
+        c.label = "Ideal-TLB";
+        c.translation.idealTlb = true;
+        return c;
+    }
+
+    /** 2MB-only design (pages and transfers at large granularity). */
+    static SimConfig
+    largeOnly()
+    {
+        SimConfig c;
+        c.label = "2MB-only";
+        c.manager = ManagerKind::LargeOnly;
+        return c;
+    }
+
+    /** Turns this config into a no-demand-paging variant. */
+    SimConfig
+    withoutPaging(bool chargeBus = false) const
+    {
+        SimConfig c = *this;
+        c.demandPaging = false;
+        c.chargePrefetchBus = chargeBus;
+        c.label += chargeBus ? "+prefetch" : "+noPagingOverhead";
+        return c;
+    }
+
+    /**
+     * Compresses I/O time by @p factor.
+     *
+     * Synthetic workloads run orders of magnitude fewer instructions per
+     * byte of working set than the real benchmarks; keeping the measured
+     * PCIe constants would make every run I/O-bound and hide the effects
+     * under study. Scaling the bus constants by the same factor as the
+     * workload duration preserves the paper's execution:transfer balance
+     * (see DESIGN.md, "Substitutions").
+     */
+    SimConfig
+    withIoCompression(double factor) const
+    {
+        SimConfig c = *this;
+        c.pcie.bytesPerCycle *= factor;
+        c.pcie.fixedOverheadCycles = static_cast<Cycles>(
+            double(c.pcie.fixedOverheadCycles) / factor);
+        return c;
+    }
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_RUNNER_SIM_CONFIG_H

@@ -1,0 +1,371 @@
+#include "runner/simulation.h"
+
+#include <map>
+#include <memory>
+
+#include "cache/hierarchy.h"
+#include "engine/event_queue.h"
+#include "iobus/demand_paging.h"
+#include "mm/gpu_mmu_manager.h"
+#include "mm/large_only_manager.h"
+#include "mm/mosaic_manager.h"
+#include "workload/access_pattern.h"
+#include "workload/metrics.h"
+
+namespace mosaic {
+
+namespace {
+
+/** Per-application runtime context. */
+struct AppCtx
+{
+    AppParams params;
+    std::unique_ptr<PageTable> pageTable;
+    std::unique_ptr<AppLayout> layout;
+    unsigned smCount = 0;
+    std::vector<SmId> sms;
+    unsigned smsDone = 0;
+    bool finished = false;
+    Cycles finishAt = 0;
+    unsigned prefetchesPending = 0;
+    /** Bump pointer for fresh virtual regions under allocation churn. */
+    Addr nextChurnVa = 0;
+};
+
+std::unique_ptr<MemoryManager>
+makeManager(const SimConfig &config, Addr poolBase, std::uint64_t poolBytes)
+{
+    switch (config.manager) {
+    case ManagerKind::Mosaic:
+        return std::make_unique<MosaicManager>(poolBase, poolBytes,
+                                               config.mosaic);
+    case ManagerKind::LargeOnly:
+        return std::make_unique<LargeOnlyManager>(poolBase, poolBytes);
+    case ManagerKind::GpuMmu:
+    default:
+        return std::make_unique<GpuMmuManager>(poolBase, poolBytes);
+    }
+}
+
+}  // namespace
+
+SimResult
+runSimulation(const Workload &workload, const SimConfig &config)
+{
+    EventQueue events;
+    DramModel dram(events, config.dram);
+
+    CacheHierarchyConfig cache_cfg = config.caches;
+    cache_cfg.numSms = config.gpu.numSms;
+    CacheHierarchy caches(events, dram, cache_cfg);
+
+    PageTableWalker walker(events, caches, config.walker);
+    TranslationService translation(events, walker, config.gpu.numSms,
+                                   config.translation);
+    PcieBus pcie(events, config.pcie);
+
+    // Physical layout: frames from address 0; page-table nodes in a
+    // dedicated pool at the top of memory.
+    const std::uint64_t pool_bytes = roundDown(
+        config.dram.capacityBytes - config.pageTablePoolBytes,
+        kLargePageSize);
+    auto manager = makeManager(config, 0, pool_bytes);
+    RegionPtNodeAllocator pt_alloc(pool_bytes, config.pageTablePoolBytes);
+
+    Gpu gpu(events, config.gpu);
+    ManagerEnv env;
+    env.events = &events;
+    env.dram = &dram;
+    env.translation = &translation;
+    env.stallGpu = [&gpu](Cycles d) { gpu.stallAll(d); };
+    manager->setEnv(env);
+
+    if (config.manager == ManagerKind::Mosaic &&
+        config.fragmentationIndex > 0.0) {
+        static_cast<MosaicManager *>(manager.get())
+            ->injectFragmentation(config.fragmentationIndex,
+                                  config.fragmentationOccupancy,
+                                  config.seed * 7919 + 13);
+    }
+
+    // Instantiate the applications: page tables, virtual layouts, and
+    // the en masse region reservations.
+    std::vector<std::unique_ptr<AppCtx>> apps;
+    for (std::size_t i = 0; i < workload.apps.size(); ++i) {
+        auto ctx = std::make_unique<AppCtx>();
+        ctx->params = workload.apps[i];
+        ctx->pageTable = std::make_unique<PageTable>(
+            static_cast<AppId>(i), pt_alloc);
+        ctx->layout = std::make_unique<AppLayout>(
+            ctx->params, (static_cast<Addr>(i) + 1) << 40);
+        // Churned replacement buffers grow upward from half-way through
+        // the application's 1TB address slice.
+        ctx->nextChurnVa = ((static_cast<Addr>(i) + 1) << 40) +
+                           (1ull << 39);
+        manager->registerApp(static_cast<AppId>(i), *ctx->pageTable);
+        apps.push_back(std::move(ctx));
+    }
+    for (auto &ctx : apps) {
+        for (const auto &buf : ctx->layout->buffers())
+            manager->reserveRegion(ctx->pageTable->appId(), buf.va,
+                                   buf.bytes);
+    }
+
+    DemandPager pager(events, pcie, *manager);
+
+    // Carve the SMs into equal per-application partitions and populate
+    // each SM with this application's warps.
+    const auto shares = Gpu::partitionSms(
+        config.gpu.numSms, static_cast<unsigned>(apps.size()));
+    bool all_finished = false;
+    std::uint64_t peak_allocated = 0;
+    std::uint64_t peak_holes = 0;
+    unsigned apps_remaining = static_cast<unsigned>(apps.size());
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        AppCtx &app = *apps[i];
+        app.smCount = shares[i];
+        const unsigned warps_per_sm = config.gpu.sm.warpsPerSm;
+        const unsigned total_warps = app.smCount * warps_per_sm;
+
+        for (unsigned local = 0; local < app.smCount; ++local) {
+            AppCtx *app_ptr = &app;
+            auto on_done = [app_ptr, manager = manager.get(),
+                            &peak_allocated, &peak_holes, &apps_remaining,
+                            &all_finished, &events] {
+                if (++app_ptr->smsDone < app_ptr->smCount)
+                    return;
+                app_ptr->finished = true;
+                app_ptr->finishAt = events.now();
+                peak_allocated = std::max(peak_allocated,
+                                          manager->allocatedBytes());
+                if (auto *m = dynamic_cast<MosaicManager *>(manager)) {
+                    peak_holes = std::max(peak_holes,
+                                          m->coalescedHoleBytes());
+                }
+                // The application deallocates en masse on completion.
+                for (const auto &buf : app_ptr->layout->buffers()) {
+                    manager->releaseRegion(app_ptr->pageTable->appId(),
+                                           buf.va, buf.bytes);
+                }
+                if (--apps_remaining == 0)
+                    all_finished = true;
+            };
+            const SmId sm_id = gpu.createSm(
+                *app.pageTable, translation, caches,
+                config.demandPaging ? &pager : nullptr, std::move(on_done));
+            app.sms.push_back(sm_id);
+
+            for (unsigned w = 0; w < warps_per_sm; ++w) {
+                const unsigned warp_idx = local * warps_per_sm + w;
+                gpu.sm(sm_id).addWarp(std::make_unique<SyntheticWarpStream>(
+                    app.params, *app.layout, warp_idx, total_warps,
+                    config.seed * 1315423911u + i * 2654435761u + warp_idx));
+            }
+        }
+    }
+
+    // Launch: with demand paging the SMs start cold and fault pages in;
+    // without it, every buffer is prefetched first (optionally charging
+    // the PCIe bus) and the application starts when its data is resident.
+    if (config.demandPaging) {
+        gpu.startAll(0);
+    } else {
+        for (auto &ctx : apps) {
+            AppCtx *app_ptr = ctx.get();
+            app_ptr->prefetchesPending =
+                static_cast<unsigned>(ctx->layout->buffers().size());
+            for (const auto &buf : ctx->layout->buffers()) {
+                pager.prefetchRegion(
+                    *ctx->pageTable, buf.va, buf.bytes,
+                    config.chargePrefetchBus, [app_ptr, &gpu, &events] {
+                        if (--app_ptr->prefetchesPending > 0)
+                            return;
+                        for (const SmId sm : app_ptr->sms)
+                            gpu.sm(sm).start(events.now());
+                    });
+            }
+        }
+    }
+
+    // Allocation churn (Fig. 16 / Table 2 stress): periodically an
+    // application replaces one of its buffers -- the old region is
+    // deallocated en masse and a fresh virtual region of the same size
+    // is allocated (iterative kernels re-uploading data). The access
+    // stream follows the buffer to its new address, so whether the new
+    // allocation obtains a contiguity-conserved (coalescible) frame
+    // directly affects performance. Additionally, a random slice of
+    // another buffer is released to create the internal fragmentation
+    // CAC exists to clean up.
+    std::shared_ptr<std::function<void()>> churn_tick;
+    Rng churn_rng(config.seed * 31 + 7);
+    if (config.churn.enabled) {
+        churn_tick = std::make_shared<std::function<void()>>();
+        *churn_tick = [&apps, &manager, &events, &config, &churn_rng,
+                       churn_tick] {
+            std::vector<AppCtx *> live;
+            for (auto &ctx : apps) {
+                if (!ctx->finished && !ctx->layout->buffers().empty())
+                    live.push_back(ctx.get());
+            }
+            if (live.empty())
+                return;  // every application retired; stop ticking
+            AppCtx &app = *live[churn_rng.below(live.size())];
+            const AppId id = app.pageTable->appId();
+            const auto &bufs = app.layout->buffers();
+
+            // (1) Replace a random buffer at a fresh virtual address.
+            const std::size_t victim = churn_rng.below(bufs.size());
+            const auto &buf = bufs[victim];
+            manager->releaseRegion(id, buf.va, buf.bytes);
+            const Addr new_va = app.nextChurnVa;
+            app.nextChurnVa += roundUp(buf.bytes, kLargePageSize) +
+                               kLargePageSize;
+            app.layout->rebaseBuffer(victim, new_va);
+            manager->reserveRegion(id, new_va, buf.bytes);
+
+            // (2) Fragment another buffer: release a random slice of it
+            // (scratch data freed mid-kernel).
+            const auto &frag_buf = bufs[churn_rng.below(bufs.size())];
+            const auto slice = roundUp(
+                static_cast<std::uint64_t>(
+                    double(frag_buf.bytes) * config.churn.releaseFraction),
+                kBasePageSize);
+            if (slice < frag_buf.bytes) {
+                const Addr start = frag_buf.va + roundDown(
+                    churn_rng.below(frag_buf.bytes - slice),
+                    kBasePageSize);
+                manager->releaseRegion(id, start, slice);
+            }
+
+            events.scheduleAfter(config.churn.periodCycles,
+                                 [churn_tick] { (*churn_tick)(); });
+        };
+        events.scheduleAfter(config.churn.periodCycles,
+                             [churn_tick] { (*churn_tick)(); });
+    }
+
+    while (!all_finished && events.now() < config.maxCycles) {
+        if (!events.runOne())
+            MOSAIC_PANIC("simulation deadlocked: no events pending");
+    }
+    if (!all_finished)
+        MOSAIC_WARN("simulation hit maxCycles before completion");
+
+    // Harvest results.
+    SimResult result;
+    result.configLabel = config.label;
+    result.workloadName = workload.name;
+    result.totalCycles = events.now();
+    for (auto &ctx : apps) {
+        AppResult app;
+        app.name = ctx->params.name;
+        app.smCount = ctx->smCount;
+        app.finishCycle = ctx->finished ? ctx->finishAt : events.now();
+        for (const SmId sm : ctx->sms) {
+            app.instructions += gpu.sm(sm).stats().instructions;
+            app.farFaultStalls += gpu.sm(sm).stats().farFaultStalls;
+        }
+        app.ipc = safeRatio(double(app.instructions),
+                            double(app.finishCycle));
+        const auto xs = translation.appStats(ctx->pageTable->appId());
+        app.l1TlbHitRate = safeRatio(double(xs.l1Hits),
+                                     double(xs.requests));
+        app.pageWalks = xs.walks;
+        result.apps.push_back(std::move(app));
+    }
+
+    const Tlb::Stats &l2 = translation.l2Tlb().stats();
+    result.l1TlbHitRate = safeRatio(
+        double(translation.stats().l1Hits),
+        double(translation.stats().requests));
+    result.l2TlbHitRate = safeRatio(double(l2.hits()), double(l2.accesses()));
+    result.pageWalks = walker.stats().walks;
+    result.avgWalkLatency = walker.stats().latency.mean();
+    result.farFaults = pager.stats().farFaults;
+    result.pagedBytes = pager.stats().bytesTransferred;
+    result.mm = manager->stats();
+    result.allocatedBytes = std::max(peak_allocated,
+                                     manager->allocatedBytes());
+    if (auto *m = dynamic_cast<MosaicManager *>(manager.get())) {
+        result.coalescedHoleBytes =
+            std::max(peak_holes, m->coalescedHoleBytes());
+    }
+    std::uint64_t needed = 0;
+    for (const auto &ctx : apps) {
+        for (const auto &buf : ctx->layout->buffers())
+            needed += roundUp(buf.touchedBytes, kBasePageSize);
+    }
+    result.neededBytes = needed;
+    result.l1CacheHitRate = safeRatio(double(caches.stats().l1Hits),
+                                      double(caches.stats().l1Accesses));
+    result.l2CacheHitRate = safeRatio(double(caches.stats().l2Hits),
+                                      double(caches.stats().l2Accesses));
+    result.dramRowHits = dram.stats().rowHits;
+    result.dramRowMisses = dram.stats().rowMisses;
+    result.gpuStallCycles = gpu.totalStallCycles();
+    return result;
+}
+
+std::vector<double>
+aloneIpcs(const Workload &workload, const SimConfig &sharedConfig)
+{
+    // Memoized across calls: benchmark sweeps reuse the same denominators
+    // for dozens of configurations.
+    static std::map<std::string, double> cache;
+
+    const auto shares = Gpu::partitionSms(
+        sharedConfig.gpu.numSms,
+        static_cast<unsigned>(workload.apps.size()));
+
+    std::vector<double> ipcs;
+    for (std::size_t i = 0; i < workload.apps.size(); ++i) {
+        const AppParams &app = workload.apps[i];
+        const std::string key =
+            app.name + "#sm" + std::to_string(shares[i]) + "#i" +
+            std::to_string(app.instrPerWarp) + "#ws" +
+            std::to_string(app.workingSetBytes()) + "#w" +
+            std::to_string(sharedConfig.gpu.sm.warpsPerSm) + "#io" +
+            std::to_string(sharedConfig.pcie.bytesPerCycle) + "#p" +
+            std::to_string(sharedConfig.demandPaging ? 1 : 0);
+        const auto it = cache.find(key);
+        if (it != cache.end()) {
+            ipcs.push_back(it->second);
+            continue;
+        }
+
+        // The denominator runs under the baseline memory manager and
+        // TLB, but inherits the shared run's substrate (GPU, caches,
+        // DRAM, I/O bus, paging mode) so the ratio isolates sharing.
+        SimConfig alone_cfg = SimConfig::baseline();
+        alone_cfg.gpu = sharedConfig.gpu;
+        alone_cfg.gpu.numSms = shares[i];
+        alone_cfg.caches = sharedConfig.caches;
+        alone_cfg.dram = sharedConfig.dram;
+        alone_cfg.pcie = sharedConfig.pcie;
+        alone_cfg.walker = sharedConfig.walker;
+        alone_cfg.demandPaging = sharedConfig.demandPaging;
+        alone_cfg.chargePrefetchBus = sharedConfig.chargePrefetchBus;
+        alone_cfg.seed = sharedConfig.seed;
+        Workload alone_wl;
+        alone_wl.name = app.name + "-alone";
+        alone_wl.apps.push_back(app);
+        const SimResult r = runSimulation(alone_wl, alone_cfg);
+        const double ipc = r.apps[0].ipc;
+        cache[key] = ipc;
+        ipcs.push_back(ipc);
+    }
+    return ipcs;
+}
+
+double
+weightedSpeedupOf(const SimResult &result, const std::vector<double> &alone)
+{
+    std::vector<double> shared;
+    shared.reserve(result.apps.size());
+    for (const AppResult &app : result.apps)
+        shared.push_back(app.ipc);
+    return weightedSpeedup(shared, alone);
+}
+
+}  // namespace mosaic

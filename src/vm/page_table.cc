@@ -1,0 +1,244 @@
+#include "vm/page_table.h"
+
+#include "common/log.h"
+
+namespace mosaic {
+
+Addr
+RegionPtNodeAllocator::allocateNode()
+{
+    MOSAIC_ASSERT(next_ + kBasePageSize <= end_,
+                  "page-table node pool exhausted");
+    const Addr node = next_;
+    next_ += kBasePageSize;
+    used_ += kBasePageSize;
+    return node;
+}
+
+PageTable::PageTable(AppId app, PtNodeAllocator &nodeAllocator)
+    : app_(app), nodeAllocator_(nodeAllocator),
+      root_(std::make_unique<Node>())
+{
+    root_->physAddr = nodeAllocator_.allocateNode();
+    root_->children.resize(kFanout);
+}
+
+unsigned
+PageTable::levelIndex(Addr va, unsigned depth)
+{
+    // Depth 0 indexes bits [47:39], depth 3 indexes bits [20:12].
+    const unsigned shift = kBasePageBits + 9 * (kLevels - 1 - depth);
+    return static_cast<unsigned>((va >> shift) & (kFanout - 1));
+}
+
+PageTable::Node *
+PageTable::findLeafNode(Addr va) const
+{
+    const Node *node = root_.get();
+    for (unsigned depth = 0; depth < kLevels - 1; ++depth) {
+        const Node *child = node->children[levelIndex(va, depth)].get();
+        if (child == nullptr)
+            return nullptr;
+        node = child;
+    }
+    return const_cast<Node *>(node);
+}
+
+PageTable::Node *
+PageTable::findL3Node(Addr va) const
+{
+    const Node *node = root_.get();
+    for (unsigned depth = 0; depth < 2; ++depth) {
+        const Node *child = node->children[levelIndex(va, depth)].get();
+        if (child == nullptr)
+            return nullptr;
+        node = child;
+    }
+    return const_cast<Node *>(node);
+}
+
+PageTable::Node &
+PageTable::ensureLeafNode(Addr va)
+{
+    Node *node = root_.get();
+    for (unsigned depth = 0; depth < kLevels - 1; ++depth) {
+        auto &slot = node->children[levelIndex(va, depth)];
+        if (!slot) {
+            slot = std::make_unique<Node>();
+            slot->physAddr = nodeAllocator_.allocateNode();
+            if (depth + 1 == kLevels - 1) {
+                // New leaf (L4) node.
+                slot->leafPhys.assign(kFanout, kInvalidAddr);
+                slot->leafDisabled.assign(kFanout, false);
+                slot->leafResident.assign(kFanout, false);
+            } else {
+                slot->children.resize(kFanout);
+                if (depth + 1 == 2) {
+                    // New L3 node: one large bit per 2MB child region.
+                    slot->childLarge.assign(kFanout, false);
+                }
+            }
+        }
+        node = slot.get();
+    }
+    return *node;
+}
+
+void
+PageTable::mapBasePage(Addr va, Addr pa, bool resident)
+{
+    Node &leaf = ensureLeafNode(va);
+    const unsigned idx = levelIndex(va, kLevels - 1);
+    MOSAIC_ASSERT(leaf.leafPhys[idx] == kInvalidAddr,
+                  "double map of base page");
+    leaf.leafPhys[idx] = basePageBase(pa);
+    leaf.leafDisabled[idx] = false;
+    leaf.leafResident[idx] = resident;
+    ++mappedPages_;
+}
+
+void
+PageTable::markResident(Addr va)
+{
+    Node *leaf = findLeafNode(va);
+    MOSAIC_ASSERT(leaf != nullptr, "markResident on unmapped region");
+    const unsigned idx = levelIndex(va, kLevels - 1);
+    MOSAIC_ASSERT(leaf->leafPhys[idx] != kInvalidAddr,
+                  "markResident on unmapped page");
+    leaf->leafResident[idx] = true;
+}
+
+bool
+PageTable::isResident(Addr va) const
+{
+    const Node *leaf = findLeafNode(va);
+    if (leaf == nullptr)
+        return false;
+    const unsigned idx = levelIndex(va, kLevels - 1);
+    return leaf->leafPhys[idx] != kInvalidAddr && leaf->leafResident[idx];
+}
+
+void
+PageTable::unmapBasePage(Addr va)
+{
+    Node *leaf = findLeafNode(va);
+    MOSAIC_ASSERT(leaf != nullptr, "unmap of unmapped region");
+    const unsigned idx = levelIndex(va, kLevels - 1);
+    MOSAIC_ASSERT(leaf->leafPhys[idx] != kInvalidAddr,
+                  "unmap of unmapped base page");
+    leaf->leafPhys[idx] = kInvalidAddr;
+    leaf->leafDisabled[idx] = false;
+    leaf->leafResident[idx] = false;
+    --mappedPages_;
+}
+
+void
+PageTable::remapBasePage(Addr va, Addr newPa)
+{
+    Node *leaf = findLeafNode(va);
+    MOSAIC_ASSERT(leaf != nullptr, "remap of unmapped region");
+    const unsigned idx = levelIndex(va, kLevels - 1);
+    MOSAIC_ASSERT(leaf->leafPhys[idx] != kInvalidAddr,
+                  "remap of unmapped base page");
+    leaf->leafPhys[idx] = basePageBase(newPa);
+}
+
+bool
+PageTable::isMapped(Addr va) const
+{
+    const Node *leaf = findLeafNode(va);
+    if (leaf == nullptr)
+        return false;
+    return leaf->leafPhys[levelIndex(va, kLevels - 1)] != kInvalidAddr;
+}
+
+Translation
+PageTable::translate(Addr va) const
+{
+    const Node *leaf = findLeafNode(va);
+    if (leaf == nullptr)
+        return Translation{};
+    const Addr page = leaf->leafPhys[levelIndex(va, kLevels - 1)];
+    if (page == kInvalidAddr)
+        return Translation{};
+
+    Translation result;
+    result.valid = true;
+    result.resident = leaf->leafResident[levelIndex(va, kLevels - 1)];
+    result.physAddr = page + (va & (kBasePageSize - 1));
+    result.size = isCoalesced(va) ? PageSize::Large : PageSize::Base;
+    return result;
+}
+
+void
+PageTable::coalesce(Addr vaLargeBase)
+{
+    MOSAIC_ASSERT(isLargePageAligned(vaLargeBase),
+                  "coalesce target not large-page aligned");
+    Node *l3 = findL3Node(vaLargeBase);
+    MOSAIC_ASSERT(l3 != nullptr, "coalesce of unmapped region");
+    Node *leaf = findLeafNode(vaLargeBase);
+    MOSAIC_ASSERT(leaf != nullptr, "coalesce of unmapped region");
+
+    // Precondition check: all 512 base pages mapped, contiguous, and
+    // frame-aligned. This is the invariant CoCoA establishes; violating
+    // it here would silently corrupt translations, so verify.
+    const Addr frame_base = leaf->leafPhys[0];
+    MOSAIC_ASSERT(frame_base != kInvalidAddr &&
+                      isLargePageAligned(frame_base),
+                  "coalesce: frame not aligned/populated");
+    for (unsigned i = 0; i < kFanout; ++i) {
+        MOSAIC_ASSERT(leaf->leafPhys[i] == frame_base + i * kBasePageSize,
+                      "coalesce: base pages not contiguous in frame");
+    }
+
+    l3->childLarge[levelIndex(vaLargeBase, 2)] = true;
+    for (unsigned i = 0; i < kFanout; ++i)
+        leaf->leafDisabled[i] = true;
+}
+
+void
+PageTable::splinter(Addr vaLargeBase)
+{
+    MOSAIC_ASSERT(isLargePageAligned(vaLargeBase),
+                  "splinter target not large-page aligned");
+    Node *l3 = findL3Node(vaLargeBase);
+    Node *leaf = findLeafNode(vaLargeBase);
+    MOSAIC_ASSERT(l3 != nullptr && leaf != nullptr,
+                  "splinter of unmapped region");
+    l3->childLarge[levelIndex(vaLargeBase, 2)] = false;
+    for (unsigned i = 0; i < kFanout; ++i)
+        leaf->leafDisabled[i] = false;
+}
+
+bool
+PageTable::isCoalesced(Addr va) const
+{
+    const Node *l3 = findL3Node(va);
+    if (l3 == nullptr || l3->childLarge.empty())
+        return false;
+    return l3->childLarge[levelIndex(va, 2)];
+}
+
+std::array<Addr, PageTable::kLevels>
+PageTable::walkPath(Addr va) const
+{
+    std::array<Addr, kLevels> path;
+    path.fill(kInvalidAddr);
+    const Node *node = root_.get();
+    for (unsigned depth = 0; depth < kLevels; ++depth) {
+        const unsigned idx = levelIndex(va, depth);
+        path[depth] = node->physAddr + idx * 8;
+        if (depth == kLevels - 1)
+            break;
+        const Node *child = node->children[idx].get();
+        if (child == nullptr) {
+            // Remaining levels are absent; leave them invalid.
+            break;
+        }
+        node = child;
+    }
+    return path;
+}
+
+}  // namespace mosaic

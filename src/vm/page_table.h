@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Four-level radix page table with Mosaic's coalescing PTE bits.
+ *
+ * Layout mirrors x86-64: a 48-bit virtual address is translated through
+ * four levels of 512-entry nodes (9 bits each). Every node occupies one
+ * physical base page so the page-table walker can issue real memory
+ * accesses for each level. Mosaic extends the PTEs (paper §4.3, Fig. 7):
+ *
+ *  - L3 entries (one per 2MB region) carry a "large" bit; when set, the
+ *    region is coalesced and translates as a single 2MB page whose frame
+ *    base is read from the first L4 PTE beneath it.
+ *  - L4 entries (one per 4KB page) carry a "disabled" bit; set while the
+ *    surrounding region is coalesced to discourage caching base-page
+ *    translations for coalesced pages.
+ */
+
+#ifndef MOSAIC_VM_PAGE_TABLE_H
+#define MOSAIC_VM_PAGE_TABLE_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mosaic {
+
+/** Result of a functional translation. */
+struct Translation
+{
+    bool valid = false;
+    /** Data is resident in GPU memory; a valid-but-non-resident page has
+     *  a committed mapping whose data has not yet crossed the I/O bus
+     *  (an access to it raises a far-fault). */
+    bool resident = false;
+    Addr physAddr = kInvalidAddr;   ///< full physical address
+    PageSize size = PageSize::Base; ///< translation granularity
+};
+
+/** Hands out physical base pages to hold page-table nodes. */
+class PtNodeAllocator
+{
+  public:
+    virtual ~PtNodeAllocator() = default;
+
+    /** Returns the physical base address of a fresh 4KB node. */
+    virtual Addr allocateNode() = 0;
+};
+
+/** Trivial node allocator carving nodes from a fixed physical region. */
+class RegionPtNodeAllocator : public PtNodeAllocator
+{
+  public:
+    /** Carves nodes from [base, base+bytes). */
+    RegionPtNodeAllocator(Addr base, std::uint64_t bytes)
+        : next_(base), end_(base + bytes)
+    {
+    }
+
+    Addr allocateNode() override;
+
+    /** Bytes consumed so far. */
+    std::uint64_t bytesUsed() const { return used_; }
+
+  private:
+    Addr next_;
+    Addr end_;
+    std::uint64_t used_ = 0;
+};
+
+/**
+ * One application's page table.
+ *
+ * The table is both functional (translate()) and structural: each level's
+ * PTE has a physical address (walkPath()) that the timing walker reads
+ * through the memory hierarchy.
+ */
+class PageTable
+{
+  public:
+    /** Number of radix levels (L1 root .. L4 leaf, paper numbering). */
+    static constexpr unsigned kLevels = 4;
+
+    /** Entries per node (9 bits per level). */
+    static constexpr unsigned kFanout = 512;
+
+    PageTable(AppId app, PtNodeAllocator &nodeAllocator);
+
+    /** Owning application (address space identifier). */
+    AppId appId() const { return app_; }
+
+    /** Physical address of the root node (the PTBR contents). */
+    Addr rootAddr() const { return root_->physAddr; }
+
+    /**
+     * Maps virtual base page at @p va to physical base page @p pa.
+     * @p resident marks the data as already present in GPU memory;
+     * pass false when the mapping is committed ahead of the transfer
+     * (CoCoA reserves whole frames at allocation time).
+     */
+    void mapBasePage(Addr va, Addr pa, bool resident = true);
+
+    /** Marks the (mapped) base page at @p va resident. */
+    void markResident(Addr va);
+
+    /** True if the base page at @p va is mapped and resident. */
+    bool isResident(Addr va) const;
+
+    /** Unmaps the base page at @p va (must be mapped). */
+    void unmapBasePage(Addr va);
+
+    /** Remaps a mapped base page to a new physical page (compaction). */
+    void remapBasePage(Addr va, Addr newPa);
+
+    /** True if the base page containing @p va has a valid mapping. */
+    bool isMapped(Addr va) const;
+
+    /**
+     * Functional translation of @p va honoring the large bit.
+     * Returns an invalid Translation if the page is unmapped.
+     */
+    Translation translate(Addr va) const;
+
+    /**
+     * Sets the large bit on the L3 PTE covering @p va and the disabled
+     * bits on all L4 PTEs below it (the In-Place Coalescer's update).
+     * @pre every base page in the 2MB region is mapped and physically
+     * contiguous within a large-page-aligned frame.
+     */
+    void coalesce(Addr vaLargeBase);
+
+    /** Clears the large bit and all disabled bits (splintering). */
+    void splinter(Addr vaLargeBase);
+
+    /** True if the 2MB region containing @p va is coalesced. */
+    bool isCoalesced(Addr va) const;
+
+    /**
+     * Physical addresses of the PTEs the walker reads to translate @p va,
+     * root level first. Levels that do not exist yet (unmapped region)
+     * hold kInvalidAddr; the walker faults at the first invalid level.
+     */
+    std::array<Addr, kLevels> walkPath(Addr va) const;
+
+    /** Number of mapped base pages. */
+    std::uint64_t mappedPages() const { return mappedPages_; }
+
+  private:
+    struct Node
+    {
+        Addr physAddr = kInvalidAddr;
+        /// Interior nodes: child pointer per slot.
+        std::vector<std::unique_ptr<Node>> children;
+        /// L3 (depth-2) nodes: Mosaic large bit per child slot.
+        std::vector<bool> childLarge;
+        /// Leaf (L4) nodes: physical base page per slot (kInvalidAddr =
+        /// unmapped) and the Mosaic disabled bit.
+        std::vector<Addr> leafPhys;
+        std::vector<bool> leafDisabled;
+        std::vector<bool> leafResident;
+    };
+
+    /** 9-bit index of @p va at radix depth @p depth (0 = root). */
+    static unsigned levelIndex(Addr va, unsigned depth);
+
+    /** Leaf node covering @p va, or nullptr if absent. */
+    Node *findLeafNode(Addr va) const;
+
+    /** Depth-2 (L3) node covering @p va, or nullptr if absent. */
+    Node *findL3Node(Addr va) const;
+
+    /** Creates interior nodes down to the leaf covering @p va. */
+    Node &ensureLeafNode(Addr va);
+
+    AppId app_;
+    PtNodeAllocator &nodeAllocator_;
+    std::unique_ptr<Node> root_;
+    std::uint64_t mappedPages_ = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_VM_PAGE_TABLE_H

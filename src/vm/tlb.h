@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Translation lookaside buffer with split base/large-page entry arrays.
+ *
+ * Each TLB level keeps two separate structures (paper §2.2): one array of
+ * base-page (4KB) translations and one of large-page (2MB) translations.
+ * Entries are tagged with an address-space identifier so multiple
+ * applications can share the L2 TLB safely.
+ */
+
+#ifndef MOSAIC_VM_TLB_H
+#define MOSAIC_VM_TLB_H
+
+#include <cstdint>
+
+#include "cache/set_assoc_cache.h"
+#include "common/types.h"
+
+namespace mosaic {
+
+/** Geometry of one TLB level. */
+struct TlbConfig
+{
+    std::size_t baseEntries = 128;
+    std::size_t baseWays = 0;    ///< 0 = fully associative
+    std::size_t largeEntries = 16;
+    std::size_t largeWays = 0;   ///< 0 = fully associative
+    Cycles latencyCycles = 1;
+    unsigned ports = 1;          ///< accesses accepted per cycle
+};
+
+/** One TLB level (used for both the per-SM L1s and the shared L2). */
+class Tlb
+{
+  public:
+    /** Hit/miss counters, split by page-size class. */
+    struct Stats
+    {
+        std::uint64_t baseAccesses = 0;
+        std::uint64_t baseHits = 0;
+        std::uint64_t largeAccesses = 0;
+        std::uint64_t largeHits = 0;
+
+        std::uint64_t accesses() const { return baseAccesses + largeAccesses; }
+        std::uint64_t hits() const { return baseHits + largeHits; }
+    };
+
+    explicit Tlb(const TlbConfig &config)
+        : config_(config),
+          base_(setsFor(config.baseEntries, config.baseWays),
+                waysFor(config.baseEntries, config.baseWays)),
+          large_(setsFor(config.largeEntries, config.largeWays),
+                 waysFor(config.largeEntries, config.largeWays))
+    {
+    }
+
+    /** Looks up a base-page translation; updates recency. */
+    bool
+    lookupBase(AppId app, std::uint64_t baseVpn)
+    {
+        ++stats_.baseAccesses;
+        const bool hit = base_.access(key(app, baseVpn));
+        stats_.baseHits += hit ? 1 : 0;
+        return hit;
+    }
+
+    /** Looks up a large-page translation; updates recency. */
+    bool
+    lookupLarge(AppId app, std::uint64_t largeVpn)
+    {
+        ++stats_.largeAccesses;
+        const bool hit = large_.access(key(app, largeVpn));
+        stats_.largeHits += hit ? 1 : 0;
+        return hit;
+    }
+
+    /** Installs a base-page translation (no-op if already present). */
+    void
+    fillBase(AppId app, std::uint64_t baseVpn)
+    {
+        const std::uint64_t k = key(app, baseVpn);
+        if (!base_.contains(k))
+            base_.insert(k);
+    }
+
+    /** Installs a large-page translation (no-op if already present). */
+    void
+    fillLarge(AppId app, std::uint64_t largeVpn)
+    {
+        const std::uint64_t k = key(app, largeVpn);
+        if (!large_.contains(k))
+            large_.insert(k);
+    }
+
+    /** Removes one large-page translation (splinter shootdown). */
+    bool
+    flushLarge(AppId app, std::uint64_t largeVpn)
+    {
+        return large_.invalidate(key(app, largeVpn));
+    }
+
+    /** Removes one base-page translation (compaction shootdown). */
+    bool
+    flushBase(AppId app, std::uint64_t baseVpn)
+    {
+        return base_.invalidate(key(app, baseVpn));
+    }
+
+    /** Removes every translation belonging to @p app. */
+    void
+    flushApp(AppId app)
+    {
+        auto matches = [app](std::uint64_t k) {
+            return static_cast<AppId>(k >> kAppShift) == app;
+        };
+        base_.invalidateIf(matches);
+        large_.invalidateIf(matches);
+    }
+
+    /** Removes everything (full shootdown). */
+    void
+    flushAll()
+    {
+        base_.flush();
+        large_.flush();
+    }
+
+    /** Access latency of this level. */
+    Cycles latency() const { return config_.latencyCycles; }
+
+    /** Statistics. */
+    const Stats &stats() const { return stats_; }
+
+    /** Resets statistics (e.g., after warmup). */
+    void resetStats() { stats_ = Stats{}; }
+
+    /** Number of valid base entries (tests/debug). */
+    std::size_t baseOccupancy() const { return base_.occupancy(); }
+
+    /** Number of valid large entries (tests/debug). */
+    std::size_t largeOccupancy() const { return large_.occupancy(); }
+
+  private:
+    static constexpr unsigned kAppShift = 44;
+
+    static std::uint64_t
+    key(AppId app, std::uint64_t vpn)
+    {
+        return (static_cast<std::uint64_t>(app) << kAppShift) | vpn;
+    }
+
+    static std::size_t
+    setsFor(std::size_t entries, std::size_t ways)
+    {
+        return ways == 0 ? 1 : entries / ways;
+    }
+
+    static std::size_t
+    waysFor(std::size_t entries, std::size_t ways)
+    {
+        return ways == 0 ? entries : ways;
+    }
+
+    TlbConfig config_;
+    SetAssocCache base_;
+    SetAssocCache large_;
+    Stats stats_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_VM_TLB_H

@@ -1,0 +1,191 @@
+#include "vm/translation.h"
+
+namespace mosaic {
+
+namespace {
+
+/** MSHR key combining address space and base-page number. */
+std::uint64_t
+missKey(AppId app, Addr va)
+{
+    return (static_cast<std::uint64_t>(app) << 44) | basePageNumber(va);
+}
+
+}  // namespace
+
+TranslationService::TranslationService(EventQueue &events,
+                                       PageTableWalker &walker,
+                                       unsigned numSms,
+                                       const TranslationConfig &config)
+    : events_(events), walker_(walker), config_(config), l2_(config.l2)
+{
+    l1_.reserve(numSms);
+    mshrs_.reserve(numSms);
+    for (unsigned i = 0; i < numSms; ++i) {
+        l1_.emplace_back(config.l1);
+        mshrs_.emplace_back(0);
+    }
+}
+
+Tlb::Stats
+TranslationService::l1StatsTotal() const
+{
+    Tlb::Stats total;
+    for (const Tlb &tlb : l1_) {
+        total.baseAccesses += tlb.stats().baseAccesses;
+        total.baseHits += tlb.stats().baseHits;
+        total.largeAccesses += tlb.stats().largeAccesses;
+        total.largeHits += tlb.stats().largeHits;
+    }
+    return total;
+}
+
+void
+TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
+                              TranslateCallback onDone)
+{
+    ++stats_.requests;
+    const AppId app = pageTable.appId();
+    AppStats &app_stats = perApp_[app];
+    ++app_stats.requests;
+
+    if (config_.idealTlb) {
+        // Every request hits in the L1 TLB; unbacked pages still fault.
+        ++stats_.l1Hits;
+        ++app_stats.l1Hits;
+        events_.scheduleAfter(config_.l1.latencyCycles,
+                              [this, &pageTable, va,
+                               cb = std::move(onDone)] {
+            const Translation t = pageTable.translate(va);
+            if (!t.valid)
+                ++stats_.faults;
+            cb(t);
+        });
+        return;
+    }
+
+    // L1 probe: large-page entries first (a hit there skips the base
+    // probe), then base-page entries.
+    Tlb &l1 = l1_[sm];
+    const bool l1_hit = l1.lookupLarge(app, largePageNumber(va)) ||
+                        l1.lookupBase(app, basePageNumber(va));
+    if (l1_hit) {
+        ++stats_.l1Hits;
+        ++app_stats.l1Hits;
+        events_.scheduleAfter(config_.l1.latencyCycles,
+                              [this, &pageTable, va,
+                               cb = std::move(onDone)] {
+            const Translation t = pageTable.translate(va);
+            if (!t.valid)
+                ++stats_.faults;
+            cb(t);
+        });
+        return;
+    }
+
+    // Register in the per-SM MSHR so concurrent misses to one page merge
+    // into a single L2/walk sequence.
+    const std::uint64_t key = missKey(app, va);
+    const auto outcome = mshrs_[sm].registerMiss(
+        key, [this, &pageTable, va, cb = std::move(onDone)] {
+            const Translation t = pageTable.translate(va);
+            if (!t.valid)
+                ++stats_.faults;
+            cb(t);
+        });
+    if (outcome != MshrFile::Outcome::NewMiss) {
+        ++stats_.mshrMerges;
+        return;
+    }
+
+    events_.scheduleAfter(config_.l1.latencyCycles,
+                          [this, sm, &pageTable, va] {
+        missToL2(sm, pageTable, va);
+    });
+}
+
+void
+TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
+{
+    // Port contention: the shared L2 TLB accepts config_.l2.ports
+    // lookups per cycle; excess lookups queue.
+    const Cycles now = events_.now();
+    if (l2NextIssueAt_ < now) {
+        l2NextIssueAt_ = now;
+        l2IssuesThisCycle_ = 0;
+    }
+    ++l2IssuesThisCycle_;
+    if (l2IssuesThisCycle_ >= config_.l2.ports) {
+        ++l2NextIssueAt_;
+        l2IssuesThisCycle_ = 0;
+    }
+    const Cycles queue_delay = l2NextIssueAt_ - now;
+
+    events_.scheduleAfter(queue_delay + config_.l2.latencyCycles,
+                          [this, sm, &pageTable, va] {
+        const AppId app = pageTable.appId();
+        const std::uint64_t key = missKey(app, va);
+
+        if (l2_.lookupLarge(app, largePageNumber(va))) {
+            ++stats_.l2Hits;
+            ++perApp_[app].l2Hits;
+            l1_[sm].fillLarge(app, largePageNumber(va));
+            mshrs_[sm].fill(key);
+            return;
+        }
+        if (l2_.lookupBase(app, basePageNumber(va))) {
+            ++stats_.l2Hits;
+            ++perApp_[app].l2Hits;
+            l1_[sm].fillBase(app, basePageNumber(va));
+            mshrs_[sm].fill(key);
+            return;
+        }
+
+        ++stats_.walksIssued;
+        ++perApp_[app].walks;
+        walker_.requestWalk(pageTable, va,
+                            [this, sm, &pageTable, va,
+                             key](const Translation &result) {
+            fillFromWalk(sm, pageTable, va, result);
+            mshrs_[sm].fill(key);
+        });
+    });
+}
+
+void
+TranslationService::fillFromWalk(SmId sm, const PageTable &pageTable,
+                                 Addr va, const Translation &result)
+{
+    if (!result.valid)
+        return;  // faulting walks install nothing
+    const AppId app = pageTable.appId();
+    if (result.size == PageSize::Large) {
+        // Coalesced pages fill only large-page arrays so they never
+        // compete with uncoalesced pages for base-page TLB capacity.
+        l2_.fillLarge(app, largePageNumber(va));
+        l1_[sm].fillLarge(app, largePageNumber(va));
+    } else {
+        l2_.fillBase(app, basePageNumber(va));
+        l1_[sm].fillBase(app, basePageNumber(va));
+    }
+}
+
+void
+TranslationService::shootdownLarge(AppId app, Addr vaLargeBase)
+{
+    const std::uint64_t vpn = largePageNumber(vaLargeBase);
+    for (Tlb &tlb : l1_)
+        tlb.flushLarge(app, vpn);
+    l2_.flushLarge(app, vpn);
+}
+
+void
+TranslationService::shootdownBase(AppId app, Addr vaBase)
+{
+    const std::uint64_t vpn = basePageNumber(vaBase);
+    for (Tlb &tlb : l1_)
+        tlb.flushBase(app, vpn);
+    l2_.flushBase(app, vpn);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The full address-translation service: per-SM L1 TLBs, the shared L2
+ * TLB, and the page-table walker, glued together with per-SM MSHRs.
+ *
+ * Lookup order per the paper (§4.3): probe large-page entries first, then
+ * base-page entries; on an L1 miss the shared L2 TLB is probed after its
+ * access latency (plus port contention); on an L2 miss the walker runs.
+ * Fills from coalesced pages go only into large-page arrays so coalesced
+ * translations never consume scarce base-page TLB entries.
+ */
+
+#ifndef MOSAIC_VM_TRANSLATION_H
+#define MOSAIC_VM_TRANSLATION_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/mshr.h"
+#include "common/types.h"
+#include "engine/event_queue.h"
+#include "vm/page_table.h"
+#include "vm/tlb.h"
+#include "vm/walker.h"
+
+namespace mosaic {
+
+/** Translation-path configuration. */
+struct TranslationConfig
+{
+    TlbConfig l1;  ///< per-SM level (defaults: 128 base / 16 large, 1cy)
+    TlbConfig l2;  ///< shared level (defaults set in constructor arg)
+    bool idealTlb = false;  ///< every request hits in the L1 TLB
+
+    TranslationConfig()
+    {
+        l1.baseEntries = 128;
+        l1.largeEntries = 16;
+        l1.latencyCycles = 1;
+        l2.baseEntries = 512;
+        l2.baseWays = 16;
+        l2.largeEntries = 256;
+        l2.largeWays = 0;
+        l2.latencyCycles = 10;
+        l2.ports = 2;
+    }
+};
+
+/** Shared translation machinery for the whole GPU. */
+class TranslationService
+{
+  public:
+    using TranslateCallback = std::function<void(const Translation &)>;
+
+    /** Cross-level statistics (Fig. 13's inputs). */
+    struct Stats
+    {
+        std::uint64_t requests = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t walksIssued = 0;
+        std::uint64_t mshrMerges = 0;
+        std::uint64_t faults = 0;
+    };
+
+    /** Per-address-space statistics (the paper's Fig. 10 analysis of
+     *  TLB-sensitive vs memory-intensive co-runners needs these). */
+    struct AppStats
+    {
+        std::uint64_t requests = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t walks = 0;
+    };
+
+    TranslationService(EventQueue &events, PageTableWalker &walker,
+                       unsigned numSms, const TranslationConfig &config);
+
+    /**
+     * Translates @p va for @p sm in address space @p pageTable.appId().
+     * @p onDone receives the translation; invalid means a far-fault must
+     * be taken by the caller before retrying.
+     */
+    void translate(SmId sm, const PageTable &pageTable, Addr va,
+                   TranslateCallback onDone);
+
+    /**
+     * Shoots down the large-page entry for @p vaLargeBase in every TLB
+     * level (required when a coalesced page is splintered, §4.4).
+     */
+    void shootdownLarge(AppId app, Addr vaLargeBase);
+
+    /** Shoots down one base-page entry everywhere (page migration). */
+    void shootdownBase(AppId app, Addr vaBase);
+
+    /** Per-SM L1 TLB (exposed for tests and reporting). */
+    const Tlb &l1Tlb(SmId sm) const { return l1_[sm]; }
+
+    /** Shared L2 TLB. */
+    const Tlb &l2Tlb() const { return l2_; }
+
+    /** Aggregate L1 statistics summed over SMs. */
+    Tlb::Stats l1StatsTotal() const;
+
+    /** Service statistics. */
+    const Stats &stats() const { return stats_; }
+
+    /** Statistics of one address space (zeros if it never translated). */
+    AppStats
+    appStats(AppId app) const
+    {
+        const auto it = perApp_.find(app);
+        return it == perApp_.end() ? AppStats{} : it->second;
+    }
+
+    /** True when configured as an ideal TLB. */
+    bool ideal() const { return config_.idealTlb; }
+
+  private:
+    void missToL2(SmId sm, const PageTable &pageTable, Addr va);
+    void fillFromWalk(SmId sm, const PageTable &pageTable, Addr va,
+                      const Translation &result);
+
+    EventQueue &events_;
+    PageTableWalker &walker_;
+    TranslationConfig config_;
+    std::vector<Tlb> l1_;
+    Tlb l2_;
+    Cycles l2NextIssueAt_ = 0;
+    unsigned l2IssuesThisCycle_ = 0;
+    std::vector<MshrFile> mshrs_;  ///< per-SM, keyed by (app, base vpn)
+    Stats stats_;
+    std::unordered_map<AppId, AppStats> perApp_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_VM_TRANSLATION_H

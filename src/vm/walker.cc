@@ -1,0 +1,121 @@
+#include "vm/walker.h"
+
+namespace mosaic {
+
+PageTableWalker::PageTableWalker(EventQueue &events, CacheHierarchy &memory,
+                                 const WalkerConfig &config)
+    : events_(events), memory_(memory), config_(config)
+{
+    if (config_.usePageWalkCache) {
+        pwc_ = std::make_unique<SetAssocCache>(1, config_.pwcEntries);
+    }
+}
+
+void
+PageTableWalker::requestWalk(const PageTable &pageTable, Addr va,
+                             WalkCallback onDone)
+{
+    Walk walk{&pageTable, va, std::move(onDone), events_.now()};
+    if (active_ >= config_.maxConcurrentWalks) {
+        ++stats_.queued;
+        queue_.push_back(std::move(walk));
+        return;
+    }
+    startWalk(std::move(walk));
+}
+
+void
+PageTableWalker::startWalk(Walk walk)
+{
+    ++active_;
+    ++stats_.walks;
+    auto shared = std::make_shared<Walk>(std::move(walk));
+    // Snapshot the walk path and coalescing state at walk start; the
+    // runtime never changes mappings under an in-flight access (CAC
+    // stalls the GPU during compaction), so the snapshot stays valid.
+    const auto path = shared->pageTable->walkPath(shared->va);
+    const bool coalesced = shared->pageTable->isCoalesced(shared->va);
+    step(shared, path, 0, coalesced);
+}
+
+void
+PageTableWalker::step(std::shared_ptr<Walk> walk,
+                      std::array<Addr, PageTable::kLevels> path,
+                      unsigned depth, bool coalesced)
+{
+    if (depth >= PageTable::kLevels) {
+        finish(walk, false);
+        return;
+    }
+
+    const Addr pte_addr = path[depth];
+    if (pte_addr == kInvalidAddr) {
+        // The previous level's PTE was invalid: page fault.
+        finish(walk, true);
+        return;
+    }
+
+    // Upper levels (root..L3) may hit in the page-walk cache; leaf-level
+    // PTEs always go to memory, as in CPU walkers.
+    const bool pwc_eligible =
+        pwc_ != nullptr && depth < PageTable::kLevels - 1;
+    const std::uint64_t pte_line = pte_addr / kCacheLineSize;
+    if (pwc_eligible && pwc_->access(pte_line)) {
+        ++stats_.pwcHits;
+        events_.scheduleAfter(config_.pwcLatencyCycles,
+                              [this, walk, path, depth, coalesced] {
+            advanceAfterRead(walk, path, depth, coalesced);
+        });
+        return;
+    }
+    if (pwc_eligible)
+        ++stats_.pwcMisses;
+
+    auto on_read = [this, walk, path, depth, coalesced, pwc_eligible,
+                    pte_line] {
+        if (pwc_eligible && !pwc_->contains(pte_line))
+            pwc_->insert(pte_line);
+        advanceAfterRead(walk, path, depth, coalesced);
+    };
+    if (config_.pteInDram)
+        memory_.accessDram(pte_addr, false, std::move(on_read));
+    else
+        memory_.accessFromL2(pte_addr, false, std::move(on_read));
+}
+
+void
+PageTableWalker::advanceAfterRead(
+    std::shared_ptr<Walk> walk, std::array<Addr, PageTable::kLevels> path,
+    unsigned depth, bool coalesced)
+{
+    // On a coalesced region the L3 PTE (depth 2) has the large bit set;
+    // the walker then reads only the first L4 PTE to obtain the large
+    // frame number (paper Fig. 7). That read is the depth-3 access, after
+    // which the walk completes with a large-page translation, exactly the
+    // same number of accesses as a base walk but yielding 2MB reach.
+    step(std::move(walk), path, depth + 1, coalesced);
+}
+
+void
+PageTableWalker::finish(const std::shared_ptr<Walk> &walk, bool faulted)
+{
+    Translation result;
+    if (!faulted)
+        result = walk->pageTable->translate(walk->va);
+    if (!result.valid)
+        ++stats_.faults;
+    else if (result.size == PageSize::Large)
+        ++stats_.largeResults;
+    stats_.latency.record(events_.now() - walk->startedAt);
+
+    --active_;
+    if (!queue_.empty()) {
+        Walk next = std::move(queue_.front());
+        queue_.pop_front();
+        startWalk(std::move(next));
+    }
+
+    walk->onDone(result);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Highly-threaded page-table walker shared by all SMs.
+ *
+ * Matches the GPU-MMU baseline (paper §3.1, Fig. 2): up to 64 concurrent
+ * walks; each walk performs one dependent memory access per page-table
+ * level, served by the shared L2 cache / DRAM. On a coalesced region the
+ * walk reads the L3 PTE (large bit set) plus the first L4 PTE, from which
+ * it extracts the large-page frame number (paper §4.3, Fig. 7b). An
+ * optional page-walk cache can short-circuit upper-level accesses; the
+ * baseline disables it in favor of a larger shared L2 TLB.
+ */
+
+#ifndef MOSAIC_VM_WALKER_H
+#define MOSAIC_VM_WALKER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "cache/hierarchy.h"
+#include "cache/set_assoc_cache.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "engine/event_queue.h"
+#include "vm/page_table.h"
+
+namespace mosaic {
+
+/** Walker capacity and options. */
+struct WalkerConfig
+{
+    unsigned maxConcurrentWalks = 64;
+    bool usePageWalkCache = false;  ///< cache upper-level PTE lines
+    std::size_t pwcEntries = 64;
+    Cycles pwcLatencyCycles = 1;
+    /**
+     * When true (default), PTE reads go straight to DRAM. At the paper's
+     * working-set scale the page tables far exceed the 2MB L2 cache, so
+     * PT lines rarely survive there; the scaled-down synthetic workloads
+     * would otherwise cache the whole page table and make walks
+     * unrealistically cheap. Set false to route walks through the L2
+     * cache (the literal Fig. 2 path, appropriate for full-size runs).
+     */
+    bool pteInDram = true;
+};
+
+/** The shared multi-walk page-table walker. */
+class PageTableWalker
+{
+  public:
+    using WalkCallback = std::function<void(const Translation &)>;
+
+    /** Walker statistics. */
+    struct Stats
+    {
+        std::uint64_t walks = 0;
+        std::uint64_t queued = 0;       ///< walks that waited for a slot
+        std::uint64_t faults = 0;       ///< walks ending at an unmapped page
+        std::uint64_t largeResults = 0; ///< walks resolving to a large page
+        std::uint64_t pwcHits = 0;
+        std::uint64_t pwcMisses = 0;
+        Histogram latency{64, 128};     ///< cycles per completed walk
+    };
+
+    PageTableWalker(EventQueue &events, CacheHierarchy &memory,
+                    const WalkerConfig &config);
+
+    /**
+     * Starts (or queues) a walk of @p va through @p pageTable.
+     * @p onDone receives the final translation; an invalid translation
+     * means a page fault (the page is not resident).
+     */
+    void requestWalk(const PageTable &pageTable, Addr va,
+                     WalkCallback onDone);
+
+    /** Number of walks currently executing. */
+    unsigned activeWalks() const { return active_; }
+
+    /** Number of walks waiting for a free walker slot. */
+    std::size_t queuedWalks() const { return queue_.size(); }
+
+    /** Statistics. */
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Walk
+    {
+        const PageTable *pageTable;
+        Addr va;
+        WalkCallback onDone;
+        Cycles startedAt = 0;
+    };
+
+    void startWalk(Walk walk);
+    void step(std::shared_ptr<Walk> walk,
+              std::array<Addr, PageTable::kLevels> path, unsigned depth,
+              bool coalesced);
+    void advanceAfterRead(std::shared_ptr<Walk> walk,
+                          std::array<Addr, PageTable::kLevels> path,
+                          unsigned depth, bool coalesced);
+    void finish(const std::shared_ptr<Walk> &walk, bool faulted);
+
+    EventQueue &events_;
+    CacheHierarchy &memory_;
+    WalkerConfig config_;
+    unsigned active_ = 0;
+    std::deque<Walk> queue_;
+    std::unique_ptr<SetAssocCache> pwc_;
+    Stats stats_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_VM_WALKER_H

@@ -1,0 +1,151 @@
+#include "workload/access_pattern.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mosaic {
+
+AppParams
+AppParams::scaled(double factor) const
+{
+    AppParams out = *this;
+    for (std::uint64_t &size : out.bufferSizes) {
+        // Never shrink a buffer below two large pages (unless it already
+        // was smaller): scaling must not destroy the 2MB chunk structure
+        // that CoCoA's contiguity-conserving allocation relies on.
+        const std::uint64_t floor_bytes =
+            std::min<std::uint64_t>(size, 2 * kLargePageSize);
+        size = std::max<std::uint64_t>(
+            floor_bytes,
+            roundUp(static_cast<std::uint64_t>(double(size) * factor),
+                    kBasePageSize));
+    }
+    out.hotBytes = std::max<std::uint64_t>(
+        kBasePageSize,
+        static_cast<std::uint64_t>(double(hotBytes) * factor));
+    const double instr_factor = factor < 1.0 ? std::sqrt(factor) : 1.0;
+    out.instrPerWarp = std::max<std::uint64_t>(
+        200, static_cast<std::uint64_t>(double(instrPerWarp) * instr_factor));
+    return out;
+}
+
+AppLayout::AppLayout(const AppParams &params, Addr vaBase)
+    : vaBase_(vaBase)
+{
+    MOSAIC_ASSERT(isLargePageAligned(vaBase), "layout base not aligned");
+    Addr cursor = vaBase;
+    buffers_.reserve(params.bufferSizes.size());
+    for (const std::uint64_t size : params.bufferSizes) {
+        const std::uint64_t touched = std::max<std::uint64_t>(
+            kCacheLineSize,
+            roundDown(static_cast<std::uint64_t>(
+                          double(size) * params.touchedFraction),
+                      kCacheLineSize));
+        buffers_.push_back(Buffer{cursor, size, touched});
+        touchedPrefix_.push_back(totalTouched_);
+        totalTouched_ += touched;
+        // Buffers are placed at large-page-aligned virtual addresses.
+        cursor += roundUp(size, kLargePageSize);
+    }
+    vaEnd_ = cursor;
+}
+
+void
+AppLayout::rebaseBuffer(std::size_t idx, Addr newVa)
+{
+    MOSAIC_ASSERT(idx < buffers_.size(), "rebase of unknown buffer");
+    MOSAIC_ASSERT(isLargePageAligned(newVa), "rebase target unaligned");
+    buffers_[idx].va = newVa;
+}
+
+Addr
+AppLayout::touchedOffsetToVa(std::uint64_t offset) const
+{
+    offset %= totalTouched_;
+    // Find the last buffer whose prefix is <= offset.
+    const auto it = std::upper_bound(touchedPrefix_.begin(),
+                                     touchedPrefix_.end(), offset);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - touchedPrefix_.begin()) - 1;
+    return buffers_[idx].va + (offset - touchedPrefix_[idx]);
+}
+
+SyntheticWarpStream::SyntheticWarpStream(const AppParams &params,
+                                         const AppLayout &layout,
+                                         unsigned warpIndex,
+                                         unsigned totalWarps,
+                                         std::uint64_t seed)
+    : params_(params), layout_(layout), rng_(seed),
+      computeLeft_(params.computePerMem)
+{
+    // Spread warps evenly through the touched space so the application
+    // collectively sweeps its whole working set.
+    cursor_ = (layout_.totalTouched() / std::max(1u, totalWarps)) *
+              warpIndex;
+    cursor_ = roundDown(cursor_, kCacheLineSize);
+}
+
+bool
+SyntheticWarpStream::next(WarpInstr &out)
+{
+    if (issued_ >= params_.instrPerWarp)
+        return false;
+    ++issued_;
+
+    if (computeLeft_ > 0) {
+        --computeLeft_;
+        out = WarpInstr{};
+        out.isMemory = false;
+        out.computeLatency = rng_.between(params_.computeMin,
+                                          params_.computeMax);
+        return true;
+    }
+
+    computeLeft_ = params_.computePerMem;
+    emitMemory(out);
+    return true;
+}
+
+void
+SyntheticWarpStream::emitMemory(WarpInstr &out)
+{
+    out = WarpInstr{};
+    out.isMemory = true;
+    out.isStore = rng_.chance(params_.storeFraction);
+    const unsigned lines = std::min(params_.linesPerMem, kMaxLinesPerInstr);
+    out.numLines = lines;
+
+    if (rng_.chance(params_.seqFraction)) {
+        // Streaming: consecutive (strided) lines from this warp's cursor.
+        const std::uint64_t step = params_.strideLines * kCacheLineSize;
+        for (unsigned i = 0; i < lines; ++i) {
+            out.lineAddrs[i] =
+                layout_.touchedOffsetToVa(cursor_ + i * step);
+        }
+        cursor_ = (cursor_ + lines * step) % layout_.totalTouched();
+    } else {
+        // Hot-set random with memory divergence: the warp's threads
+        // scatter, so every coalesced line lands in its own random page
+        // of the hot region. This is what makes irregular GPGPU kernels
+        // TLB-intensive: one warp instruction can demand several
+        // translations at once (paper §1).
+        const std::uint64_t hot = std::min(params_.hotBytes,
+                                           layout_.totalTouched());
+        const std::uint64_t hot_pages =
+            std::max<std::uint64_t>(1, hot / kBasePageSize);
+        const std::uint64_t lines_per_page =
+            kBasePageSize / kCacheLineSize;
+        for (unsigned i = 0; i < lines; ++i) {
+            const std::uint64_t page_off =
+                rng_.below(hot_pages) * kBasePageSize;
+            const std::uint64_t line_off =
+                rng_.below(lines_per_page) * kCacheLineSize;
+            out.lineAddrs[i] =
+                layout_.touchedOffsetToVa(page_off + line_off);
+        }
+    }
+}
+
+}  // namespace mosaic

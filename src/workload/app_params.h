@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Parameters describing one synthetic GPGPU application.
+ *
+ * The paper evaluates 27 real applications from Parboil, SHOC, Rodinia,
+ * LULESH, and the CUDA SDK on GPGPU-Sim. Running those binaries is not
+ * possible here, so each application is modeled by a parameterized
+ * synthetic workload that reproduces the properties Mosaic is sensitive
+ * to: en masse allocation of many buffers, working-set size (10-362MB,
+ * mean ~81.5MB across the suite), page-level locality (streaming vs.
+ * hot-set random access), memory intensity, and coalescing degree.
+ */
+
+#ifndef MOSAIC_WORKLOAD_APP_PARAMS_H
+#define MOSAIC_WORKLOAD_APP_PARAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mosaic {
+
+/** Synthetic model of one GPGPU application. */
+struct AppParams
+{
+    std::string name;
+
+    /** Buffer sizes allocated en masse at kernel launch (bytes). */
+    std::vector<std::uint64_t> bufferSizes;
+
+    /** Leading fraction of each buffer the kernel actually touches. */
+    double touchedFraction = 1.0;
+
+    /** Size of the hot region that random accesses concentrate on. */
+    std::uint64_t hotBytes = 16ull << 20;
+
+    /** Probability a memory access streams sequentially (vs. hot random). */
+    double seqFraction = 0.7;
+
+    /** Lines skipped between consecutive streaming accesses. */
+    unsigned strideLines = 1;
+
+    /** Compute instructions issued between memory instructions. */
+    unsigned computePerMem = 4;
+
+    /** Uniform range of per-compute-instruction latency (cycles). */
+    Cycles computeMin = 2;
+    Cycles computeMax = 10;
+
+    /** Coalesced cache lines per memory instruction (<= 8). */
+    unsigned linesPerMem = 4;
+
+    /** Fraction of memory instructions that are stores. */
+    double storeFraction = 0.2;
+
+    /** Instructions retired per warp before it exits. */
+    std::uint64_t instrPerWarp = 3000;
+
+    /** Total bytes requested by the application. */
+    std::uint64_t
+    workingSetBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const std::uint64_t b : bufferSizes)
+            total += b;
+        return total;
+    }
+
+    /**
+     * Returns a copy with buffers and the hot set shrunk by @p factor
+     * (instruction budget shrinks by sqrt so reuse per page rises only
+     * mildly). Used by the fast benchmark profile.
+     */
+    AppParams scaled(double factor) const;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_WORKLOAD_APP_PARAMS_H

@@ -1,0 +1,146 @@
+#include "workload/apps.h"
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace mosaic {
+
+std::vector<std::uint64_t>
+makeBuffers(std::uint64_t seed, std::uint64_t totalBytes, unsigned bigCount,
+            double bigFraction, unsigned smallCount)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(bigCount + smallCount);
+
+    const auto big_total =
+        static_cast<std::uint64_t>(double(totalBytes) * bigFraction);
+    for (unsigned i = 0; i < bigCount; ++i) {
+        // Jitter big buffers +-20% around the even split so their tails
+        // fall at varied offsets within 2MB chunks.
+        const double jitter = 0.8 + 0.4 * rng.uniform();
+        const auto bytes = static_cast<std::uint64_t>(
+            double(big_total) / bigCount * jitter);
+        sizes.push_back(roundUp(std::max<std::uint64_t>(bytes, 1),
+                                kBasePageSize));
+    }
+
+    const std::uint64_t small_total = totalBytes - big_total;
+    for (unsigned i = 0; i < smallCount; ++i) {
+        const double jitter = 0.25 + 1.5 * rng.uniform();
+        const auto bytes = static_cast<std::uint64_t>(
+            double(small_total) / std::max(1u, smallCount) * jitter);
+        sizes.push_back(roundUp(std::max<std::uint64_t>(bytes, 1),
+                                kBasePageSize));
+    }
+    return sizes;
+}
+
+namespace {
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+/** Compact row describing one application. */
+struct AppSpec
+{
+    const char *name;
+    unsigned wsMB;
+    unsigned bigBufs;
+    double bigFraction;
+    unsigned smallBufs;
+    unsigned hotMB;
+    double seqFraction;
+    unsigned computePerMem;
+    Cycles computeMin;
+    Cycles computeMax;
+    unsigned linesPerMem;
+    double storeFraction;
+    double touchedFraction;
+};
+
+AppParams
+fromSpec(const AppSpec &s, std::uint64_t seed)
+{
+    AppParams p;
+    p.name = s.name;
+    p.bufferSizes = makeBuffers(seed, s.wsMB * kMB, s.bigBufs,
+                                s.bigFraction, s.smallBufs);
+    p.hotBytes = std::uint64_t(s.hotMB) * kMB;
+    p.seqFraction = s.seqFraction;
+    p.computePerMem = s.computePerMem;
+    p.computeMin = s.computeMin;
+    p.computeMax = s.computeMax;
+    p.linesPerMem = s.linesPerMem;
+    p.storeFraction = s.storeFraction;
+    p.touchedFraction = s.touchedFraction;
+    p.instrPerWarp = 3000;
+    return p;
+}
+
+std::vector<AppParams>
+buildCatalog()
+{
+    // name           ws  big bigF   sm hot  seq  cpm cMn cMx ln  st   touch
+    const AppSpec specs[] = {
+        // Parboil
+        {"SAD",        58, 3, 0.93, 7, 16, 0.90, 5, 2, 10, 1, 0.20, 0.95},
+        {"BFS",        37, 2, 0.93, 10, 24, 0.25, 3, 2,  8, 4, 0.10, 0.90},
+        {"HISTO",      20, 2, 0.93, 12, 16, 0.30, 6, 4, 14, 4, 0.45, 0.95},
+        {"SPMV",       48, 3, 0.93, 8, 32, 0.40, 2, 2,  6, 4, 0.10, 0.95},
+        {"MRIQ",       10, 1, 0.93, 17,  8, 0.95, 8, 4, 16, 1, 0.10, 1.00},
+        {"SGEMM",      36, 3, 0.93, 5, 12, 0.85, 6, 3, 12, 2, 0.15, 1.00},
+        {"TPACF",      28, 2, 0.93, 10, 20, 0.35, 7, 4, 14, 4, 0.05, 0.95},
+        {"STENCIL",    49, 2, 0.93, 4, 16, 0.90, 4, 2, 10, 2, 0.35, 1.00},
+        {"LBM",       362, 8, 0.93, 5, 64, 0.92, 3, 2,  8, 2, 0.45, 0.90},
+        {"CUTCP",      21, 2, 0.93, 7, 12, 0.60, 8, 4, 16, 4, 0.10, 0.95},
+        // SHOC
+        {"MD",         90, 3, 0.93, 8, 32, 0.50, 6, 3, 12, 4, 0.10, 0.90},
+        {"RED",        64, 2, 0.93, 4, 16, 0.95, 3, 2,  8, 2, 0.05, 1.00},
+        {"SCAN",       72, 3, 0.93, 4, 16, 0.95, 3, 2,  8, 2, 0.30, 1.00},
+        {"TRD",        96, 3, 0.93, 4, 16, 0.97, 2, 2,  6, 2, 0.30, 1.00},
+        {"FFT",       120, 4, 0.93, 5, 40, 0.70, 4, 2, 10, 1, 0.40, 0.95},
+        {"SORT",       80, 3, 0.93, 5, 48, 0.60, 3, 2,  8, 4, 0.45, 1.00},
+        // LULESH
+        {"LUL",       142, 6, 0.93, 14, 48, 0.55, 6, 3, 14, 4, 0.30, 0.85},
+        // Rodinia
+        {"BP",         54, 3, 0.93, 5, 16, 0.80, 4, 2, 10, 1, 0.30, 1.00},
+        {"PATH",       38, 2, 0.93, 4, 12, 0.85, 4, 2, 10, 1, 0.20, 1.00},
+        {"HS",         45, 3, 0.93, 7, 40, 0.50, 8, 4, 16, 4, 0.30, 0.95},
+        {"SRAD",       60, 3, 0.93, 5, 20, 0.80, 5, 3, 12, 1, 0.30, 0.95},
+        {"GAUSS",      42, 2, 0.93, 5, 16, 0.70, 5, 3, 12, 1, 0.25, 1.00},
+        {"NW",         33, 2, 0.93, 7, 33, 0.30, 1, 1,  4, 4, 0.25, 1.00},
+        {"LUD",        26, 2, 0.93, 5, 12, 0.60, 6, 3, 12, 4, 0.25, 1.00},
+        {"KMEANS",    140, 4, 0.93, 7, 64, 0.50, 4, 2, 10, 4, 0.10, 0.90},
+        // CUDA SDK
+        {"CONS",      105, 3, 0.93, 4, 48, 0.85, 1, 1,  4, 2, 0.30, 1.00},
+        {"SCP",        30, 2, 0.93, 5, 10, 0.90, 3, 2,  8, 1, 0.10, 1.00},
+    };
+
+    std::vector<AppParams> catalog;
+    catalog.reserve(std::size(specs));
+    std::uint64_t seed = 0xC0FFEE;
+    for (const AppSpec &spec : specs)
+        catalog.push_back(fromSpec(spec, seed++));
+    return catalog;
+}
+
+}  // namespace
+
+const std::vector<AppParams> &
+appCatalog()
+{
+    static const std::vector<AppParams> catalog = buildCatalog();
+    return catalog;
+}
+
+const AppParams &
+appByName(const std::string &name)
+{
+    for (const AppParams &app : appCatalog()) {
+        if (app.name == name)
+            return app;
+    }
+    MOSAIC_FATAL("unknown application: " + name);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Catalog of the 27 synthetic GPGPU applications (paper §5).
+ *
+ * The names mirror the Parboil, SHOC, LULESH, Rodinia, and CUDA SDK
+ * applications the paper evaluates; the parameters encode each program's
+ * qualitative memory behavior (working set, locality, intensity) rather
+ * than its exact instruction mix. Working sets span 10MB-362MB with a
+ * mean close to the paper's 81.5MB.
+ */
+
+#ifndef MOSAIC_WORKLOAD_APPS_H
+#define MOSAIC_WORKLOAD_APPS_H
+
+#include <vector>
+
+#include "workload/app_params.h"
+
+namespace mosaic {
+
+/** Returns the full 27-application catalog, in a stable order. */
+const std::vector<AppParams> &appCatalog();
+
+/** Looks an application up by name (fatal if absent). */
+const AppParams &appByName(const std::string &name);
+
+/**
+ * Builds a buffer-size list summing to roughly @p totalBytes:
+ * @p bigCount large buffers carry @p bigFraction of the total; the rest
+ * splits into small buffers (64KB..2MB), which is what drives large-page
+ * internal fragmentation. Deterministic in @p seed.
+ */
+std::vector<std::uint64_t> makeBuffers(std::uint64_t seed,
+                                       std::uint64_t totalBytes,
+                                       unsigned bigCount,
+                                       double bigFraction,
+                                       unsigned smallCount);
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_WORKLOAD_APPS_H

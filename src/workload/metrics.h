@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multi-application performance metrics (paper §5, eq. 1).
+ */
+
+#ifndef MOSAIC_WORKLOAD_METRICS_H
+#define MOSAIC_WORKLOAD_METRICS_H
+
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace mosaic {
+
+/**
+ * Weighted speedup: sum over applications of IPC_shared / IPC_alone,
+ * where IPC_alone is measured on the same number of SMs under the
+ * baseline configuration without sharing.
+ */
+inline double
+weightedSpeedup(const std::vector<double> &ipcShared,
+                const std::vector<double> &ipcAlone)
+{
+    MOSAIC_ASSERT(ipcShared.size() == ipcAlone.size(),
+                  "mismatched IPC vectors");
+    double total = 0.0;
+    for (std::size_t i = 0; i < ipcShared.size(); ++i)
+        total += safeRatio(ipcShared[i], ipcAlone[i]);
+    return total;
+}
+
+/** Arithmetic mean of a non-empty vector (0 for empty). */
+inline double
+mean(const std::vector<double> &values)
+{
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return values.empty() ? 0.0 : sum / double(values.size());
+}
+
+/** Geometric mean of positive values (0 for empty). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(std::max(v, 1e-12));
+    return std::exp(log_sum / double(values.size()));
+}
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_WORKLOAD_METRICS_H

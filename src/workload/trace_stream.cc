@@ -1,0 +1,83 @@
+#include "workload/trace_stream.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace mosaic {
+
+std::shared_ptr<TraceFile>
+TraceFile::parse(std::istream &in)
+{
+    auto trace = std::make_shared<TraceFile>();
+    std::vector<WarpInstr> *current = nullptr;
+    std::string line;
+    std::size_t line_no = 0;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::istringstream fields(line);
+        std::string op;
+        if (!(fields >> op) || op[0] == '#')
+            continue;
+
+        if (op == "W") {
+            std::size_t idx = 0;
+            if (!(fields >> idx))
+                MOSAIC_FATAL("trace line " + std::to_string(line_no) +
+                             ": W needs a warp index");
+            if (trace->warps_.size() <= idx)
+                trace->warps_.resize(idx + 1);
+            current = &trace->warps_[idx];
+            continue;
+        }
+
+        if (current == nullptr) {
+            MOSAIC_FATAL("trace line " + std::to_string(line_no) +
+                         ": instruction before any W record");
+        }
+
+        WarpInstr instr;
+        if (op == "C") {
+            std::uint64_t latency = 1;
+            if (!(fields >> latency))
+                MOSAIC_FATAL("trace line " + std::to_string(line_no) +
+                             ": C needs a latency");
+            instr.isMemory = false;
+            instr.computeLatency = latency;
+        } else if (op == "L" || op == "S") {
+            instr.isMemory = true;
+            instr.isStore = op == "S";
+            std::string addr;
+            while (fields >> addr) {
+                if (instr.numLines >= kMaxLinesPerInstr) {
+                    MOSAIC_FATAL("trace line " + std::to_string(line_no) +
+                                 ": more than 8 line addresses");
+                }
+                instr.lineAddrs[instr.numLines++] =
+                    std::stoull(addr, nullptr, 16);
+            }
+            if (instr.numLines == 0) {
+                MOSAIC_FATAL("trace line " + std::to_string(line_no) +
+                             ": memory instruction with no addresses");
+            }
+        } else {
+            MOSAIC_FATAL("trace line " + std::to_string(line_no) +
+                         ": unknown op '" + op + "'");
+        }
+        current->push_back(instr);
+    }
+    return trace;
+}
+
+std::shared_ptr<TraceFile>
+TraceFile::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        MOSAIC_FATAL("cannot open trace file: " + path);
+    return parse(in);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,74 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "workload/apps.h"
+
+namespace mosaic {
+
+Workload
+homogeneousWorkload(const std::string &appName, unsigned copies)
+{
+    Workload w;
+    w.name = appName + "-x" + std::to_string(copies);
+    const AppParams &app = appByName(appName);
+    for (unsigned i = 0; i < copies; ++i)
+        w.apps.push_back(app);
+    return w;
+}
+
+Workload
+heterogeneousWorkload(unsigned numApps, std::uint64_t seed)
+{
+    const auto &catalog = appCatalog();
+    MOSAIC_ASSERT(numApps <= catalog.size(),
+                  "more apps requested than the catalog holds");
+    Rng rng(seed);
+    std::vector<std::size_t> picks;
+    while (picks.size() < numApps) {
+        const std::size_t idx = rng.below(catalog.size());
+        if (std::find(picks.begin(), picks.end(), idx) == picks.end())
+            picks.push_back(idx);
+    }
+
+    Workload w;
+    for (const std::size_t idx : picks) {
+        if (!w.name.empty())
+            w.name += "-";
+        w.name += catalog[idx].name;
+        w.apps.push_back(catalog[idx]);
+    }
+    return w;
+}
+
+std::vector<Workload>
+homogeneousSuite(unsigned copies)
+{
+    std::vector<Workload> suite;
+    for (const AppParams &app : appCatalog())
+        suite.push_back(homogeneousWorkload(app.name, copies));
+    return suite;
+}
+
+std::vector<Workload>
+heterogeneousSuite(unsigned numApps, unsigned count, std::uint64_t seed)
+{
+    std::vector<Workload> suite;
+    for (unsigned i = 0; i < count; ++i)
+        suite.push_back(heterogeneousWorkload(numApps, seed + i * 977));
+    return suite;
+}
+
+Workload
+scaledWorkload(const Workload &workload, double factor)
+{
+    Workload out;
+    out.name = workload.name;
+    for (const AppParams &app : workload.apps)
+        out.apps.push_back(app.scaled(factor));
+    return out;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-application workload construction (paper §5).
+ *
+ * Homogeneous workloads run N copies of one application (27 workloads
+ * per concurrency level); heterogeneous workloads run N distinct
+ * randomly-chosen applications (25 per level). Seeds make the random
+ * compositions reproducible.
+ */
+
+#ifndef MOSAIC_WORKLOAD_WORKLOAD_H
+#define MOSAIC_WORKLOAD_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "workload/app_params.h"
+
+namespace mosaic {
+
+/** One multi-application workload. */
+struct Workload
+{
+    std::string name;
+    std::vector<AppParams> apps;
+
+    /** Combined working set in bytes. */
+    std::uint64_t
+    workingSetBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const AppParams &app : apps)
+            total += app.workingSetBytes();
+        return total;
+    }
+};
+
+/** N copies of the named catalog application. */
+Workload homogeneousWorkload(const std::string &appName, unsigned copies);
+
+/** N distinct catalog applications chosen by @p seed. */
+Workload heterogeneousWorkload(unsigned numApps, std::uint64_t seed);
+
+/** All 27 homogeneous workloads at one concurrency level. */
+std::vector<Workload> homogeneousSuite(unsigned copies);
+
+/** @p count heterogeneous workloads at one concurrency level. */
+std::vector<Workload> heterogeneousSuite(unsigned numApps, unsigned count,
+                                         std::uint64_t seed);
+
+/** Applies AppParams::scaled() to every app of @p workload. */
+Workload scaledWorkload(const Workload &workload, double factor);
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_WORKLOAD_WORKLOAD_H

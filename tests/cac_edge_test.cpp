@@ -1,0 +1,166 @@
+/** @file Edge-case tests for CAC's reclaim paths: alien consolidation,
+ *  stale emergency entries, and the last-resort allocation paths. */
+
+#include <gtest/gtest.h>
+
+#include "mm/mosaic_manager.h"
+#include "vm/page_table.h"
+
+namespace mosaic {
+namespace {
+
+constexpr Addr kVaA = 1ull << 40;
+constexpr Addr kVaB = 2ull << 40;
+
+struct Rig
+{
+    RegionPtNodeAllocator alloc{1ull << 33, 256ull << 20};
+    MosaicManager mgr;
+    PageTable ptA{0, alloc};
+    PageTable ptB{1, alloc};
+
+    explicit Rig(std::size_t frames, MosaicConfig cfg = {})
+        : mgr(0, frames * kLargePageSize, cfg)
+    {
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, ptA);
+        mgr.registerApp(1, ptB);
+    }
+
+    void
+    populate(AppId app, Addr va, std::uint64_t bytes)
+    {
+        mgr.reserveRegion(app, va, bytes);
+        for (Addr p = va; p < va + bytes; p += kBasePageSize)
+            ASSERT_TRUE(mgr.backPage(app, p));
+    }
+};
+
+TEST(CacEdgeTest, AlienConsolidationFreesFrames)
+{
+    Rig rig(16);
+    // Every frame 25% alien: no free frames at all.
+    rig.mgr.injectFragmentation(1.0, 0.25, 3);
+    ASSERT_TRUE(rig.mgr.state().freeFrames.empty());
+
+    // A chunk reservation forces reclaim: CAC consolidates alien pages
+    // to empty a frame, and the chunk coalesces there.
+    rig.mgr.reserveRegion(0, kVaA, kLargePageSize);
+    EXPECT_TRUE(rig.ptA.isCoalesced(kVaA));
+    EXPECT_GE(rig.mgr.stats().migrations, 1u);
+    EXPECT_GE(rig.mgr.stats().compactions, 1u);
+}
+
+TEST(CacEdgeTest, NoCacMeansNoAlienConsolidation)
+{
+    MosaicConfig cfg;
+    cfg.cac.enabled = false;
+    Rig rig(16, cfg);
+    rig.mgr.injectFragmentation(1.0, 0.25, 3);
+    rig.mgr.reserveRegion(0, kVaA, kLargePageSize);
+    // Without CAC the chunk cannot obtain a frame; faults land in the
+    // alien frames' holes as loose base pages instead.
+    EXPECT_FALSE(rig.ptA.isCoalesced(kVaA));
+    EXPECT_TRUE(rig.mgr.backPage(0, kVaA));
+    EXPECT_TRUE(rig.ptA.isMapped(kVaA));
+    EXPECT_EQ(rig.mgr.stats().migrations, 0u);
+}
+
+TEST(CacEdgeTest, AlienConsolidationRespectsOccupancyThreshold)
+{
+    MosaicConfig cfg;
+    cfg.cac.occupancyThresholdPages = 64;  // only near-empty frames move
+    Rig rig(8, cfg);
+    rig.mgr.injectFragmentation(1.0, 0.5, 3);  // 256 aliens per frame
+    rig.mgr.reserveRegion(0, kVaA, kLargePageSize);
+    // 256 > threshold 64: no frame qualifies for consolidation.
+    EXPECT_FALSE(rig.ptA.isCoalesced(kVaA));
+    EXPECT_EQ(rig.mgr.stats().compactions, 0u);
+}
+
+TEST(CacEdgeTest, StaleEmergencyEntriesAreSkipped)
+{
+    MosaicConfig cfg;
+    cfg.cac.occupancyThresholdPages = kBasePagesPerLargePage / 2;
+    Rig rig(4, cfg);
+    rig.populate(0, kVaA, kLargePageSize);
+    // Park the frame on the emergency list (small release)...
+    rig.mgr.releaseRegion(0, kVaA, kLargePageSize / 16);
+    ASSERT_EQ(rig.mgr.state().emergencyFrames.size(), 1u);
+    // ...then release everything: the frame retires normally and the
+    // emergency entry becomes stale.
+    rig.mgr.releaseRegion(0, kVaA, kLargePageSize);
+
+    // Exhaust memory so reclaim() has to walk the emergency list; the
+    // stale entry must be skipped without crashing or double-freeing.
+    rig.populate(1, kVaB, 4 * kLargePageSize);
+    EXPECT_TRUE(rig.mgr.backPage(1, kVaB));
+    EXPECT_EQ(rig.mgr.stats().emergencySplinters, 0u);
+}
+
+TEST(CacEdgeTest, RepopulatedChunkRecoalesces)
+{
+    MosaicConfig cfg;
+    cfg.cac.occupancyThresholdPages = kBasePagesPerLargePage / 2;
+    cfg.cac.enabled = false;  // keep the frame parked, not compacted
+    Rig rig(8, cfg);
+    rig.populate(0, kVaA, kLargePageSize);
+    ASSERT_TRUE(rig.ptA.isCoalesced(kVaA));
+
+    // Fragment it below nothing -- release a slice, then re-demand it.
+    rig.mgr.releaseRegion(0, kVaA, kLargePageSize / 4);
+    ASSERT_TRUE(rig.ptA.isCoalesced(kVaA));  // above threshold, parked
+    for (Addr p = kVaA; p < kVaA + kLargePageSize / 4; p += kBasePageSize)
+        ASSERT_TRUE(rig.mgr.backPage(0, p));
+    // Pages return to their predetermined slots: still one contiguous,
+    // coalesced frame.
+    EXPECT_TRUE(rig.ptA.isCoalesced(kVaA));
+    const Addr base = basePageBase(rig.ptA.translate(kVaA).physAddr);
+    EXPECT_EQ(rig.ptA.translate(kVaA + 5 * kBasePageSize).physAddr,
+              base + 5 * kBasePageSize);
+}
+
+TEST(CacEdgeTest, SplinteredChunkRecoalescesAfterRefill)
+{
+    MosaicConfig cfg;
+    cfg.cac.occupancyThresholdPages = kBasePagesPerLargePage / 2;
+    Rig rig(8, cfg);
+    rig.populate(0, kVaA, kLargePageSize);
+    // Release most of it: splinter; compaction finds no destinations
+    // (no loose frames), so the pages stay in place.
+    rig.mgr.releaseRegion(0, kVaA, (kLargePageSize * 3) / 4);
+    ASSERT_FALSE(rig.ptA.isCoalesced(kVaA));
+
+    // Re-demand the released range: slots refill, frame re-coalesces.
+    for (Addr p = kVaA; p < kVaA + (kLargePageSize * 3) / 4;
+         p += kBasePageSize)
+        ASSERT_TRUE(rig.mgr.backPage(0, p));
+    EXPECT_TRUE(rig.ptA.isCoalesced(kVaA));
+    EXPECT_EQ(rig.mgr.stats().coalesceOps, 2u);
+}
+
+TEST(CacEdgeTest, LastResortAllocationInAlienHoles)
+{
+    Rig rig(4);
+    rig.mgr.injectFragmentation(1.0, 0.9, 3);  // nearly-full alien frames
+    // Consolidation cannot empty a 460-page frame into 51-page holes;
+    // loose allocation must fall back to the holes themselves.
+    rig.mgr.reserveRegion(0, kVaA, 8 * kBasePageSize);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_TRUE(rig.mgr.backPage(0, kVaA + i * kBasePageSize));
+    EXPECT_TRUE(rig.ptA.isResident(kVaA));
+}
+
+TEST(CacEdgeTest, TrueOutOfMemoryReturnsFalse)
+{
+    Rig rig(1);
+    rig.mgr.reserveRegion(0, kVaA, kLargePageSize);  // consumes the frame
+    rig.mgr.reserveRegion(0, kVaB, 8 * kBasePageSize);
+    // The only frame is fully committed to the coalesced chunk; loose
+    // allocation has nowhere to go.
+    EXPECT_FALSE(rig.mgr.backPage(0, kVaB));
+    EXPECT_GE(rig.mgr.stats().outOfFrames, 1u);
+}
+
+}  // namespace
+}  // namespace mosaic

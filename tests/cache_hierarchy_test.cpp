@@ -1,0 +1,149 @@
+/** @file Unit tests for the two-level cache hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.h"
+#include "dram/dram.h"
+#include "engine/event_queue.h"
+
+namespace mosaic {
+namespace {
+
+struct Rig
+{
+    EventQueue ev;
+    DramModel dram;
+    CacheHierarchy caches;
+
+    explicit Rig(CacheHierarchyConfig cfg = smallConfig())
+        : dram(ev, DramConfig{}), caches(ev, dram, cfg)
+    {
+    }
+
+    static CacheHierarchyConfig
+    smallConfig()
+    {
+        CacheHierarchyConfig c;
+        c.numSms = 2;
+        c.l1Bytes = 1024;  // 8 lines
+        c.l1Ways = 2;
+        c.l2Bytes = 16 * 1024;
+        c.l2Banks = 2;
+        return c;
+    }
+
+    Cycles
+    timedAccess(SmId sm, Addr addr, bool write = false)
+    {
+        Cycles done = 0;
+        caches.access(sm, addr, write, [&] { done = ev.now(); });
+        ev.runAll();
+        return done;
+    }
+};
+
+TEST(CacheHierarchyTest, ColdMissGoesToDram)
+{
+    Rig rig;
+    const Cycles start = rig.ev.now();
+    const Cycles done = rig.timedAccess(0, 0);
+    // interconnect + L2 + DRAM + interconnect: well above L1 latency.
+    EXPECT_GT(done - start, 100u);
+    EXPECT_EQ(rig.caches.stats().l1Hits, 0u);
+    EXPECT_EQ(rig.caches.stats().l2Hits, 0u);
+    EXPECT_EQ(rig.dram.stats().reads, 1u);
+}
+
+TEST(CacheHierarchyTest, SecondAccessHitsL1)
+{
+    Rig rig;
+    rig.timedAccess(0, 0);
+    const Cycles t0 = rig.ev.now();
+    const Cycles done = rig.timedAccess(0, 0);
+    EXPECT_EQ(done - t0, rig.caches.config().l1LatencyCycles);
+    EXPECT_EQ(rig.caches.stats().l1Hits, 1u);
+}
+
+TEST(CacheHierarchyTest, OtherSmHitsSharedL2)
+{
+    Rig rig;
+    rig.timedAccess(0, 0);
+    rig.timedAccess(1, 0);
+    EXPECT_EQ(rig.caches.stats().l2Hits, 1u);
+    EXPECT_EQ(rig.dram.stats().reads, 1u);  // no second DRAM read
+}
+
+TEST(CacheHierarchyTest, ConcurrentMissesToOneLineMergeInMshr)
+{
+    Rig rig;
+    int completions = 0;
+    for (int i = 0; i < 4; ++i)
+        rig.caches.access(0, 0, false, [&] { ++completions; });
+    rig.ev.runAll();
+    EXPECT_EQ(completions, 4);
+    EXPECT_EQ(rig.dram.stats().reads, 1u);
+}
+
+TEST(CacheHierarchyTest, DirtyEvictionWritesBack)
+{
+    Rig rig;
+    // L1 is 8 lines, 2-way, 4 sets: lines 0, 4, 8... collide in set 0.
+    rig.timedAccess(0, 0, /*write=*/true);
+    rig.timedAccess(0, 4 * kCacheLineSize);
+    rig.timedAccess(0, 8 * kCacheLineSize);  // evicts dirty line 0
+    EXPECT_GE(rig.caches.stats().writebacks, 1u);
+}
+
+TEST(CacheHierarchyTest, WalkerPathSkipsL1)
+{
+    Rig rig;
+    Cycles done = 0;
+    rig.caches.accessFromL2(0, false, [&] { done = rig.ev.now(); });
+    rig.ev.runAll();
+    EXPECT_EQ(rig.caches.stats().l1Accesses, 0u);
+    EXPECT_EQ(rig.caches.stats().l2Accesses, 1u);
+    EXPECT_GT(done, 0u);
+}
+
+TEST(CacheHierarchyTest, AccessDramBypassesCaches)
+{
+    Rig rig;
+    Cycles done = 0;
+    rig.caches.accessDram(0, false, [&] { done = rig.ev.now(); });
+    rig.ev.runAll();
+    EXPECT_EQ(rig.caches.stats().l1Accesses, 0u);
+    EXPECT_EQ(rig.caches.stats().l2Accesses, 0u);
+    EXPECT_EQ(rig.dram.stats().reads, 1u);
+    EXPECT_GT(done, 0u);
+}
+
+TEST(CacheHierarchyTest, L2BanksSelectedByLine)
+{
+    Rig rig;
+    // Consecutive lines alternate banks; both should be L2 misses that
+    // overlap in time (no shared-bank serialization assertion here, just
+    // completion sanity).
+    int completions = 0;
+    rig.caches.access(0, 0, false, [&] { ++completions; });
+    rig.caches.access(0, kCacheLineSize, false, [&] { ++completions; });
+    rig.ev.runAll();
+    EXPECT_EQ(completions, 2);
+}
+
+TEST(CacheHierarchyTest, ManyRandomAccessesDrainCompletely)
+{
+    Rig rig;
+    Rng rng(5);
+    int completions = 0;
+    const int total = 1000;
+    for (int i = 0; i < total; ++i) {
+        rig.caches.access(static_cast<SmId>(rng.below(2)),
+                          rng.below(1 << 20), rng.chance(0.3),
+                          [&] { ++completions; });
+    }
+    rig.ev.runAll();
+    EXPECT_EQ(completions, total);
+}
+
+}  // namespace
+}  // namespace mosaic

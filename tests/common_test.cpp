@@ -1,0 +1,152 @@
+/** @file Unit tests for common utilities: types, RNG, stats, tables. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace mosaic {
+namespace {
+
+TEST(TypesTest, PageConstantsAreConsistent)
+{
+    EXPECT_EQ(kBasePageSize, 4096u);
+    EXPECT_EQ(kLargePageSize, 2u * 1024 * 1024);
+    EXPECT_EQ(kBasePagesPerLargePage, 512u);
+    EXPECT_EQ(1ull << kBasePageBits, kBasePageSize);
+    EXPECT_EQ(1ull << kLargePageBits, kLargePageSize);
+}
+
+TEST(TypesTest, PageArithmetic)
+{
+    const Addr addr = (5ull << kLargePageBits) + (17ull << kBasePageBits) + 123;
+    EXPECT_EQ(basePageNumber(addr), (5ull << 9) + 17);
+    EXPECT_EQ(largePageNumber(addr), 5u);
+    EXPECT_EQ(basePageBase(addr), addr - 123);
+    EXPECT_EQ(largePageBase(addr), 5ull << kLargePageBits);
+    EXPECT_EQ(basePageIndexInLargePage(addr), 17u);
+    EXPECT_FALSE(isLargePageAligned(addr));
+    EXPECT_TRUE(isLargePageAligned(largePageBase(addr)));
+}
+
+TEST(TypesTest, Rounding)
+{
+    EXPECT_EQ(roundUp(1, 4096), 4096u);
+    EXPECT_EQ(roundUp(4096, 4096), 4096u);
+    EXPECT_EQ(roundUp(4097, 4096), 8192u);
+    EXPECT_EQ(roundDown(4097, 4096), 4096u);
+    EXPECT_EQ(roundDown(4095, 4096), 0u);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(RngTest, BetweenIsInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.between(3, 6));
+    EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5, 6}));
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(HistogramTest, RecordsMeanMaxAndBuckets)
+{
+    Histogram h(10, 5);
+    h.record(5);
+    h.record(15);
+    h.record(25);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_EQ(h.max(), 25u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+}
+
+TEST(HistogramTest, OverflowGoesToLastBucket)
+{
+    Histogram h(10, 3);
+    h.record(1000);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(HistogramTest, ResetClearsEverything)
+{
+    Histogram h(10, 3);
+    h.record(7);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, PercentileApproximation)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(v);
+    EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(90), 90.0, 2.0);
+}
+
+TEST(SafeRatioTest, HandlesZeroDenominator)
+{
+    EXPECT_EQ(safeRatio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(1.0, 2.0), 0.5);
+}
+
+TEST(TextTableTest, FormatsNumbers)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::pct(0.5), "50.0%");
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,172 @@
+/** @file Unit tests for the PCIe bus model and the demand pager. */
+
+#include <gtest/gtest.h>
+
+#include "engine/event_queue.h"
+#include "iobus/demand_paging.h"
+#include "iobus/pcie.h"
+#include "mm/gpu_mmu_manager.h"
+#include "mm/large_only_manager.h"
+
+namespace mosaic {
+namespace {
+
+TEST(PcieTest, BasePageLoadToUseMatchesGtx1080Measurement)
+{
+    EventQueue ev;
+    PcieBus bus(ev, PcieConfig{});
+    Cycles done = 0;
+    bus.transfer(kBasePageSize, [&] { done = ev.now(); });
+    ev.runAll();
+    // 55us at 1020MHz = ~56100 cycles; allow 3% tolerance.
+    EXPECT_NEAR(double(done), 56100.0, 0.03 * 56100.0);
+}
+
+TEST(PcieTest, LargePageLoadToUseMatchesGtx1080Measurement)
+{
+    EventQueue ev;
+    PcieBus bus(ev, PcieConfig{});
+    Cycles done = 0;
+    bus.transfer(kLargePageSize, [&] { done = ev.now(); });
+    ev.runAll();
+    // 318us at 1020MHz = ~324360 cycles; allow 3% tolerance.
+    EXPECT_NEAR(double(done), 324360.0, 0.03 * 324360.0);
+}
+
+TEST(PcieTest, TransfersSerializeOnTheDataBus)
+{
+    EventQueue ev;
+    PcieBus bus(ev, PcieConfig{});
+    Cycles first = 0, second = 0;
+    bus.transfer(kLargePageSize, [&] { first = ev.now(); });
+    bus.transfer(kLargePageSize, [&] { second = ev.now(); });
+    ev.runAll();
+    // The second transfer's data waits for the first's bus occupancy,
+    // but the fixed overheads overlap.
+    EXPECT_GT(second, first);
+    EXPECT_LT(second - first, first);
+    EXPECT_EQ(bus.stats().transfers, 2u);
+    EXPECT_EQ(bus.stats().bytes, 2 * kLargePageSize);
+}
+
+struct PagerRig
+{
+    EventQueue ev;
+    PcieBus bus{ev, PcieConfig{}};
+    RegionPtNodeAllocator alloc{1ull << 33, 64ull << 20};
+    GpuMmuManager mgr{0, 64 * kLargePageSize};
+    PageTable pt{0, alloc};
+    DemandPager pager{ev, bus, mgr};
+
+    PagerRig()
+    {
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+        mgr.reserveRegion(0, 1ull << 40, 1ull << 24);
+    }
+};
+
+TEST(DemandPagerTest, FaultBacksPageAfterTransfer)
+{
+    PagerRig rig;
+    const Addr va = 1ull << 40;
+    bool resolved = false;
+    rig.pager.handleFarFault(rig.pt, va, [&] { resolved = true; });
+    EXPECT_FALSE(rig.pt.isMapped(va));  // not until the transfer lands
+    rig.ev.runAll();
+    EXPECT_TRUE(resolved);
+    EXPECT_TRUE(rig.pt.isResident(va));
+    EXPECT_EQ(rig.pager.stats().farFaults, 1u);
+    EXPECT_EQ(rig.pager.stats().bytesTransferred, kBasePageSize);
+}
+
+TEST(DemandPagerTest, ConcurrentFaultsToOnePageMerge)
+{
+    PagerRig rig;
+    const Addr va = 1ull << 40;
+    int resolved = 0;
+    for (int i = 0; i < 5; ++i)
+        rig.pager.handleFarFault(rig.pt, va + 64u * i,
+                                 [&] { ++resolved; });
+    rig.ev.runAll();
+    EXPECT_EQ(resolved, 5);
+    EXPECT_EQ(rig.pager.stats().farFaults, 1u);
+    EXPECT_EQ(rig.pager.stats().mergedFaults, 4u);
+}
+
+TEST(DemandPagerTest, FaultsToDistinctPagesDoNotMerge)
+{
+    PagerRig rig;
+    int resolved = 0;
+    rig.pager.handleFarFault(rig.pt, 1ull << 40, [&] { ++resolved; });
+    rig.pager.handleFarFault(rig.pt, (1ull << 40) + kBasePageSize,
+                             [&] { ++resolved; });
+    rig.ev.runAll();
+    EXPECT_EQ(resolved, 2);
+    EXPECT_EQ(rig.pager.stats().farFaults, 2u);
+}
+
+TEST(DemandPagerTest, LargeGranularityTransfersWholeLargePage)
+{
+    EventQueue ev;
+    PcieBus bus(ev, PcieConfig{});
+    RegionPtNodeAllocator alloc(1ull << 33, 64ull << 20);
+    LargeOnlyManager mgr(0, 8 * kLargePageSize);
+    PageTable pt(0, alloc);
+    mgr.setEnv(ManagerEnv{});
+    mgr.registerApp(0, pt);
+    mgr.reserveRegion(0, 1ull << 40, kLargePageSize);
+    DemandPager pager(ev, bus, mgr);
+
+    bool resolved = false;
+    pager.handleFarFault(pt, (1ull << 40) + 5 * kBasePageSize,
+                         [&] { resolved = true; });
+    ev.runAll();
+    EXPECT_TRUE(resolved);
+    EXPECT_EQ(pager.stats().bytesTransferred, kLargePageSize);
+    EXPECT_TRUE(pt.isResident(1ull << 40));
+}
+
+TEST(DemandPagerTest, PrefetchWithoutChargeIsImmediate)
+{
+    PagerRig rig;
+    bool done = false;
+    rig.pager.prefetchRegion(rig.pt, 1ull << 40, 16 * kBasePageSize,
+                             /*chargeBus=*/false, [&] { done = true; });
+    rig.ev.runAll();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(rig.ev.now(), 0u);
+    EXPECT_EQ(rig.pager.stats().prefetchedPages, 16u);
+    EXPECT_TRUE(rig.pt.isResident((1ull << 40) + 15 * kBasePageSize));
+}
+
+TEST(DemandPagerTest, PrefetchWithChargeTakesBusTime)
+{
+    PagerRig rig;
+    Cycles done_at = 0;
+    rig.pager.prefetchRegion(rig.pt, 1ull << 40, 1ull << 20,
+                             /*chargeBus=*/true,
+                             [&] { done_at = rig.ev.now(); });
+    rig.ev.runAll();
+    EXPECT_GT(done_at, 100000u);  // ~1MB over ~8GB/s plus overhead
+    EXPECT_EQ(rig.pager.stats().bytesTransferred, 1ull << 20);
+}
+
+TEST(DemandPagerTest, OomFaultCounted)
+{
+    EventQueue ev;
+    PcieBus bus(ev, PcieConfig{});
+    RegionPtNodeAllocator alloc(1ull << 33, 64ull << 20);
+    LargeOnlyManager mgr(0, kLargePageSize);
+    PageTable pt(0, alloc);
+    mgr.setEnv(ManagerEnv{});
+    mgr.registerApp(0, pt);
+    DemandPager pager(ev, bus, mgr);
+    // Fault on a region that was never reserved: backPage fails.
+    pager.handleFarFault(pt, 1ull << 41, [] {});
+    ev.runAll();
+    EXPECT_EQ(pager.stats().oomFaults, 1u);
+}
+
+}  // namespace
+}  // namespace mosaic

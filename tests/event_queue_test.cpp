@@ -1,0 +1,107 @@
+/** @file Unit tests for the discrete-event engine. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/event_queue.h"
+
+namespace mosaic {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTimeEventsRunInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(2, [&] {
+            ++fired;
+            q.scheduleAfter(3, [&] { ++fired; });
+        });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Cycles seen = 0;
+    q.schedule(100, [&] { q.scheduleAfter(50, [&] { seen = q.now(); }); });
+    q.runAll();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(1000);
+    EXPECT_EQ(q.now(), 1000u);
+}
+
+TEST(EventQueueTest, ExecutedCountsEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(static_cast<Cycles>(i), [] {});
+    q.runAll();
+    EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,93 @@
+/** @file Unit tests for physical frame bookkeeping. */
+
+#include <gtest/gtest.h>
+
+#include "mm/frame_pool.h"
+
+namespace mosaic {
+namespace {
+
+TEST(FramePoolTest, GeometryAndAddressing)
+{
+    FramePool pool(0, 16 * kLargePageSize);
+    EXPECT_EQ(pool.numFrames(), 16u);
+    EXPECT_EQ(pool.frameBase(3), 3 * kLargePageSize);
+    EXPECT_EQ(pool.frameIndex(3 * kLargePageSize + 123), 3u);
+    EXPECT_EQ(pool.slotAddr(2, 5), 2 * kLargePageSize + 5 * kBasePageSize);
+}
+
+TEST(FramePoolTest, AllocateAndFreeSlots)
+{
+    FramePool pool(0, 4 * kLargePageSize);
+    pool.allocateSlot(1, 7, /*app=*/2, /*va=*/0x1000);
+    const FrameInfo &f = pool.frame(1);
+    EXPECT_EQ(f.owner, 2);
+    EXPECT_EQ(f.usedCount, 1u);
+    EXPECT_TRUE(f.used[7]);
+    EXPECT_EQ(f.slotVa[7], 0x1000u);
+    EXPECT_EQ(pool.allocatedPages(), 1u);
+
+    pool.freeSlot(1, 7);
+    EXPECT_EQ(pool.frame(1).usedCount, 0u);
+    EXPECT_EQ(pool.allocatedPages(), 0u);
+    // Owner survives until explicitly reset.
+    EXPECT_EQ(pool.frame(1).owner, 2);
+    pool.resetOwner(1);
+    EXPECT_EQ(pool.frame(1).owner, kInvalidAppId);
+}
+
+TEST(FramePoolTest, MixedFlagSetWhenSecondAppAllocates)
+{
+    FramePool pool(0, 4 * kLargePageSize);
+    pool.allocateSlot(0, 0, 1, 0x1000);
+    EXPECT_FALSE(pool.frame(0).mixed);
+    pool.allocateSlot(0, 1, 2, 0x2000);
+    EXPECT_TRUE(pool.frame(0).mixed);
+}
+
+TEST(FramePoolTest, FullyPopulatedAndFreeSlots)
+{
+    FramePool pool(0, 2 * kLargePageSize);
+    for (unsigned s = 0; s < kBasePagesPerLargePage; ++s)
+        pool.allocateSlot(0, s, 1, 0x100000 + s * kBasePageSize);
+    EXPECT_TRUE(pool.frame(0).fullyPopulated());
+    EXPECT_EQ(pool.frame(0).freeSlots(), 0u);
+    EXPECT_FALSE(pool.frame(1).fullyPopulated());
+    EXPECT_EQ(pool.frame(1).freeSlots(), kBasePagesPerLargePage);
+}
+
+TEST(FramePoolTest, PinFragmentsOccupiesSlots)
+{
+    FramePool pool(0, 2 * kLargePageSize);
+    Rng rng(3);
+    pool.pinFragments(0, 100, rng);
+    const FrameInfo &f = pool.frame(0);
+    EXPECT_EQ(f.pinnedCount, 100u);
+    EXPECT_EQ(f.pinned.count(), 100u);
+    EXPECT_EQ(f.owner, kFragmentOwner);
+    EXPECT_EQ(f.freeSlots(), kBasePagesPerLargePage - 100);
+    EXPECT_FALSE(f.empty());
+}
+
+TEST(FramePoolDeathTest, DoubleAllocatePanics)
+{
+    FramePool pool(0, kLargePageSize);
+    pool.allocateSlot(0, 0, 1, 0x1000);
+    EXPECT_DEATH(pool.allocateSlot(0, 0, 1, 0x2000), "occupied");
+}
+
+TEST(FramePoolDeathTest, FreeOfFreeSlotPanics)
+{
+    FramePool pool(0, kLargePageSize);
+    EXPECT_DEATH(pool.freeSlot(0, 0), "free");
+}
+
+TEST(FramePoolDeathTest, OutOfRangeAddressPanics)
+{
+    FramePool pool(kLargePageSize, kLargePageSize);
+    EXPECT_DEATH(pool.frameIndex(0), "below");
+    EXPECT_DEATH(pool.frameIndex(10 * kLargePageSize), "beyond");
+}
+
+}  // namespace
+}  // namespace mosaic

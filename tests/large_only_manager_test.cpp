@@ -1,0 +1,94 @@
+/** @file Unit tests for the 2MB-only memory manager. */
+
+#include <gtest/gtest.h>
+
+#include "mm/large_only_manager.h"
+#include "vm/page_table.h"
+
+namespace mosaic {
+namespace {
+
+constexpr Addr kVa = 1ull << 40;
+
+struct LargeRig
+{
+    RegionPtNodeAllocator alloc{1ull << 33, 64ull << 20};
+    LargeOnlyManager mgr{0, 32 * kLargePageSize};
+    PageTable pt{0, alloc};
+
+    LargeRig()
+    {
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+    }
+};
+
+TEST(LargeOnlyManagerTest, ReserveCommitsWholeChunksCoalesced)
+{
+    LargeRig rig;
+    rig.mgr.reserveRegion(0, kVa, kLargePageSize / 2);  // half a chunk
+    EXPECT_TRUE(rig.pt.isCoalesced(kVa));
+    // Entire chunk is mapped, even beyond the requested bytes.
+    EXPECT_TRUE(rig.pt.isMapped(kVa + kLargePageSize - kBasePageSize));
+    EXPECT_FALSE(rig.pt.isResident(kVa));
+}
+
+TEST(LargeOnlyManagerTest, MemoryBloatFromInternalFragmentation)
+{
+    LargeRig rig;
+    // A 4KB buffer costs a whole 2MB frame: bloat factor 512.
+    rig.mgr.reserveRegion(0, kVa, kBasePageSize);
+    EXPECT_EQ(rig.mgr.allocatedBytes(), kLargePageSize);
+    // 2.5MB costs 4MB.
+    rig.mgr.reserveRegion(0, kVa + (1ull << 30),
+                          kLargePageSize + kLargePageSize / 2);
+    EXPECT_EQ(rig.mgr.allocatedBytes(), 3 * kLargePageSize);
+}
+
+TEST(LargeOnlyManagerTest, FaultMakesWholeChunkResident)
+{
+    LargeRig rig;
+    rig.mgr.reserveRegion(0, kVa, kLargePageSize);
+    EXPECT_TRUE(rig.mgr.backPage(0, kVa + 17 * kBasePageSize));
+    EXPECT_TRUE(rig.pt.isResident(kVa));
+    EXPECT_TRUE(rig.pt.isResident(kVa + kLargePageSize - kBasePageSize));
+}
+
+TEST(LargeOnlyManagerTest, TransferGranularityIsLarge)
+{
+    LargeRig rig;
+    EXPECT_EQ(rig.mgr.transferGranularity(), PageSize::Large);
+}
+
+TEST(LargeOnlyManagerTest, ReleaseFreesFrames)
+{
+    LargeRig rig;
+    rig.mgr.reserveRegion(0, kVa, 3 * kLargePageSize);
+    rig.mgr.backPage(0, kVa);
+    rig.mgr.releaseRegion(0, kVa, 3 * kLargePageSize);
+    EXPECT_EQ(rig.mgr.allocatedBytes(), 0u);
+    EXPECT_FALSE(rig.pt.isMapped(kVa));
+    // Frames are reusable afterwards.
+    rig.mgr.reserveRegion(0, kVa + (1ull << 30), 32 * kLargePageSize);
+    EXPECT_EQ(rig.mgr.allocatedBytes(), 32 * kLargePageSize);
+}
+
+TEST(LargeOnlyManagerTest, UnreservedFaultFails)
+{
+    LargeRig rig;
+    EXPECT_FALSE(rig.mgr.backPage(0, 0x123456000));
+}
+
+TEST(LargeOnlyManagerTest, OutOfFramesCounted)
+{
+    RegionPtNodeAllocator alloc(1ull << 33, 64ull << 20);
+    LargeOnlyManager mgr(0, 2 * kLargePageSize);
+    PageTable pt(0, alloc);
+    mgr.registerApp(0, pt);
+    mgr.reserveRegion(0, kVa, 3 * kLargePageSize);
+    EXPECT_EQ(mgr.stats().outOfFrames, 1u);
+    EXPECT_EQ(mgr.allocatedBytes(), 2 * kLargePageSize);
+}
+
+}  // namespace
+}  // namespace mosaic

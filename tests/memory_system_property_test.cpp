@@ -1,0 +1,195 @@
+/** @file Parameterized property tests across memory-system geometries:
+ *  conservation (every request completes exactly once), ordering
+ *  sanity, and translation-path invariants under randomized traffic. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cache/hierarchy.h"
+#include "dram/dram.h"
+#include "engine/event_queue.h"
+#include "vm/translation.h"
+#include "vm/walker.h"
+
+namespace mosaic {
+namespace {
+
+/** DRAM geometry sweep: every access completes exactly once, in finite
+ *  time, for any channel/bank/row configuration. */
+class DramGeometryTest
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, unsigned, std::uint64_t>>
+{
+};
+
+TEST_P(DramGeometryTest, ConservationUnderRandomTraffic)
+{
+    const auto [channels, banks, row_bytes] = GetParam();
+    DramConfig cfg;
+    cfg.channels = channels;
+    cfg.banksPerChannel = banks;
+    cfg.rowBytes = row_bytes;
+    EventQueue ev;
+    DramModel dram(ev, cfg);
+
+    Rng rng(channels * 131 + banks);
+    const int total = 2000;
+    int completed = 0;
+    Cycles last_done = 0;
+    for (int i = 0; i < total; ++i) {
+        dram.access(rng.below(1u << 26), rng.chance(0.3), [&] {
+            ++completed;
+            last_done = ev.now();
+        });
+    }
+    ev.runAll();
+    EXPECT_EQ(completed, total);
+    EXPECT_EQ(dram.inFlight(), 0u);
+    EXPECT_GT(last_done, 0u);
+    EXPECT_EQ(dram.stats().rowHits + dram.stats().rowMisses,
+              static_cast<std::uint64_t>(total));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DramGeometryTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 6u),
+                       ::testing::Values(1u, 8u),
+                       ::testing::Values<std::uint64_t>(512, 2048)));
+
+/** Cache hierarchy sweep: conservation and hit-rate sanity. */
+class CacheGeometrySweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometrySweepTest, ConservationAndL1Bounds)
+{
+    const auto [sms, l2_banks] = GetParam();
+    CacheHierarchyConfig cfg;
+    cfg.numSms = sms;
+    cfg.l2Banks = l2_banks;
+    EventQueue ev;
+    DramModel dram(ev, DramConfig{});
+    CacheHierarchy caches(ev, dram, cfg);
+
+    Rng rng(sms * 7 + l2_banks);
+    const int total = 3000;
+    int completed = 0;
+    for (int i = 0; i < total; ++i) {
+        caches.access(static_cast<SmId>(rng.below(sms)),
+                      rng.below(1u << 22), rng.chance(0.25),
+                      [&] { ++completed; });
+    }
+    ev.runAll();
+    EXPECT_EQ(completed, total);
+    EXPECT_LE(caches.stats().l1Hits, caches.stats().l1Accesses);
+    EXPECT_LE(caches.stats().l2Hits, caches.stats().l2Accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometrySweepTest,
+                         ::testing::Combine(::testing::Values(1u, 4u, 30u),
+                                            ::testing::Values(1u, 12u)));
+
+/** Walker sweep: every requested walk calls back exactly once for any
+ *  concurrency cap and PWC setting, and results are always correct. */
+class WalkerSweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool, bool>>
+{
+};
+
+TEST_P(WalkerSweepTest, EveryWalkResolvesCorrectly)
+{
+    const auto [max_walks, pwc, pte_in_dram] = GetParam();
+    WalkerConfig cfg;
+    cfg.maxConcurrentWalks = max_walks;
+    cfg.usePageWalkCache = pwc;
+    cfg.pteInDram = pte_in_dram;
+
+    EventQueue ev;
+    DramModel dram(ev, DramConfig{});
+    CacheHierarchy caches(ev, dram, CacheHierarchyConfig{});
+    PageTableWalker walker(ev, caches, cfg);
+    RegionPtNodeAllocator alloc(1ull << 32, 64ull << 20);
+    PageTable pt(0, alloc);
+
+    // Map every even page; odd pages fault.
+    const Addr base = 1ull << 40;
+    for (std::uint64_t i = 0; i < 64; i += 2)
+        pt.mapBasePage(base + i * kBasePageSize,
+                       (1ull << 30) + i * kBasePageSize);
+
+    int completed = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const Addr va = base + i * kBasePageSize;
+        const bool expect_valid = i % 2 == 0;
+        walker.requestWalk(pt, va,
+                           [&completed, expect_valid,
+                            i](const Translation &t) {
+            ++completed;
+            ASSERT_EQ(t.valid, expect_valid) << "page " << i;
+            if (t.valid) {
+                ASSERT_EQ(t.physAddr,
+                          (1ull << 30) + i * kBasePageSize);
+            }
+        });
+    }
+    ev.runAll();
+    EXPECT_EQ(completed, 64);
+    EXPECT_EQ(walker.activeWalks(), 0u);
+    EXPECT_EQ(walker.queuedWalks(), 0u);
+    EXPECT_EQ(walker.stats().faults, 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, WalkerSweepTest,
+    ::testing::Combine(::testing::Values(1u, 8u, 64u),
+                       ::testing::Bool(), ::testing::Bool()));
+
+/** Translation-service sweep over TLB geometries: correctness of the
+ *  returned physical addresses never depends on TLB size. */
+class TranslationSweepTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TranslationSweepTest, PhysicalAddressesIndependentOfTlbSize)
+{
+    EventQueue ev;
+    DramModel dram(ev, DramConfig{});
+    CacheHierarchy caches(ev, dram, CacheHierarchyConfig{});
+    PageTableWalker walker(ev, caches, WalkerConfig{});
+    TranslationConfig cfg;
+    cfg.l1.baseEntries = GetParam();
+    cfg.l2.baseEntries = GetParam() * 4;
+    cfg.l2.baseWays = std::min<std::size_t>(GetParam(), 16);
+    TranslationService xlate(ev, walker, 4, cfg);
+    RegionPtNodeAllocator alloc(1ull << 32, 64ull << 20);
+    PageTable pt(0, alloc);
+
+    const Addr base = 1ull << 40;
+    for (std::uint64_t i = 0; i < 128; ++i)
+        pt.mapBasePage(base + i * kBasePageSize,
+                       (2ull << 30) + i * kBasePageSize);
+
+    Rng rng(GetParam());
+    int completed = 0;
+    for (int round = 0; round < 400; ++round) {
+        const std::uint64_t page = rng.below(128);
+        const Addr va = base + page * kBasePageSize + rng.below(4096);
+        xlate.translate(static_cast<SmId>(rng.below(4)), pt, va,
+                        [&completed, page, va](const Translation &t) {
+            ++completed;
+            ASSERT_TRUE(t.valid);
+            ASSERT_EQ(t.physAddr,
+                      (2ull << 30) + page * kBasePageSize + (va & 4095));
+        });
+    }
+    ev.runAll();
+    EXPECT_EQ(completed, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(TlbSizes, TranslationSweepTest,
+                         ::testing::Values<std::size_t>(8, 32, 128));
+
+}  // namespace
+}  // namespace mosaic

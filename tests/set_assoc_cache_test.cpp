@@ -1,0 +1,167 @@
+/** @file Unit and property tests for the set-associative tag store. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cache/set_assoc_cache.h"
+
+namespace mosaic {
+namespace {
+
+TEST(SetAssocCacheTest, MissThenHit)
+{
+    SetAssocCache cache(4, 2);
+    EXPECT_FALSE(cache.access(100));
+    cache.insert(100);
+    EXPECT_TRUE(cache.access(100));
+    EXPECT_TRUE(cache.contains(100));
+}
+
+TEST(SetAssocCacheTest, NoVictimWhileSetHasRoom)
+{
+    SetAssocCache cache(1, 4);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        EXPECT_FALSE(cache.insert(k).has_value());
+    EXPECT_TRUE(cache.insert(4).has_value());
+}
+
+TEST(SetAssocCacheTest, LruEvictsLeastRecentlyUsed)
+{
+    SetAssocCache cache(1, 3);
+    cache.insert(1);
+    cache.insert(2);
+    cache.insert(3);
+    // Touch 1 and 3; 2 becomes LRU.
+    cache.access(1);
+    cache.access(3);
+    const auto victim = cache.insert(4);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->key, 2u);
+}
+
+TEST(SetAssocCacheTest, FifoEvictsOldestInsertion)
+{
+    SetAssocCache cache(1, 3, ReplacementPolicy::Fifo);
+    cache.insert(1);
+    cache.insert(2);
+    cache.insert(3);
+    cache.access(1);  // recency must not matter for FIFO
+    const auto victim = cache.insert(4);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->key, 1u);
+}
+
+TEST(SetAssocCacheTest, RandomEvictsSomeResident)
+{
+    SetAssocCache cache(1, 4, ReplacementPolicy::Random, 99);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cache.insert(k);
+    const auto victim = cache.insert(10);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_LT(victim->key, 4u);
+}
+
+TEST(SetAssocCacheTest, DirtyBitTravelsWithVictim)
+{
+    SetAssocCache cache(1, 1);
+    cache.insert(5);
+    cache.access(5, /*markDirty=*/true);
+    const auto victim = cache.insert(6);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+
+    const auto clean_victim = cache.insert(7);
+    ASSERT_TRUE(clean_victim.has_value());
+    EXPECT_FALSE(clean_victim->dirty);
+}
+
+TEST(SetAssocCacheTest, KeysMapToDistinctSets)
+{
+    SetAssocCache cache(4, 1);
+    // Keys 0..3 map to sets 0..3: no evictions.
+    for (std::uint64_t k = 0; k < 4; ++k)
+        EXPECT_FALSE(cache.insert(k).has_value());
+    // Key 4 collides with key 0.
+    const auto victim = cache.insert(4);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->key, 0u);
+}
+
+TEST(SetAssocCacheTest, InvalidateRemovesEntry)
+{
+    SetAssocCache cache(2, 2);
+    cache.insert(10);
+    EXPECT_TRUE(cache.invalidate(10));
+    EXPECT_FALSE(cache.contains(10));
+    EXPECT_FALSE(cache.invalidate(10));
+}
+
+TEST(SetAssocCacheTest, InvalidateIfFiltersByPredicate)
+{
+    SetAssocCache cache(8, 2);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        cache.insert(k);
+    const std::size_t removed =
+        cache.invalidateIf([](std::uint64_t k) { return k % 2 == 0; });
+    EXPECT_EQ(removed, 5u);
+    EXPECT_FALSE(cache.contains(4));
+    EXPECT_TRUE(cache.contains(5));
+}
+
+TEST(SetAssocCacheTest, FlushEmptiesCache)
+{
+    SetAssocCache cache(2, 2);
+    cache.insert(1);
+    cache.insert(2);
+    cache.flush();
+    EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TEST(SetAssocCacheDeathTest, DoubleInsertPanics)
+{
+    SetAssocCache cache(2, 2);
+    cache.insert(1);
+    EXPECT_DEATH(cache.insert(1), "present");
+}
+
+/** Property sweep: geometry x policy invariants. */
+class CacheGeometryTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, ReplacementPolicy>>
+{
+};
+
+TEST_P(CacheGeometryTest, OccupancyNeverExceedsCapacityAndHitsAreExact)
+{
+    const auto [sets, ways, policy] = GetParam();
+    SetAssocCache cache(sets, ways, policy, 7);
+    std::set<std::uint64_t> resident;
+
+    Rng rng(123);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t key = rng.below(sets * ways * 4);
+        const bool hit = cache.access(key);
+        EXPECT_EQ(hit, resident.count(key) > 0) << "key " << key;
+        if (!hit) {
+            const auto victim = cache.insert(key);
+            if (victim)
+                resident.erase(victim->key);
+            resident.insert(key);
+        }
+        ASSERT_LE(cache.occupancy(), cache.capacity());
+        ASSERT_EQ(cache.occupancy(), resident.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 4, 32),
+                       ::testing::Values<std::size_t>(1, 2, 16),
+                       ::testing::Values(ReplacementPolicy::Lru,
+                                         ReplacementPolicy::Fifo,
+                                         ReplacementPolicy::Random)));
+
+}  // namespace
+}  // namespace mosaic

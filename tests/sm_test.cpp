@@ -1,0 +1,238 @@
+/** @file Unit tests for the SM model: scheduling, lockstep, faults. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "engine/event_queue.h"
+#include "gpu/gpu.h"
+#include "gpu/sm.h"
+#include "mm/gpu_mmu_manager.h"
+
+namespace mosaic {
+namespace {
+
+/** Scripted warp stream for precise control in tests. */
+class ScriptedStream : public WarpStream
+{
+  public:
+    explicit ScriptedStream(std::deque<WarpInstr> script)
+        : script_(std::move(script))
+    {
+    }
+
+    bool
+    next(WarpInstr &out) override
+    {
+        if (script_.empty())
+            return false;
+        out = script_.front();
+        script_.pop_front();
+        return true;
+    }
+
+  private:
+    std::deque<WarpInstr> script_;
+};
+
+WarpInstr
+computeInstr(Cycles latency)
+{
+    WarpInstr i;
+    i.isMemory = false;
+    i.computeLatency = latency;
+    return i;
+}
+
+WarpInstr
+memInstr(std::initializer_list<Addr> lines, bool store = false)
+{
+    WarpInstr i;
+    i.isMemory = true;
+    i.isStore = store;
+    for (const Addr a : lines)
+        i.lineAddrs[i.numLines++] = a;
+    return i;
+}
+
+struct SmRig
+{
+    EventQueue ev;
+    DramModel dram;
+    CacheHierarchy caches;
+    PageTableWalker walker;
+    TranslationService xlate;
+    RegionPtNodeAllocator alloc{1ull << 33, 64ull << 20};
+    GpuMmuManager mgr{0, 64 * kLargePageSize};
+    PageTable pt{0, alloc};
+    PcieBus bus{ev, PcieConfig{}};
+    DemandPager pager{ev, bus, mgr};
+    bool done = false;
+
+    explicit SmRig()
+        : dram(ev, DramConfig{}),
+          caches(ev, dram, CacheHierarchyConfig{}),
+          walker(ev, caches, WalkerConfig{}),
+          xlate(ev, walker, 2, TranslationConfig{})
+    {
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+    }
+
+    Sm
+    makeSm(SmConfig cfg = SmConfig{})
+    {
+        return Sm(ev, 0, pt, xlate, caches, &pager, cfg,
+                  [this] { done = true; });
+    }
+};
+
+TEST(SmTest, RunsAllInstructionsAndSignalsCompletion)
+{
+    SmRig rig;
+    Sm sm = rig.makeSm();
+    std::deque<WarpInstr> script;
+    for (int i = 0; i < 10; ++i)
+        script.push_back(computeInstr(2));
+    sm.addWarp(std::make_unique<ScriptedStream>(script));
+    sm.start(0);
+    rig.ev.runAll();
+    EXPECT_TRUE(rig.done);
+    EXPECT_TRUE(sm.done());
+    EXPECT_EQ(sm.stats().instructions, 10u);
+    EXPECT_EQ(sm.stats().memInstructions, 0u);
+}
+
+TEST(SmTest, IssuesAtMostOneInstructionPerCycle)
+{
+    SmRig rig;
+    Sm sm = rig.makeSm();
+    // Two warps of back-to-back 1-cycle compute: 20 instructions need at
+    // least 20 cycles through one issue port.
+    for (int w = 0; w < 2; ++w) {
+        std::deque<WarpInstr> script;
+        for (int i = 0; i < 10; ++i)
+            script.push_back(computeInstr(1));
+        sm.addWarp(std::make_unique<ScriptedStream>(script));
+    }
+    sm.start(0);
+    rig.ev.runAll();
+    EXPECT_GE(sm.stats().finishedAt, 19u);
+}
+
+TEST(SmTest, MemoryInstructionBlocksWarpUntilDataReturns)
+{
+    SmRig rig;
+    rig.mgr.backPage(0, 0x10000);
+    Sm sm = rig.makeSm();
+    sm.addWarp(std::make_unique<ScriptedStream>(
+        std::deque<WarpInstr>{memInstr({0x10000}), computeInstr(1)}));
+    sm.start(0);
+    rig.ev.runAll();
+    // Finish time must include a real memory round trip (translation
+    // walk + DRAM), far above the 2 issue cycles.
+    EXPECT_GT(sm.stats().finishedAt, 100u);
+    EXPECT_EQ(sm.stats().memInstructions, 1u);
+}
+
+TEST(SmTest, SimtLockstepWaitsForAllLines)
+{
+    SmRig rig;
+    rig.mgr.backPage(0, 0x10000);
+    rig.mgr.backPage(0, 0x20000);
+    rig.mgr.backPage(0, 0x30000);
+
+    // Warm one line so the others dominate the stall.
+    SmRig single;
+    (void)single;
+
+    Sm sm = rig.makeSm();
+    sm.addWarp(std::make_unique<ScriptedStream>(std::deque<WarpInstr>{
+        memInstr({0x10000, 0x20000, 0x30000})}));
+    sm.start(0);
+    rig.ev.runAll();
+    EXPECT_TRUE(sm.done());
+    // Three pages translated -> three walks issued.
+    EXPECT_EQ(rig.xlate.stats().walksIssued, 3u);
+}
+
+TEST(SmTest, FarFaultResolvesAndRetries)
+{
+    SmRig rig;
+    rig.mgr.reserveRegion(0, 0x100000, 16 * kBasePageSize);
+    Sm sm = rig.makeSm();
+    sm.addWarp(std::make_unique<ScriptedStream>(
+        std::deque<WarpInstr>{memInstr({0x100000})}));
+    sm.start(0);
+    rig.ev.runAll();
+    EXPECT_TRUE(sm.done());
+    EXPECT_GE(sm.stats().farFaultStalls, 1u);
+    EXPECT_TRUE(rig.pt.isResident(0x100000));
+    // The fault costs a PCIe round trip: ~56k cycles.
+    EXPECT_GT(sm.stats().finishedAt, 50000u);
+}
+
+TEST(SmTest, GtoPrefersLastIssuedWarp)
+{
+    SmRig rig;
+    Sm sm = rig.makeSm();
+    // Warp 0: long compute then more work; warp 1: steady stream.
+    // Under GTO, once warp 1 issues it keeps issuing while warp 0 waits.
+    std::deque<WarpInstr> w0{computeInstr(50), computeInstr(1)};
+    std::deque<WarpInstr> w1;
+    for (int i = 0; i < 20; ++i)
+        w1.push_back(computeInstr(1));
+    sm.addWarp(std::make_unique<ScriptedStream>(w0));
+    sm.addWarp(std::make_unique<ScriptedStream>(w1));
+    sm.start(0);
+    rig.ev.runAll();
+    EXPECT_EQ(sm.stats().instructions, 22u);
+    EXPECT_TRUE(sm.done());
+}
+
+TEST(SmTest, StallUntilDelaysIssue)
+{
+    SmRig rig;
+    Sm sm = rig.makeSm();
+    sm.addWarp(std::make_unique<ScriptedStream>(
+        std::deque<WarpInstr>{computeInstr(1)}));
+    sm.stallUntil(500);
+    sm.start(0);
+    rig.ev.runAll();
+    EXPECT_GE(sm.stats().finishedAt, 500u);
+}
+
+TEST(GpuTest, PartitionSmsEvenlyWithRemainder)
+{
+    EXPECT_EQ(Gpu::partitionSms(30, 1), (std::vector<unsigned>{30}));
+    EXPECT_EQ(Gpu::partitionSms(30, 4),
+              (std::vector<unsigned>{8, 8, 7, 7}));
+    EXPECT_EQ(Gpu::partitionSms(30, 5),
+              (std::vector<unsigned>{6, 6, 6, 6, 6}));
+}
+
+TEST(GpuTest, StallAllReachesEverySm)
+{
+    SmRig rig;
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    Gpu gpu(rig.ev, cfg);
+    int finished = 0;
+    for (int i = 0; i < 2; ++i) {
+        const SmId id = gpu.createSm(rig.pt, rig.xlate, rig.caches,
+                                     &rig.pager, [&] { ++finished; });
+        gpu.sm(id).addWarp(std::make_unique<ScriptedStream>(
+            std::deque<WarpInstr>{computeInstr(1)}));
+    }
+    gpu.stallAll(1000);
+    gpu.startAll(0);
+    rig.ev.runAll();
+    EXPECT_EQ(finished, 2);
+    EXPECT_TRUE(gpu.allDone());
+    for (SmId id = 0; id < 2; ++id)
+        EXPECT_GE(gpu.sm(id).stats().finishedAt, 1000u);
+    EXPECT_EQ(gpu.totalStallCycles(), 1000u);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,143 @@
+/** @file Unit tests for the split base/large TLB. */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.h"
+
+namespace mosaic {
+namespace {
+
+TlbConfig
+smallTlb()
+{
+    TlbConfig c;
+    c.baseEntries = 4;
+    c.baseWays = 0;  // fully associative
+    c.largeEntries = 2;
+    c.largeWays = 0;
+    return c;
+}
+
+TEST(TlbTest, BaseAndLargeAreSeparateArrays)
+{
+    Tlb tlb(smallTlb());
+    tlb.fillBase(0, 100);
+    EXPECT_TRUE(tlb.lookupBase(0, 100));
+    EXPECT_FALSE(tlb.lookupLarge(0, 100));
+    tlb.fillLarge(0, 100);
+    EXPECT_TRUE(tlb.lookupLarge(0, 100));
+}
+
+TEST(TlbTest, EntriesAreTaggedByAddressSpace)
+{
+    Tlb tlb(smallTlb());
+    tlb.fillBase(1, 7);
+    EXPECT_TRUE(tlb.lookupBase(1, 7));
+    EXPECT_FALSE(tlb.lookupBase(2, 7));
+}
+
+TEST(TlbTest, LruEvictionWithinBaseArray)
+{
+    Tlb tlb(smallTlb());
+    for (std::uint64_t v = 0; v < 4; ++v)
+        tlb.fillBase(0, v);
+    tlb.lookupBase(0, 0);  // make vpn 0 MRU; vpn 1 is LRU
+    tlb.fillBase(0, 99);
+    EXPECT_TRUE(tlb.lookupBase(0, 0));
+    EXPECT_FALSE(tlb.lookupBase(0, 1));
+}
+
+TEST(TlbTest, FlushLargeRemovesOnlyThatEntry)
+{
+    Tlb tlb(smallTlb());
+    tlb.fillLarge(0, 5);
+    tlb.fillLarge(0, 6);
+    EXPECT_TRUE(tlb.flushLarge(0, 5));
+    EXPECT_FALSE(tlb.lookupLarge(0, 5));
+    EXPECT_TRUE(tlb.lookupLarge(0, 6));
+    EXPECT_FALSE(tlb.flushLarge(0, 5));  // already gone
+}
+
+TEST(TlbTest, FlushBaseRemovesEntry)
+{
+    Tlb tlb(smallTlb());
+    tlb.fillBase(0, 9);
+    EXPECT_TRUE(tlb.flushBase(0, 9));
+    EXPECT_FALSE(tlb.lookupBase(0, 9));
+}
+
+TEST(TlbTest, FlushAppRemovesOnlyThatAppsEntries)
+{
+    Tlb tlb(smallTlb());
+    tlb.fillBase(1, 10);
+    tlb.fillBase(2, 11);
+    tlb.fillLarge(1, 12);
+    tlb.flushApp(1);
+    EXPECT_FALSE(tlb.lookupBase(1, 10));
+    EXPECT_FALSE(tlb.lookupLarge(1, 12));
+    EXPECT_TRUE(tlb.lookupBase(2, 11));
+}
+
+TEST(TlbTest, StatsCountHitsAndAccesses)
+{
+    Tlb tlb(smallTlb());
+    tlb.fillBase(0, 1);
+    tlb.lookupBase(0, 1);   // hit
+    tlb.lookupBase(0, 2);   // miss
+    tlb.lookupLarge(0, 3);  // miss
+    EXPECT_EQ(tlb.stats().baseAccesses, 2u);
+    EXPECT_EQ(tlb.stats().baseHits, 1u);
+    EXPECT_EQ(tlb.stats().largeAccesses, 1u);
+    EXPECT_EQ(tlb.stats().largeHits, 0u);
+    EXPECT_EQ(tlb.stats().accesses(), 3u);
+    EXPECT_EQ(tlb.stats().hits(), 1u);
+}
+
+TEST(TlbTest, FillIsIdempotent)
+{
+    Tlb tlb(smallTlb());
+    tlb.fillBase(0, 1);
+    tlb.fillBase(0, 1);  // must not assert or duplicate
+    EXPECT_EQ(tlb.baseOccupancy(), 1u);
+}
+
+TEST(TlbTest, SetAssociativeGeometryRespected)
+{
+    TlbConfig c;
+    c.baseEntries = 8;
+    c.baseWays = 2;  // 4 sets x 2 ways
+    c.largeEntries = 2;
+    Tlb tlb(c);
+    // vpns 0, 4, 8 all map to set 0; third insert evicts.
+    tlb.fillBase(0, 0);
+    tlb.fillBase(0, 4);
+    tlb.fillBase(0, 8);
+    int present = 0;
+    present += tlb.lookupBase(0, 0) ? 1 : 0;
+    present += tlb.lookupBase(0, 4) ? 1 : 0;
+    present += tlb.lookupBase(0, 8) ? 1 : 0;
+    EXPECT_EQ(present, 2);
+}
+
+/** Property sweep over TLB sizes used in the Fig. 14/15 sensitivity. */
+class TlbSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TlbSizeTest, OccupancyBoundedByCapacity)
+{
+    TlbConfig c;
+    c.baseEntries = GetParam();
+    c.largeEntries = 4;
+    Tlb tlb(c);
+    for (std::uint64_t v = 0; v < 4 * GetParam(); ++v)
+        tlb.fillBase(0, v);
+    EXPECT_EQ(tlb.baseOccupancy(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlbSizeTest,
+                         ::testing::Values<std::size_t>(8, 16, 32, 64, 128,
+                                                        256, 512));
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,219 @@
+/** @file Unit tests for the full translation service (L1 TLB -> L2 TLB
+ *  -> walker), fill policies, and shootdowns. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.h"
+#include "dram/dram.h"
+#include "engine/event_queue.h"
+#include "vm/translation.h"
+
+namespace mosaic {
+namespace {
+
+struct XlateRig
+{
+    EventQueue ev;
+    DramModel dram;
+    CacheHierarchy caches;
+    PageTableWalker walker;
+    TranslationService xlate;
+    RegionPtNodeAllocator alloc{1ull << 32, 64ull << 20};
+    PageTable pt{0, alloc};
+
+    explicit XlateRig(TranslationConfig cfg = TranslationConfig{})
+        : dram(ev, DramConfig{}),
+          caches(ev, dram, CacheHierarchyConfig{}),
+          walker(ev, caches, WalkerConfig{}),
+          xlate(ev, walker, 4, cfg)
+    {
+    }
+
+    Translation
+    timedTranslate(SmId sm, Addr va, Cycles *latency = nullptr)
+    {
+        Translation out;
+        const Cycles start = ev.now();
+        bool done = false;
+        xlate.translate(sm, pt, va, [&](const Translation &t) {
+            out = t;
+            done = true;
+            if (latency != nullptr)
+                *latency = ev.now() - start;
+        });
+        ev.runAll();
+        EXPECT_TRUE(done);
+        return out;
+    }
+};
+
+TEST(TranslationTest, MissWalksThenHitsL1)
+{
+    XlateRig rig;
+    rig.pt.mapBasePage(0x4000, 0x8000);
+
+    Cycles miss_latency = 0;
+    const Translation first = rig.timedTranslate(0, 0x4000, &miss_latency);
+    ASSERT_TRUE(first.valid);
+    EXPECT_EQ(rig.xlate.stats().walksIssued, 1u);
+    EXPECT_GT(miss_latency, 100u);  // real walk through DRAM
+
+    Cycles hit_latency = 0;
+    rig.timedTranslate(0, 0x4000, &hit_latency);
+    EXPECT_EQ(hit_latency, 1u);
+    EXPECT_EQ(rig.xlate.stats().l1Hits, 1u);
+    EXPECT_EQ(rig.xlate.stats().walksIssued, 1u);  // no second walk
+}
+
+TEST(TranslationTest, SecondSmHitsSharedL2Tlb)
+{
+    XlateRig rig;
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    rig.timedTranslate(0, 0x4000);
+    rig.timedTranslate(1, 0x4000);
+    EXPECT_EQ(rig.xlate.stats().l2Hits, 1u);
+    EXPECT_EQ(rig.xlate.stats().walksIssued, 1u);
+}
+
+TEST(TranslationTest, ConcurrentMissesMergeInMshr)
+{
+    XlateRig rig;
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    int done = 0;
+    for (int i = 0; i < 6; ++i)
+        rig.xlate.translate(0, rig.pt, 0x4000 + 64u * i,
+                            [&](const Translation &) { ++done; });
+    rig.ev.runAll();
+    EXPECT_EQ(done, 6);
+    EXPECT_EQ(rig.xlate.stats().walksIssued, 1u);
+    EXPECT_EQ(rig.xlate.stats().mshrMerges, 5u);
+}
+
+TEST(TranslationTest, UnmappedPageReportsFault)
+{
+    XlateRig rig;
+    const Translation t = rig.timedTranslate(0, 0xBAD000);
+    EXPECT_FALSE(t.valid);
+    EXPECT_EQ(rig.xlate.stats().faults, 1u);
+}
+
+TEST(TranslationTest, CoalescedPageFillsOnlyLargeArrays)
+{
+    XlateRig rig;
+    const Addr va = 4ull << kLargePageBits;
+    const Addr pa = 6ull << kLargePageBits;
+    for (std::uint64_t i = 0; i < kBasePagesPerLargePage; ++i)
+        rig.pt.mapBasePage(va + i * kBasePageSize, pa + i * kBasePageSize);
+    rig.pt.coalesce(va);
+
+    rig.timedTranslate(0, va);
+    EXPECT_EQ(rig.xlate.l1Tlb(0).largeOccupancy(), 1u);
+    EXPECT_EQ(rig.xlate.l1Tlb(0).baseOccupancy(), 0u);
+    EXPECT_EQ(rig.xlate.l2Tlb().largeOccupancy(), 1u);
+    EXPECT_EQ(rig.xlate.l2Tlb().baseOccupancy(), 0u);
+
+    // Any page of the region now hits via the single large entry.
+    Cycles lat = 0;
+    rig.timedTranslate(0, va + 100 * kBasePageSize, &lat);
+    EXPECT_EQ(lat, 1u);
+}
+
+TEST(TranslationTest, UncoalescedPageFillsBaseArrays)
+{
+    XlateRig rig;
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    rig.timedTranslate(0, 0x4000);
+    EXPECT_EQ(rig.xlate.l1Tlb(0).baseOccupancy(), 1u);
+    EXPECT_EQ(rig.xlate.l1Tlb(0).largeOccupancy(), 0u);
+}
+
+TEST(TranslationTest, ShootdownLargeRemovesFromAllLevels)
+{
+    XlateRig rig;
+    const Addr va = 4ull << kLargePageBits;
+    const Addr pa = 6ull << kLargePageBits;
+    for (std::uint64_t i = 0; i < kBasePagesPerLargePage; ++i)
+        rig.pt.mapBasePage(va + i * kBasePageSize, pa + i * kBasePageSize);
+    rig.pt.coalesce(va);
+    rig.timedTranslate(0, va);
+    rig.timedTranslate(1, va);
+
+    rig.xlate.shootdownLarge(0, va);
+    EXPECT_EQ(rig.xlate.l1Tlb(0).largeOccupancy(), 0u);
+    EXPECT_EQ(rig.xlate.l1Tlb(1).largeOccupancy(), 0u);
+    EXPECT_EQ(rig.xlate.l2Tlb().largeOccupancy(), 0u);
+}
+
+TEST(TranslationTest, ShootdownBaseRemovesEntry)
+{
+    XlateRig rig;
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    rig.timedTranslate(0, 0x4000);
+    rig.xlate.shootdownBase(0, 0x4000);
+    EXPECT_EQ(rig.xlate.l1Tlb(0).baseOccupancy(), 0u);
+    EXPECT_EQ(rig.xlate.l2Tlb().baseOccupancy(), 0u);
+}
+
+TEST(TranslationTest, IdealTlbAlwaysSingleCycle)
+{
+    TranslationConfig cfg;
+    cfg.idealTlb = true;
+    XlateRig rig(cfg);
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    Cycles lat = 0;
+    const Translation t = rig.timedTranslate(0, 0x4000, &lat);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(lat, 1u);
+    EXPECT_EQ(rig.xlate.stats().walksIssued, 0u);
+}
+
+TEST(TranslationTest, IdealTlbStillFaultsOnUnmapped)
+{
+    TranslationConfig cfg;
+    cfg.idealTlb = true;
+    XlateRig rig(cfg);
+    const Translation t = rig.timedTranslate(0, 0xBAD000);
+    EXPECT_FALSE(t.valid);
+    EXPECT_EQ(rig.xlate.stats().faults, 1u);
+}
+
+TEST(TranslationTest, PerAppStatsTrackIndependently)
+{
+    XlateRig rig;
+    RegionPtNodeAllocator alloc2(2ull << 32, 64ull << 20);
+    PageTable pt2(1, alloc2);
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    pt2.mapBasePage(0x4000, 0x9000);
+
+    rig.timedTranslate(0, 0x4000);  // app 0: walk
+    rig.timedTranslate(0, 0x4000);  // app 0: L1 hit
+    Translation t2;
+    rig.xlate.translate(1, pt2, 0x4000,
+                        [&](const Translation &t) { t2 = t; });
+    rig.ev.runAll();
+    ASSERT_TRUE(t2.valid);
+
+    const auto a0 = rig.xlate.appStats(0);
+    const auto a1 = rig.xlate.appStats(1);
+    EXPECT_EQ(a0.requests, 2u);
+    EXPECT_EQ(a0.l1Hits, 1u);
+    EXPECT_EQ(a0.walks, 1u);
+    EXPECT_EQ(a1.requests, 1u);
+    EXPECT_EQ(a1.l1Hits, 0u);
+    EXPECT_EQ(a1.walks, 1u);
+    EXPECT_EQ(rig.xlate.appStats(9).requests, 0u);
+}
+
+TEST(TranslationTest, L1StatsTotalSumsAcrossSms)
+{
+    XlateRig rig;
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    rig.timedTranslate(0, 0x4000);
+    rig.timedTranslate(1, 0x4000);
+    rig.timedTranslate(1, 0x4000);
+    const Tlb::Stats total = rig.xlate.l1StatsTotal();
+    EXPECT_GE(total.accesses(), 3u);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,167 @@
+/** @file Unit tests for the highly-threaded page-table walker. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.h"
+#include "dram/dram.h"
+#include "engine/event_queue.h"
+#include "vm/page_table.h"
+#include "vm/walker.h"
+
+namespace mosaic {
+namespace {
+
+struct WalkRig
+{
+    EventQueue ev;
+    DramModel dram;
+    CacheHierarchy caches;
+    RegionPtNodeAllocator alloc{1ull << 32, 64ull << 20};
+    PageTable pt{0, alloc};
+
+    explicit WalkRig()
+        : dram(ev, DramConfig{}),
+          caches(ev, dram, CacheHierarchyConfig{})
+    {
+    }
+
+    PageTableWalker
+    makeWalker(WalkerConfig cfg = WalkerConfig{})
+    {
+        return PageTableWalker(ev, caches, cfg);
+    }
+};
+
+TEST(WalkerTest, WalkResolvesMappedPage)
+{
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    Translation result;
+    bool done = false;
+    walker.requestWalk(rig.pt, 0x4000, [&](const Translation &t) {
+        result = t;
+        done = true;
+    });
+    rig.ev.runAll();
+    ASSERT_TRUE(done);
+    ASSERT_TRUE(result.valid);
+    EXPECT_EQ(result.physAddr, 0x8000u);
+    EXPECT_EQ(walker.stats().walks, 1u);
+    EXPECT_EQ(walker.stats().faults, 0u);
+}
+
+TEST(WalkerTest, WalkTakesFourMemoryAccesses)
+{
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    const std::uint64_t reads_before = rig.dram.stats().reads;
+    bool done = false;
+    walker.requestWalk(rig.pt, 0x4000, [&](const Translation &) {
+        done = true;
+    });
+    rig.ev.runAll();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(rig.dram.stats().reads - reads_before, 4u);
+}
+
+TEST(WalkerTest, WalkOfUnmappedPageFaults)
+{
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    Translation result;
+    result.valid = true;
+    walker.requestWalk(rig.pt, 0xDEAD000, [&](const Translation &t) {
+        result = t;
+    });
+    rig.ev.runAll();
+    EXPECT_FALSE(result.valid);
+    EXPECT_EQ(walker.stats().faults, 1u);
+}
+
+TEST(WalkerTest, CoalescedRegionYieldsLargeTranslation)
+{
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    const Addr va = 9ull << kLargePageBits;
+    const Addr pa = 11ull << kLargePageBits;
+    for (std::uint64_t i = 0; i < kBasePagesPerLargePage; ++i)
+        rig.pt.mapBasePage(va + i * kBasePageSize, pa + i * kBasePageSize);
+    rig.pt.coalesce(va);
+
+    Translation result;
+    walker.requestWalk(rig.pt, va + 0x5000, [&](const Translation &t) {
+        result = t;
+    });
+    rig.ev.runAll();
+    ASSERT_TRUE(result.valid);
+    EXPECT_EQ(result.size, PageSize::Large);
+    EXPECT_EQ(walker.stats().largeResults, 1u);
+}
+
+TEST(WalkerTest, ConcurrencyCapQueuesExcessWalks)
+{
+    WalkRig rig;
+    WalkerConfig cfg;
+    cfg.maxConcurrentWalks = 4;
+    auto walker = rig.makeWalker(cfg);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        rig.pt.mapBasePage(0x100000 + i * kBasePageSize, 0x200000 + i * 4096);
+
+    int completions = 0;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        walker.requestWalk(rig.pt, 0x100000 + i * kBasePageSize,
+                           [&](const Translation &t) {
+            EXPECT_TRUE(t.valid);
+            ++completions;
+        });
+    }
+    EXPECT_LE(walker.activeWalks(), 4u);
+    EXPECT_EQ(walker.queuedWalks(), 12u);
+    EXPECT_EQ(walker.stats().queued, 12u);
+    rig.ev.runAll();
+    EXPECT_EQ(completions, 16);
+    EXPECT_EQ(walker.activeWalks(), 0u);
+}
+
+TEST(WalkerTest, PageWalkCacheShortensRepeatWalks)
+{
+    WalkRig rig;
+    WalkerConfig cfg;
+    cfg.usePageWalkCache = true;
+    auto walker = rig.makeWalker(cfg);
+    // Two pages under the same L4 node: upper levels shared.
+    rig.pt.mapBasePage(0x10000, 0x20000);
+    rig.pt.mapBasePage(0x11000, 0x21000);
+
+    bool first = false;
+    walker.requestWalk(rig.pt, 0x10000,
+                       [&](const Translation &) { first = true; });
+    rig.ev.runAll();
+    ASSERT_TRUE(first);
+    const std::uint64_t reads_after_first = rig.dram.stats().reads;
+
+    bool second = false;
+    walker.requestWalk(rig.pt, 0x11000,
+                       [&](const Translation &) { second = true; });
+    rig.ev.runAll();
+    ASSERT_TRUE(second);
+    // Upper three levels hit the PWC; only the leaf PTE goes to memory.
+    EXPECT_EQ(rig.dram.stats().reads - reads_after_first, 1u);
+    EXPECT_GE(walker.stats().pwcHits, 3u);
+}
+
+TEST(WalkerTest, LatencyHistogramPopulated)
+{
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    walker.requestWalk(rig.pt, 0x4000, [](const Translation &) {});
+    rig.ev.runAll();
+    EXPECT_EQ(walker.stats().latency.samples(), 1u);
+    EXPECT_GT(walker.stats().latency.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,225 @@
+/** @file Unit tests for the synthetic workload library. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/access_pattern.h"
+#include "workload/apps.h"
+#include "workload/metrics.h"
+#include "workload/workload.h"
+
+namespace mosaic {
+namespace {
+
+TEST(AppCatalogTest, HasTwentySevenApplications)
+{
+    EXPECT_EQ(appCatalog().size(), 27u);
+    std::set<std::string> names;
+    for (const AppParams &app : appCatalog())
+        names.insert(app.name);
+    EXPECT_EQ(names.size(), 27u);  // all distinct
+}
+
+TEST(AppCatalogTest, WorkingSetsMatchPaperRange)
+{
+    std::uint64_t total = 0;
+    for (const AppParams &app : appCatalog()) {
+        const std::uint64_t ws = app.workingSetBytes();
+        EXPECT_GE(ws, 8ull << 20) << app.name;
+        EXPECT_LE(ws, 420ull << 20) << app.name;
+        total += ws;
+    }
+    // Paper: mean working set ~81.5MB; ours within [50, 110] MB.
+    const double mean_mb =
+        double(total) / double(appCatalog().size()) / double(1 << 20);
+    EXPECT_GT(mean_mb, 50.0);
+    EXPECT_LT(mean_mb, 110.0);
+}
+
+TEST(AppCatalogTest, LookupByNameWorks)
+{
+    EXPECT_EQ(appByName("HISTO").name, "HISTO");
+    EXPECT_EQ(appByName("LBM").name, "LBM");
+}
+
+TEST(AppCatalogTest, EnMasseAllocation)
+{
+    // Every application allocates many buffers at once (en masse).
+    for (const AppParams &app : appCatalog())
+        EXPECT_GE(app.bufferSizes.size(), 5u) << app.name;
+}
+
+TEST(MakeBuffersTest, DeterministicAndSized)
+{
+    const auto a = makeBuffers(1, 64 << 20, 2, 0.9, 10);
+    const auto b = makeBuffers(1, 64 << 20, 2, 0.9, 10);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 12u);
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : a) {
+        EXPECT_EQ(s % kBasePageSize, 0u);
+        total += s;
+    }
+    EXPECT_NEAR(double(total), double(64 << 20), 0.3 * double(64 << 20));
+}
+
+TEST(AppLayoutTest, BuffersAreLargePageAligned)
+{
+    const AppParams &app = appByName("SGEMM");
+    AppLayout layout(app, 1ull << 40);
+    for (const auto &buf : layout.buffers())
+        EXPECT_TRUE(isLargePageAligned(buf.va));
+}
+
+TEST(AppLayoutTest, TouchedOffsetMapsIntoBuffers)
+{
+    const AppParams &app = appByName("SGEMM");
+    AppLayout layout(app, 1ull << 40);
+    for (std::uint64_t off = 0; off < layout.totalTouched();
+         off += layout.totalTouched() / 97 + 1) {
+        const Addr va = layout.touchedOffsetToVa(off);
+        bool inside = false;
+        for (const auto &buf : layout.buffers())
+            inside = inside || (va >= buf.va && va < buf.va + buf.bytes);
+        ASSERT_TRUE(inside) << "offset " << off;
+    }
+}
+
+TEST(AppLayoutTest, TouchedFractionLimitsCoverage)
+{
+    AppParams app = appByName("LBM");  // touchedFraction 0.90
+    AppLayout layout(app, 1ull << 40);
+    EXPECT_LT(layout.totalTouched(), app.workingSetBytes());
+    EXPECT_GT(layout.totalTouched(), app.workingSetBytes() / 2);
+}
+
+TEST(ScaledTest, KeepsChunkStructure)
+{
+    const AppParams scaled = appByName("LBM").scaled(0.1);
+    // Big buffers must not shrink below two large pages.
+    std::uint64_t max_buf = 0;
+    for (const std::uint64_t s : scaled.bufferSizes)
+        max_buf = std::max(max_buf, s);
+    EXPECT_GE(max_buf, 2 * kLargePageSize);
+    EXPECT_LT(scaled.workingSetBytes(),
+              appByName("LBM").workingSetBytes());
+}
+
+TEST(WarpStreamTest, DeterministicForSameSeed)
+{
+    const AppParams &app = appByName("BFS");
+    AppLayout layout(app, 1ull << 40);
+    SyntheticWarpStream a(app, layout, 0, 32, 7);
+    SyntheticWarpStream b(app, layout, 0, 32, 7);
+    WarpInstr ia, ib;
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_EQ(a.next(ia), b.next(ib));
+        ASSERT_EQ(ia.isMemory, ib.isMemory);
+        if (ia.isMemory) {
+            ASSERT_EQ(ia.numLines, ib.numLines);
+            for (unsigned l = 0; l < ia.numLines; ++l)
+                ASSERT_EQ(ia.lineAddrs[l], ib.lineAddrs[l]);
+        }
+    }
+}
+
+TEST(WarpStreamTest, RespectsInstructionBudget)
+{
+    AppParams app = appByName("SCP");
+    app.instrPerWarp = 100;
+    AppLayout layout(app, 1ull << 40);
+    SyntheticWarpStream stream(app, layout, 0, 32, 1);
+    WarpInstr instr;
+    int count = 0;
+    while (stream.next(instr))
+        ++count;
+    EXPECT_EQ(count, 100);
+    EXPECT_FALSE(stream.next(instr));  // stays exhausted
+}
+
+TEST(WarpStreamTest, MemoryComputeMixMatchesParams)
+{
+    AppParams app = appByName("SCP");  // computePerMem = 3
+    app.instrPerWarp = 4000;
+    AppLayout layout(app, 1ull << 40);
+    SyntheticWarpStream stream(app, layout, 0, 32, 1);
+    WarpInstr instr;
+    int mem = 0, total = 0;
+    while (stream.next(instr)) {
+        ++total;
+        mem += instr.isMemory ? 1 : 0;
+    }
+    EXPECT_NEAR(double(mem) / total, 1.0 / (1 + app.computePerMem), 0.01);
+}
+
+TEST(WarpStreamTest, AddressesStayInsideLayout)
+{
+    const AppParams &app = appByName("NW");
+    AppLayout layout(app, 1ull << 40);
+    SyntheticWarpStream stream(app, layout, 3, 32, 11);
+    WarpInstr instr;
+    while (stream.next(instr)) {
+        if (!instr.isMemory)
+            continue;
+        for (unsigned l = 0; l < instr.numLines; ++l) {
+            ASSERT_GE(instr.lineAddrs[l], layout.vaBase());
+            ASSERT_LT(instr.lineAddrs[l], layout.vaEnd());
+        }
+    }
+}
+
+TEST(AppLayoutTest, RebaseBufferMovesAccesses)
+{
+    AppParams app = appByName("SCP");
+    AppLayout layout(app, 1ull << 40);
+    const Addr old_va = layout.buffers()[0].va;
+    const Addr new_va = 9ull << 40;
+    layout.rebaseBuffer(0, new_va);
+    EXPECT_EQ(layout.buffers()[0].va, new_va);
+    // Offset 0 of the touched space now resolves into the new region.
+    EXPECT_EQ(layout.touchedOffsetToVa(0), new_va);
+    EXPECT_NE(layout.touchedOffsetToVa(0), old_va);
+    // Total touched bytes are unchanged (same sizes).
+    EXPECT_GT(layout.totalTouched(), 0u);
+}
+
+TEST(WorkloadTest, HomogeneousHasIdenticalCopies)
+{
+    const Workload w = homogeneousWorkload("HS", 3);
+    EXPECT_EQ(w.apps.size(), 3u);
+    EXPECT_EQ(w.apps[0].name, "HS");
+    EXPECT_EQ(w.apps[1].workingSetBytes(), w.apps[0].workingSetBytes());
+}
+
+TEST(WorkloadTest, HeterogeneousPicksDistinctApps)
+{
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const Workload w = heterogeneousWorkload(5, seed);
+        std::set<std::string> names;
+        for (const AppParams &app : w.apps)
+            names.insert(app.name);
+        EXPECT_EQ(names.size(), 5u) << "seed " << seed;
+    }
+}
+
+TEST(WorkloadTest, SuitesHaveDocumentedSizes)
+{
+    EXPECT_EQ(homogeneousSuite(2).size(), 27u);
+    EXPECT_EQ(heterogeneousSuite(3, 25, 42).size(), 25u);
+}
+
+TEST(MetricsTest, WeightedSpeedup)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0, 2.0}, {2.0, 2.0}), 1.5);
+    EXPECT_DOUBLE_EQ(weightedSpeedup({}, {}), 0.0);
+}
+
+TEST(MetricsTest, Means)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 3.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mosaic

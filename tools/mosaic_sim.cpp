@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Command-line driver for one-off simulations.
+ *
+ * Examples:
+ *   mosaic_sim --workload hom:HISTO:2 --config mosaic
+ *   mosaic_sim --workload het:4:42 --config baseline --scale 0.5
+ *   mosaic_sim --workload hom:NW:1 --config mosaic --frag 0.95 \
+ *              --occ 0.25 --churn --tight-memory
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runner/json_report.h"
+#include "runner/report.h"
+#include "runner/simulation.h"
+#include "workload/apps.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace mosaic;
+
+void
+usage()
+{
+    std::printf(
+        "mosaic_sim -- run one simulation of the Mosaic GPU memory "
+        "manager\n\n"
+        "  --workload hom:<APP>:<N> | het:<N>:<SEED>   (default hom:HISTO:2)\n"
+        "  --config baseline|mosaic|ideal|large        (default mosaic)\n"
+        "  --scale <f>            working-set scale factor (default 0.25)\n"
+        "  --instr <n>            instructions per warp (default 700)\n"
+        "  --warps <n>            warps per SM (default 16)\n"
+        "  --sms <n>              number of SMs (default 30)\n"
+        "  --io-compression <f>   PCIe time compression (default 16)\n"
+        "  --no-paging [charged]  prefetch instead of demand paging\n"
+        "  --frag <f> --occ <f>   pre-fragmentation (Mosaic only)\n"
+        "  --churn                enable allocation churn\n"
+        "  --tight-memory         DRAM = ~8x working set\n"
+        "  --no-cac | --cac-bc | --cac-ideal\n"
+        "  --rr                   round-robin warp scheduler\n"
+        "  --seed <n>             simulation seed (default 1)\n"
+        "  --weighted-speedup     also run per-app alone baselines\n"
+        "  --json                 emit the result as JSON instead of text\n"
+        "  --list-apps            print the application catalog\n");
+}
+
+bool
+match(const char *arg, const char *flag)
+{
+    return std::strcmp(arg, flag) == 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_spec = "hom:HISTO:2";
+    std::string config_name = "mosaic";
+    double scale = 0.25;
+    std::uint64_t instr = 700;
+    unsigned warps = 16;
+    unsigned sms = 30;
+    double io_comp = 16.0;
+    bool no_paging = false, charged = false;
+    double frag = 0.0, occ = 0.0;
+    bool churn = false, tight = false;
+    bool no_cac = false, cac_bc = false, cac_ideal = false, rr = false;
+    std::uint64_t seed = 1;
+    bool weighted = false;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (match(a, "--help")) {
+            usage();
+            return 0;
+        } else if (match(a, "--list-apps")) {
+            for (const AppParams &app : appCatalog()) {
+                std::printf("%-8s %4llu MB, %2zu buffers\n",
+                            app.name.c_str(),
+                            static_cast<unsigned long long>(
+                                app.workingSetBytes() >> 20),
+                            app.bufferSizes.size());
+            }
+            return 0;
+        } else if (match(a, "--workload")) {
+            workload_spec = next();
+        } else if (match(a, "--config")) {
+            config_name = next();
+        } else if (match(a, "--scale")) {
+            scale = std::atof(next());
+        } else if (match(a, "--instr")) {
+            instr = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (match(a, "--warps")) {
+            warps = static_cast<unsigned>(std::atoi(next()));
+        } else if (match(a, "--sms")) {
+            sms = static_cast<unsigned>(std::atoi(next()));
+        } else if (match(a, "--io-compression")) {
+            io_comp = std::atof(next());
+        } else if (match(a, "--no-paging")) {
+            no_paging = true;
+            if (i + 1 < argc && match(argv[i + 1], "charged")) {
+                charged = true;
+                ++i;
+            }
+        } else if (match(a, "--frag")) {
+            frag = std::atof(next());
+        } else if (match(a, "--occ")) {
+            occ = std::atof(next());
+        } else if (match(a, "--churn")) {
+            churn = true;
+        } else if (match(a, "--tight-memory")) {
+            tight = true;
+        } else if (match(a, "--no-cac")) {
+            no_cac = true;
+        } else if (match(a, "--cac-bc")) {
+            cac_bc = true;
+        } else if (match(a, "--cac-ideal")) {
+            cac_ideal = true;
+        } else if (match(a, "--rr")) {
+            rr = true;
+        } else if (match(a, "--seed")) {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (match(a, "--weighted-speedup")) {
+            weighted = true;
+        } else if (match(a, "--json")) {
+            json = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n\n", a);
+            usage();
+            return 1;
+        }
+    }
+
+    // Build the workload.
+    Workload w;
+    if (workload_spec.rfind("hom:", 0) == 0) {
+        const auto rest = workload_spec.substr(4);
+        const auto colon = rest.find(':');
+        const std::string app = rest.substr(0, colon);
+        const unsigned copies =
+            colon == std::string::npos
+                ? 1
+                : static_cast<unsigned>(std::atoi(rest.c_str() + colon + 1));
+        w = homogeneousWorkload(app, std::max(1u, copies));
+    } else if (workload_spec.rfind("het:", 0) == 0) {
+        const auto rest = workload_spec.substr(4);
+        const auto colon = rest.find(':');
+        const unsigned n =
+            static_cast<unsigned>(std::atoi(rest.substr(0, colon).c_str()));
+        const std::uint64_t wseed =
+            colon == std::string::npos
+                ? 42
+                : static_cast<std::uint64_t>(
+                      std::atoll(rest.c_str() + colon + 1));
+        w = heterogeneousWorkload(std::max(1u, n), wseed);
+    } else {
+        std::fprintf(stderr, "bad --workload spec '%s'\n",
+                     workload_spec.c_str());
+        return 1;
+    }
+    w = scaledWorkload(w, scale);
+    for (AppParams &app : w.apps)
+        app.instrPerWarp = instr;
+
+    // Build the configuration.
+    SimConfig config;
+    if (config_name == "baseline") {
+        config = SimConfig::baseline();
+    } else if (config_name == "mosaic") {
+        config = SimConfig::mosaicDefault();
+    } else if (config_name == "ideal") {
+        config = SimConfig::idealTlb();
+    } else if (config_name == "large") {
+        config = SimConfig::largeOnly();
+    } else {
+        std::fprintf(stderr, "unknown --config '%s'\n",
+                     config_name.c_str());
+        return 1;
+    }
+    config.gpu.numSms = sms;
+    config.gpu.sm.warpsPerSm = warps;
+    if (rr)
+        config.gpu.sm.scheduler = WarpSchedPolicy::RoundRobin;
+    if (io_comp != 1.0)
+        config = config.withIoCompression(io_comp);
+    if (no_paging)
+        config = config.withoutPaging(charged);
+    config.fragmentationIndex = frag;
+    config.fragmentationOccupancy = occ;
+    config.churn.enabled = churn;
+    config.mosaic.cac.enabled = !no_cac;
+    config.mosaic.cac.useBulkCopy = cac_bc;
+    config.mosaic.cac.ideal = cac_ideal;
+    config.seed = seed;
+    if (tight) {
+        config.pageTablePoolBytes = 16ull << 20;
+        config.dram.capacityBytes = std::max<std::uint64_t>(
+            roundUp(w.workingSetBytes() * 8, kLargePageSize) +
+                config.pageTablePoolBytes + (8ull << 20),
+            64ull << 20);
+    }
+
+    const SimResult result = [&] {
+        if (!json)
+            printConfigBanner(config);
+        SimResult r = runSimulation(w, config);
+        if (json)
+            std::printf("%s\n", toJson(r).c_str());
+        else
+            printSimResult(r);
+        return r;
+    }();
+
+    if (weighted) {
+        const auto alone = aloneIpcs(w, config);
+        std::printf("weighted speedup: %.3f\n",
+                    weightedSpeedupOf(result, alone));
+    }
+    return 0;
+}
