@@ -6,9 +6,29 @@
  *
  * Paper result: Mosaic improves on GPU-MMU by 55.5% on average and
  * comes within 6.8% of the ideal TLB.
+ *
+ * The (apps, application) grid is embarrassingly parallel; every cell
+ * is submitted to the SweepRunner pool up front and the table is
+ * assembled from the futures in submission order, so the output is
+ * byte-identical for any MOSAIC_BENCH_JOBS.
  */
 
+#include <future>
+
 #include "bench_common.h"
+#include "runner/sweep.h"
+
+namespace {
+
+/** One grid cell: the three designs' weighted speedups. */
+struct Cell
+{
+    double base = 0.0;
+    double mosaic = 0.0;
+    double ideal = 0.0;
+};
+
+}  // namespace
 
 int
 main()
@@ -20,6 +40,37 @@ main()
     banner("Figure 8", "homogeneous workloads: weighted speedup of "
                        "GPU-MMU vs Mosaic vs Ideal TLB", profile);
 
+    SweepRunner pool;
+    std::vector<std::vector<std::future<Cell>>> grid;
+    for (unsigned n = 1; n <= 5; ++n) {
+        std::vector<std::future<Cell>> row;
+        for (const std::string &name : profile.homogeneousApps) {
+            row.push_back(pool.submit(
+                [profile, name, n] {
+                    const Workload w =
+                        profile.shape(homogeneousWorkload(name, n));
+                    const SimConfig base =
+                        profile.shape(SimConfig::baseline());
+                    const SimConfig mosaic =
+                        profile.shape(SimConfig::mosaicDefault());
+                    const SimConfig ideal =
+                        profile.shape(SimConfig::idealTlb());
+
+                    const auto alone = aloneIpcs(w, base);
+                    Cell cell;
+                    cell.base =
+                        weightedSpeedupOf(runSimulation(w, base), alone);
+                    cell.mosaic =
+                        weightedSpeedupOf(runSimulation(w, mosaic), alone);
+                    cell.ideal =
+                        weightedSpeedupOf(runSimulation(w, ideal), alone);
+                    return cell;
+                },
+                name + "x" + std::to_string(n)));
+        }
+        grid.push_back(std::move(row));
+    }
+
     TextTable t;
     t.header({"apps", "GPU-MMU", "Mosaic", "Ideal TLB", "Mosaic gain",
               "vs ideal"});
@@ -27,20 +78,11 @@ main()
     std::vector<double> all_gains, all_vs_ideal;
     for (unsigned n = 1; n <= 5; ++n) {
         std::vector<double> ws_base, ws_mosaic, ws_ideal;
-        for (const std::string &name : profile.homogeneousApps) {
-            const Workload w = profile.shape(homogeneousWorkload(name, n));
-            const SimConfig base = profile.shape(SimConfig::baseline());
-            const SimConfig mosaic =
-                profile.shape(SimConfig::mosaicDefault());
-            const SimConfig ideal = profile.shape(SimConfig::idealTlb());
-
-            const auto alone = aloneIpcs(w, base);
-            ws_base.push_back(
-                weightedSpeedupOf(runSimulation(w, base), alone));
-            ws_mosaic.push_back(
-                weightedSpeedupOf(runSimulation(w, mosaic), alone));
-            ws_ideal.push_back(
-                weightedSpeedupOf(runSimulation(w, ideal), alone));
+        for (std::future<Cell> &f : grid[n - 1]) {
+            const Cell cell = f.get();
+            ws_base.push_back(cell.base);
+            ws_mosaic.push_back(cell.mosaic);
+            ws_ideal.push_back(cell.ideal);
         }
         const double b = mean(ws_base);
         const double m = mean(ws_mosaic);
@@ -59,5 +101,6 @@ main()
     std::printf("measured: Mosaic %s over GPU-MMU, within %s of ideal\n",
                 TextTable::pct(mean(all_gains)).c_str(),
                 TextTable::pct(mean(all_vs_ideal)).c_str());
+    appendSweepJson(pool, "fig08_homogeneous");
     return 0;
 }

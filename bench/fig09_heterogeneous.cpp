@@ -5,9 +5,29 @@
  *
  * Paper result: Mosaic improves on GPU-MMU by 29.7% on average and
  * comes within 15.4% of the ideal TLB.
+ *
+ * All (concurrency level, workload) cells are submitted to the
+ * SweepRunner pool up front; the table is assembled from the futures in
+ * submission order, so the output is byte-identical for any
+ * MOSAIC_BENCH_JOBS.
  */
 
+#include <future>
+
 #include "bench_common.h"
+#include "runner/sweep.h"
+
+namespace {
+
+/** One workload's weighted speedups under the three designs. */
+struct Cell
+{
+    double base = 0.0;
+    double mosaic = 0.0;
+    double ideal = 0.0;
+};
+
+}  // namespace
 
 int
 main()
@@ -19,37 +39,60 @@ main()
     banner("Figure 9", "heterogeneous workloads: weighted speedup of "
                        "GPU-MMU vs Mosaic vs Ideal TLB", profile);
 
+    SweepRunner pool;
+    std::vector<std::vector<std::future<Cell>>> grid;
+    std::vector<std::size_t> suite_sizes;
+    for (unsigned n = 2; n <= 5; ++n) {
+        const auto suite =
+            heterogeneousSuite(n, profile.hetWorkloadsPerLevel,
+                               0xFEED + n);
+        suite_sizes.push_back(suite.size());
+        std::vector<std::future<Cell>> row;
+        for (const Workload &raw : suite) {
+            row.push_back(pool.submit(
+                [profile, raw] {
+                    const Workload w = profile.shape(raw);
+                    const SimConfig base =
+                        profile.shape(SimConfig::baseline());
+                    const SimConfig mosaic =
+                        profile.shape(SimConfig::mosaicDefault());
+                    const SimConfig ideal =
+                        profile.shape(SimConfig::idealTlb());
+
+                    const auto alone = aloneIpcs(w, base);
+                    Cell cell;
+                    cell.base =
+                        weightedSpeedupOf(runSimulation(w, base), alone);
+                    cell.mosaic =
+                        weightedSpeedupOf(runSimulation(w, mosaic), alone);
+                    cell.ideal =
+                        weightedSpeedupOf(runSimulation(w, ideal), alone);
+                    return cell;
+                },
+                raw.name + "/" + std::to_string(n) + "apps"));
+        }
+        grid.push_back(std::move(row));
+    }
+
     TextTable t;
     t.header({"apps", "workloads", "GPU-MMU", "Mosaic", "Ideal TLB",
               "Mosaic gain", "vs ideal"});
 
     std::vector<double> all_gains, all_vs_ideal;
     for (unsigned n = 2; n <= 5; ++n) {
-        const auto suite =
-            heterogeneousSuite(n, profile.hetWorkloadsPerLevel,
-                               0xFEED + n);
         std::vector<double> ws_base, ws_mosaic, ws_ideal;
-        for (const Workload &raw : suite) {
-            const Workload w = profile.shape(raw);
-            const SimConfig base = profile.shape(SimConfig::baseline());
-            const SimConfig mosaic =
-                profile.shape(SimConfig::mosaicDefault());
-            const SimConfig ideal = profile.shape(SimConfig::idealTlb());
-
-            const auto alone = aloneIpcs(w, base);
-            ws_base.push_back(
-                weightedSpeedupOf(runSimulation(w, base), alone));
-            ws_mosaic.push_back(
-                weightedSpeedupOf(runSimulation(w, mosaic), alone));
-            ws_ideal.push_back(
-                weightedSpeedupOf(runSimulation(w, ideal), alone));
+        for (std::future<Cell> &f : grid[n - 2]) {
+            const Cell cell = f.get();
+            ws_base.push_back(cell.base);
+            ws_mosaic.push_back(cell.mosaic);
+            ws_ideal.push_back(cell.ideal);
         }
         const double b = mean(ws_base);
         const double m = mean(ws_mosaic);
         const double i = mean(ws_ideal);
         all_gains.push_back(m / b - 1.0);
         all_vs_ideal.push_back(1.0 - m / i);
-        t.row({std::to_string(n), std::to_string(suite.size()),
+        t.row({std::to_string(n), std::to_string(suite_sizes[n - 2]),
                TextTable::num(b, 3), TextTable::num(m, 3),
                TextTable::num(i, 3), TextTable::pct(m / b - 1.0),
                "-" + TextTable::pct(1.0 - m / i)});
@@ -61,5 +104,6 @@ main()
     std::printf("measured: Mosaic %s over GPU-MMU, within %s of ideal\n",
                 TextTable::pct(mean(all_gains)).c_str(),
                 TextTable::pct(mean(all_vs_ideal)).c_str());
+    appendSweepJson(pool, "fig09_heterogeneous");
     return 0;
 }

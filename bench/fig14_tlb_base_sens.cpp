@@ -8,16 +8,107 @@
  * Paper result: Mosaic is almost insensitive to L1 base entries (its
  * pages are coalesced), losing only ~7.6% even at 8 entries, while
  * GPU-MMU scales poorly; both remain sensitive to L2 base entries.
+ *
+ * Both sweeps' full configuration grids (normalization runs included)
+ * are submitted to the SweepRunner pool up front; tables are assembled
+ * from the futures in submission order, so the output is byte-identical
+ * for any MOSAIC_BENCH_JOBS.
  */
 
+#include <future>
+
 #include "bench_common.h"
+#include "runner/sweep.h"
+
+namespace {
+
+using namespace mosaic;
+using namespace mosaic::bench;
+
+/** Futures for one sweep panel, in table order. */
+struct PanelJobs
+{
+    const char *title = nullptr;
+    std::vector<std::size_t> sizes;
+    std::vector<std::future<double>> norm;  ///< per workload
+    /** [size][workload] for each design. */
+    std::vector<std::vector<std::future<double>>> base, mosaic;
+};
+
+PanelJobs
+submitPanel(SweepRunner &pool, const BenchProfile &profile,
+            const std::vector<Workload> &workloads, const char *title,
+            bool l1_level, std::vector<std::size_t> sizes)
+{
+    PanelJobs jobs;
+    jobs.title = title;
+    jobs.sizes = std::move(sizes);
+    // Normalization: GPU-MMU at the baseline geometry.
+    for (const Workload &w : workloads) {
+        jobs.norm.push_back(pool.submit(
+            [profile, w] {
+                return ipcOf(w, profile.shape(SimConfig::baseline()));
+            },
+            w.name + "/norm"));
+    }
+    for (const std::size_t entries : jobs.sizes) {
+        std::vector<std::future<double>> base_row, mosaic_row;
+        for (const Workload &w : workloads) {
+            SimConfig base = profile.shape(SimConfig::baseline());
+            SimConfig mosaic = profile.shape(SimConfig::mosaicDefault());
+            if (l1_level) {
+                base.translation.l1.baseEntries = entries;
+                mosaic.translation.l1.baseEntries = entries;
+            } else {
+                base.translation.l2.baseEntries = entries;
+                base.translation.l2.baseWays =
+                    std::min<std::size_t>(16, entries);
+                mosaic.translation.l2.baseEntries = entries;
+                mosaic.translation.l2.baseWays =
+                    std::min<std::size_t>(16, entries);
+            }
+            const std::string tag = w.name + "/" +
+                                    (l1_level ? "l1base" : "l2base") +
+                                    std::to_string(entries);
+            base_row.push_back(pool.submit(
+                [w, base] { return ipcOf(w, base); }, tag + "/GPU-MMU"));
+            mosaic_row.push_back(pool.submit(
+                [w, mosaic] { return ipcOf(w, mosaic); }, tag + "/Mosaic"));
+        }
+        jobs.base.push_back(std::move(base_row));
+        jobs.mosaic.push_back(std::move(mosaic_row));
+    }
+    return jobs;
+}
+
+void
+printPanel(PanelJobs &jobs)
+{
+    std::printf("\n(%s)\n", jobs.title);
+    std::vector<double> norm;
+    for (std::future<double> &f : jobs.norm)
+        norm.push_back(f.get());
+
+    TextTable t;
+    t.header({"entries", "GPU-MMU", "Mosaic"});
+    for (std::size_t s = 0; s < jobs.sizes.size(); ++s) {
+        std::vector<double> base_r, mosaic_r;
+        for (std::size_t i = 0; i < norm.size(); ++i) {
+            base_r.push_back(safeRatio(jobs.base[s][i].get(), norm[i]));
+            mosaic_r.push_back(safeRatio(jobs.mosaic[s][i].get(), norm[i]));
+        }
+        t.row({std::to_string(jobs.sizes[s]),
+               TextTable::num(mean(base_r), 3),
+               TextTable::num(mean(mosaic_r), 3)});
+    }
+    t.print();
+}
+
+}  // namespace
 
 int
 main()
 {
-    using namespace mosaic;
-    using namespace mosaic::bench;
-
     const BenchProfile profile = BenchProfile::fromEnv();
     banner("Figure 14", "sensitivity to TLB base-page entries",
            profile);
@@ -32,51 +123,19 @@ main()
     for (const std::string &name : apps)
         workloads.push_back(profile.shape(homogeneousWorkload(name, 2)));
 
-    auto sweep = [&](const char *title, bool l1_level,
-                     const std::vector<std::size_t> &sizes) {
-        std::printf("\n(%s)\n", title);
-        // Normalization: GPU-MMU at the baseline geometry.
-        std::vector<double> norm;
-        for (const Workload &w : workloads)
-            norm.push_back(ipcOf(w, profile.shape(SimConfig::baseline())));
-
-        TextTable t;
-        t.header({"entries", "GPU-MMU", "Mosaic"});
-        for (const std::size_t entries : sizes) {
-            std::vector<double> base_r, mosaic_r;
-            for (std::size_t i = 0; i < workloads.size(); ++i) {
-                SimConfig base = profile.shape(SimConfig::baseline());
-                SimConfig mosaic =
-                    profile.shape(SimConfig::mosaicDefault());
-                if (l1_level) {
-                    base.translation.l1.baseEntries = entries;
-                    mosaic.translation.l1.baseEntries = entries;
-                } else {
-                    base.translation.l2.baseEntries = entries;
-                    base.translation.l2.baseWays =
-                        std::min<std::size_t>(16, entries);
-                    mosaic.translation.l2.baseEntries = entries;
-                    mosaic.translation.l2.baseWays =
-                        std::min<std::size_t>(16, entries);
-                }
-                base_r.push_back(
-                    safeRatio(ipcOf(workloads[i], base), norm[i]));
-                mosaic_r.push_back(
-                    safeRatio(ipcOf(workloads[i], mosaic), norm[i]));
-            }
-            t.row({std::to_string(entries), TextTable::num(mean(base_r), 3),
-                   TextTable::num(mean(mosaic_r), 3)});
-        }
-        t.print();
-    };
-
-    sweep("a: per-SM L1 TLB base-page entries", true,
-          {8, 16, 32, 64, 128, 256});
-    sweep("b: shared L2 TLB base-page entries", false,
-          {64, 128, 256, 512, 1024, 4096});
+    SweepRunner pool;
+    PanelJobs a = submitPanel(pool, profile, workloads,
+                              "a: per-SM L1 TLB base-page entries", true,
+                              {8, 16, 32, 64, 128, 256});
+    PanelJobs b = submitPanel(pool, profile, workloads,
+                              "b: shared L2 TLB base-page entries", false,
+                              {64, 128, 256, 512, 1024, 4096});
+    printPanel(a);
+    printPanel(b);
 
     std::printf("\npaper: Mosaic loses only ~7.6%% even with 8 L1 base "
                 "entries; GPU-MMU degrades steadily; both gain from "
                 "larger L2 base arrays\n");
+    appendSweepJson(pool, "fig14_tlb_base_sens");
     return 0;
 }

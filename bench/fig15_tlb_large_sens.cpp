@@ -14,16 +14,108 @@
  * Note: scaled-down hot sets cover only a handful of large pages, so
  * the sweep extends below the paper's smallest sizes (down to 1-2
  * entries) to expose Mosaic's sensitivity knee.
+ *
+ * All three panels' configuration grids are submitted to the
+ * SweepRunner pool up front; tables are assembled from the futures in
+ * submission order, so the output is byte-identical for any
+ * MOSAIC_BENCH_JOBS.
  */
 
+#include <functional>
+#include <future>
+
 #include "bench_common.h"
+#include "runner/sweep.h"
+
+namespace {
+
+using namespace mosaic;
+using namespace mosaic::bench;
+
+/** Futures for one sweep panel, in table order. */
+struct PanelJobs
+{
+    std::vector<std::string> rows;          ///< first-column labels
+    std::vector<std::future<double>> norm;  ///< per workload
+    /** [row][workload] for each design. */
+    std::vector<std::vector<std::future<double>>> base, mosaic;
+};
+
+/**
+ * Submits normalization runs plus, per row, one GPU-MMU and one Mosaic
+ * run per workload with @p apply tweaking both configs for that row.
+ */
+PanelJobs
+submitPanel(
+    SweepRunner &pool, const BenchProfile &profile,
+    const std::vector<Workload> &workloads,
+    const std::vector<std::string> &rows,
+    const std::function<void(std::size_t row, SimConfig &)> &apply)
+{
+    PanelJobs jobs;
+    jobs.rows = rows;
+    for (const Workload &w : workloads) {
+        jobs.norm.push_back(pool.submit(
+            [profile, w] {
+                return ipcOf(w, profile.shape(SimConfig::baseline()));
+            },
+            w.name + "/norm"));
+    }
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::vector<std::future<double>> base_row, mosaic_row;
+        for (const Workload &w : workloads) {
+            SimConfig base = profile.shape(SimConfig::baseline());
+            SimConfig mosaic = profile.shape(SimConfig::mosaicDefault());
+            apply(r, base);
+            apply(r, mosaic);
+            const std::string tag = w.name + "/large" + rows[r];
+            base_row.push_back(pool.submit(
+                [w, base] { return ipcOf(w, base); }, tag + "/GPU-MMU"));
+            mosaic_row.push_back(pool.submit(
+                [w, mosaic] { return ipcOf(w, mosaic); }, tag + "/Mosaic"));
+        }
+        jobs.base.push_back(std::move(base_row));
+        jobs.mosaic.push_back(std::move(mosaic_row));
+    }
+    return jobs;
+}
+
+void
+printPanel(const char *title, const char *firstColumn, PanelJobs &jobs)
+{
+    std::printf("\n(%s)\n", title);
+    std::vector<double> norm;
+    for (std::future<double> &f : jobs.norm)
+        norm.push_back(f.get());
+
+    TextTable t;
+    t.header({firstColumn, "GPU-MMU", "Mosaic"});
+    for (std::size_t r = 0; r < jobs.rows.size(); ++r) {
+        std::vector<double> base_r, mosaic_r;
+        for (std::size_t i = 0; i < norm.size(); ++i) {
+            base_r.push_back(safeRatio(jobs.base[r][i].get(), norm[i]));
+            mosaic_r.push_back(safeRatio(jobs.mosaic[r][i].get(), norm[i]));
+        }
+        t.row({jobs.rows[r], TextTable::num(mean(base_r), 3),
+               TextTable::num(mean(mosaic_r), 3)});
+    }
+    t.print();
+}
+
+std::vector<std::string>
+labelsOf(const std::vector<std::size_t> &sizes)
+{
+    std::vector<std::string> out;
+    for (const std::size_t s : sizes)
+        out.push_back(std::to_string(s));
+    return out;
+}
+
+}  // namespace
 
 int
 main()
 {
-    using namespace mosaic;
-    using namespace mosaic::bench;
-
     const BenchProfile profile = BenchProfile::fromEnv();
     banner("Figure 15", "sensitivity to TLB large-page entries", profile);
 
@@ -34,81 +126,48 @@ main()
     for (const std::string &name : apps)
         workloads.push_back(profile.shape(homogeneousWorkload(name, 2)));
 
-    auto sweep = [&](const char *title, bool l1_level,
-                     const std::vector<std::size_t> &sizes) {
-        std::printf("\n(%s)\n", title);
-        std::vector<double> norm;
-        for (const Workload &w : workloads)
-            norm.push_back(ipcOf(w, profile.shape(SimConfig::baseline())));
+    SweepRunner pool;
 
-        TextTable t;
-        t.header({"entries", "GPU-MMU", "Mosaic"});
-        for (const std::size_t entries : sizes) {
-            std::vector<double> base_r, mosaic_r;
-            for (std::size_t i = 0; i < workloads.size(); ++i) {
-                SimConfig base = profile.shape(SimConfig::baseline());
-                SimConfig mosaic =
-                    profile.shape(SimConfig::mosaicDefault());
-                if (l1_level) {
-                    base.translation.l1.largeEntries = entries;
-                    mosaic.translation.l1.largeEntries = entries;
-                } else {
-                    base.translation.l2.largeEntries = entries;
-                    mosaic.translation.l2.largeEntries = entries;
-                }
-                base_r.push_back(
-                    safeRatio(ipcOf(workloads[i], base), norm[i]));
-                mosaic_r.push_back(
-                    safeRatio(ipcOf(workloads[i], mosaic), norm[i]));
-            }
-            t.row({std::to_string(entries), TextTable::num(mean(base_r), 3),
-                   TextTable::num(mean(mosaic_r), 3)});
-        }
-        t.print();
-    };
+    const std::vector<std::size_t> l1_sizes = {1, 2, 4, 8, 16, 32, 64};
+    PanelJobs a = submitPanel(
+        pool, profile, workloads, labelsOf(l1_sizes),
+        [&l1_sizes](std::size_t r, SimConfig &c) {
+            c.translation.l1.largeEntries = l1_sizes[r];
+        });
 
-    sweep("a: per-SM L1 TLB large-page entries", true,
-          {1, 2, 4, 8, 16, 32, 64});
-    sweep("b: shared L2 TLB large-page entries", false,
-          {2, 4, 8, 32, 64, 128, 256, 512});
+    const std::vector<std::size_t> l2_sizes = {2, 4, 8, 32, 64, 128, 256,
+                                               512};
+    PanelJobs b = submitPanel(
+        pool, profile, workloads, labelsOf(l2_sizes),
+        [&l2_sizes](std::size_t r, SimConfig &c) {
+            c.translation.l2.largeEntries = l2_sizes[r];
+        });
 
     // (c) Both levels shrink together: with the scaled hot sets, the L2
     // large array otherwise hides any L1 shortage (a 10-cycle hit that
     // 16 warps easily cover), so only the combined sweep exposes the
     // reach knee the paper observes at full scale.
-    std::printf("\n(c: combined L1/L2 large-page capacity)\n");
-    {
-        std::vector<double> norm;
-        for (const Workload &w : workloads)
-            norm.push_back(ipcOf(w, profile.shape(SimConfig::baseline())));
-        TextTable t;
-        t.header({"L1/L2 large entries", "GPU-MMU", "Mosaic"});
-        const std::pair<std::size_t, std::size_t> points[] = {
-            {1, 1}, {2, 2}, {4, 8}, {8, 64}, {16, 256}, {64, 512},
-        };
-        for (const auto &[l1e, l2e] : points) {
-            std::vector<double> base_r, mosaic_r;
-            for (std::size_t i = 0; i < workloads.size(); ++i) {
-                SimConfig base = profile.shape(SimConfig::baseline());
-                SimConfig mosaic =
-                    profile.shape(SimConfig::mosaicDefault());
-                base.translation.l1.largeEntries = l1e;
-                base.translation.l2.largeEntries = l2e;
-                mosaic.translation.l1.largeEntries = l1e;
-                mosaic.translation.l2.largeEntries = l2e;
-                base_r.push_back(
-                    safeRatio(ipcOf(workloads[i], base), norm[i]));
-                mosaic_r.push_back(
-                    safeRatio(ipcOf(workloads[i], mosaic), norm[i]));
-            }
-            t.row({std::to_string(l1e) + "/" + std::to_string(l2e),
-                   TextTable::num(mean(base_r), 3),
-                   TextTable::num(mean(mosaic_r), 3)});
-        }
-        t.print();
-    }
+    const std::vector<std::pair<std::size_t, std::size_t>> points = {
+        {1, 1}, {2, 2}, {4, 8}, {8, 64}, {16, 256}, {64, 512},
+    };
+    std::vector<std::string> point_labels;
+    for (const auto &[l1e, l2e] : points)
+        point_labels.push_back(std::to_string(l1e) + "/" +
+                               std::to_string(l2e));
+    PanelJobs c = submitPanel(
+        pool, profile, workloads, point_labels,
+        [&points](std::size_t r, SimConfig &cfg) {
+            cfg.translation.l1.largeEntries = points[r].first;
+            cfg.translation.l2.largeEntries = points[r].second;
+        });
+
+    printPanel("a: per-SM L1 TLB large-page entries", "entries", a);
+    printPanel("b: shared L2 TLB large-page entries", "entries", b);
+    printPanel("c: combined L1/L2 large-page capacity",
+               "L1/L2 large entries", c);
 
     std::printf("\npaper: GPU-MMU flat (never uses large entries); "
                 "Mosaic degrades as large entries shrink\n");
+    appendSweepJson(pool, "fig15_tlb_large_sens");
     return 0;
 }

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the discrete-event engine's hot
+ * path: events/sec through schedule+dispatch under small (in-SBO) and
+ * large (heap-allocated) callback captures, the runUntil batch path,
+ * and the reserve() capacity hint.
+ *
+ * To quantify the pop-path optimization (moving the callback out of
+ * top() instead of copy-constructing it), LegacyEventQueue reproduces
+ * the pre-optimization dispatch -- `Event ev = queue_.top()` -- so both
+ * variants can be measured from one binary.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "engine/event_queue.h"
+
+namespace {
+
+using namespace mosaic;
+
+/**
+ * The event engine as it was before the move-out-of-top optimization:
+ * dispatch copy-constructs the full Event (std::function copy == heap
+ * allocation for any capture beyond the small-buffer size) out of
+ * top() before popping.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Cycles now() const { return now_; }
+    bool empty() const { return queue_.empty(); }
+
+    void
+    schedule(Cycles when, Callback fn)
+    {
+        queue_.push(Event{when, nextSeq_++, std::move(fn)});
+    }
+
+    void
+    scheduleAfter(Cycles delay, Callback fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    bool
+    runOne()
+    {
+        if (queue_.empty())
+            return false;
+        Event ev = queue_.top();  // the copy under test
+        queue_.pop();
+        now_ = ev.when;
+        ev.fn();
+        return true;
+    }
+
+    void
+    runAll()
+    {
+        while (runOne()) {
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    Cycles now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * Capture payload big enough to defeat std::function's small-buffer
+ * optimization (libstdc++: 16 bytes), forcing a heap allocation per
+ * std::function copy -- the cost the move-pop eliminates. Simulator
+ * callbacks routinely capture this much (component pointer + ids +
+ * counters).
+ */
+struct FatPayload
+{
+    std::uint64_t *sink;
+    std::uint64_t a, b, c;
+};
+
+template <typename Queue>
+void
+drainFatEvents(benchmark::State &state)
+{
+    constexpr int kEvents = 4096;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        Queue q;
+        for (int i = 0; i < kEvents; ++i) {
+            const FatPayload p{&sum, std::uint64_t(i), 2, 3};
+            q.schedule(static_cast<Cycles>(i),
+                       [p] { *p.sink += p.a + p.b + p.c; });
+        }
+        state.ResumeTiming();
+        q.runAll();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+
+/** Pre-optimization dispatch: copy the event out of top(). */
+void
+BM_DispatchFatCopyPop(benchmark::State &state)
+{
+    drainFatEvents<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_DispatchFatCopyPop);
+
+/** Current dispatch: move the event out of top(). */
+void
+BM_DispatchFatMovePop(benchmark::State &state)
+{
+    drainFatEvents<EventQueue>(state);
+}
+BENCHMARK(BM_DispatchFatMovePop);
+
+/**
+ * Self-rescheduling chain (the steady-state shape of warp/DRAM/walker
+ * ticks): events/sec through schedule+dispatch with a live queue.
+ */
+template <typename Queue>
+void
+pingPongChain(benchmark::State &state)
+{
+    const auto depth = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        Queue q;
+        std::uint64_t sum = 0;
+        std::uint64_t remaining = depth;
+        std::function<void()> tick = [&] {
+            sum += remaining;
+            if (--remaining > 0)
+                q.scheduleAfter(1, tick);
+        };
+        q.schedule(0, tick);
+        q.runAll();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(depth));
+}
+
+void
+BM_ChainCopyPop(benchmark::State &state)
+{
+    pingPongChain<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_ChainCopyPop)->Arg(10000);
+
+void
+BM_ChainMovePop(benchmark::State &state)
+{
+    pingPongChain<EventQueue>(state);
+}
+BENCHMARK(BM_ChainMovePop)->Arg(10000);
+
+/** runUntil batch dispatch (one top() inspection per pop). */
+void
+BM_RunUntilBatch(benchmark::State &state)
+{
+    constexpr int kEvents = 4096;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue q;
+        for (int i = 0; i < kEvents; ++i) {
+            const FatPayload p{&sum, std::uint64_t(i), 2, 3};
+            q.schedule(static_cast<Cycles>(i),
+                       [p] { *p.sink += p.a + p.b + p.c; });
+        }
+        state.ResumeTiming();
+        q.runUntil(kEvents);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_RunUntilBatch);
+
+/** Bulk schedule with and without the reserve() capacity hint. */
+void
+BM_ScheduleBurst(benchmark::State &state)
+{
+    const bool reserve = state.range(0) != 0;
+    constexpr int kEvents = 65536;
+    for (auto _ : state) {
+        EventQueue q;
+        if (reserve)
+            q.reserve(kEvents);
+        for (int i = 0; i < kEvents; ++i)
+            q.schedule(static_cast<Cycles>(i), [] {});
+        benchmark::DoNotOptimize(q.pending());
+    }
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_ScheduleBurst)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("reserve")
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

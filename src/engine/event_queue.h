@@ -7,6 +7,11 @@
  * insertion-order) order, which gives deterministic execution. Skipping
  * directly to the next event makes long stalls (e.g., PCIe far-fault
  * transfers lasting tens of microseconds) cheap to simulate.
+ *
+ * Thread-safety: an EventQueue is strictly single-threaded state. Every
+ * simulation owns its own queue; concurrent simulations (SweepRunner)
+ * each run on their own thread with their own EventQueue and never share
+ * one. See DESIGN.md, "Thread-safety contract".
  */
 
 #ifndef MOSAIC_ENGINE_EVENT_QUEUE_H
@@ -15,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -39,6 +45,18 @@ class EventQueue
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Pre-sizes the underlying heap storage for @p expectedEvents
+     * concurrently-pending events. Purely a performance hint: the
+     * simulation assembly knows roughly how many warps, walks, and
+     * transfers can be in flight, and reserving up front avoids the
+     * doubling reallocations (and Event moves) during warm-up.
+     */
+    void reserve(std::size_t expectedEvents) { queue_.reserve(expectedEvents); }
+
+    /** Current heap storage capacity (events), for tests/benchmarks. */
+    std::size_t capacity() const { return queue_.capacity(); }
 
     /**
      * Schedules @p fn to run at absolute time @p when.
@@ -67,12 +85,7 @@ class EventQueue
     {
         if (queue_.empty())
             return false;
-        // The callback may schedule new events, so move it out before pop.
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
-        ++executed_;
-        ev.fn();
+        dispatchTop();
         return true;
     }
 
@@ -83,8 +96,10 @@ class EventQueue
     void
     runUntil(Cycles limit)
     {
-        while (!queue_.empty() && queue_.top().when <= limit)
-            runOne();
+        // Each pending event is inspected exactly once: the same top()
+        // reference serves both the time check and the move-out.
+        while (!queue_.empty() && queue_.mutableTop().when <= limit)
+            dispatchTop();
         if (now_ < limit)
             now_ = limit;
     }
@@ -113,7 +128,37 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    /**
+     * priority_queue with two protected-member escapes: a mutable view
+     * of the top element (so the hot path can move the callback out
+     * instead of copy-constructing a std::function -- a heap allocation
+     * per event for any capture beyond the small-buffer size), and
+     * reserve()/capacity() on the backing vector. Moving from the top
+     * before pop() is safe: the ordering fields (when, seq) are trivial
+     * and stay intact, so the sift-down during pop() still compares
+     * correctly; only the moved-from std::function is left empty, and it
+     * is destroyed by pop() without being invoked.
+     */
+    struct Heap : std::priority_queue<Event, std::vector<Event>, std::greater<>>
+    {
+        Event &mutableTop() { return c.front(); }
+        void reserve(std::size_t n) { c.reserve(n); }
+        std::size_t capacity() const { return c.capacity(); }
+    };
+
+    /** Pops and runs the top event. @pre !queue_.empty() */
+    void
+    dispatchTop()
+    {
+        // The callback may schedule new events, so move it out before pop.
+        Event ev = std::move(queue_.mutableTop());
+        queue_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+
+    Heap queue_;
     Cycles now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "cache/hierarchy.h"
 #include "engine/event_queue.h"
@@ -53,6 +54,12 @@ SimResult
 runSimulation(const Workload &workload, const SimConfig &config)
 {
     EventQueue events;
+    // Capacity hint: roughly one in-flight event per warp plus headroom
+    // for walks, DRAM transactions, and paging transfers. Avoids the
+    // heap's doubling reallocations during warm-up.
+    events.reserve(static_cast<std::size_t>(config.gpu.numSms) *
+                       config.gpu.sm.warpsPerSm * 2 +
+                   1024);
     DramModel dram(events, config.dram);
 
     CacheHierarchyConfig cache_cfg = config.caches;
@@ -311,8 +318,14 @@ std::vector<double>
 aloneIpcs(const Workload &workload, const SimConfig &sharedConfig)
 {
     // Memoized across calls: benchmark sweeps reuse the same denominators
-    // for dozens of configurations.
-    static std::map<std::string, double> cache;
+    // for dozens of configurations. SweepRunner calls this concurrently,
+    // so the memo is mutex-guarded; the alone-run itself executes outside
+    // the lock (two threads may race to compute the same key, but the
+    // value is a deterministic function of the key, so either write is
+    // correct -- we trade a rare duplicated run for not serializing every
+    // memoized lookup behind a multi-second simulation).
+    static std::mutex cache_mutex;
+    static std::map<std::string, double> cache;  // guarded by cache_mutex
 
     const auto shares = Gpu::partitionSms(
         sharedConfig.gpu.numSms,
@@ -328,10 +341,13 @@ aloneIpcs(const Workload &workload, const SimConfig &sharedConfig)
             std::to_string(sharedConfig.gpu.sm.warpsPerSm) + "#io" +
             std::to_string(sharedConfig.pcie.bytesPerCycle) + "#p" +
             std::to_string(sharedConfig.demandPaging ? 1 : 0);
-        const auto it = cache.find(key);
-        if (it != cache.end()) {
-            ipcs.push_back(it->second);
-            continue;
+        {
+            std::lock_guard<std::mutex> lock(cache_mutex);
+            const auto it = cache.find(key);
+            if (it != cache.end()) {
+                ipcs.push_back(it->second);
+                continue;
+            }
         }
 
         // The denominator runs under the baseline memory manager and
@@ -352,7 +368,10 @@ aloneIpcs(const Workload &workload, const SimConfig &sharedConfig)
         alone_wl.apps.push_back(app);
         const SimResult r = runSimulation(alone_wl, alone_cfg);
         const double ipc = r.apps[0].ipc;
-        cache[key] = ipc;
+        {
+            std::lock_guard<std::mutex> lock(cache_mutex);
+            cache[key] = ipc;
+        }
         ipcs.push_back(ipc);
     }
     return ipcs;

@@ -69,14 +69,22 @@ struct SimResult
     }
 };
 
-/** Runs @p workload under @p config to completion. */
+/**
+ * Runs @p workload under @p config to completion.
+ *
+ * Thread-safe: safe to call concurrently from multiple threads (each
+ * call builds a private EventQueue and system; there are no shared
+ * mutable globals -- see DESIGN.md, "Thread-safety contract"). A given
+ * (workload, config, seed) always produces the same SimResult.
+ */
 SimResult runSimulation(const Workload &workload, const SimConfig &config);
 
 /**
  * IPCs of each application of @p workload running alone (no sharing) on
  * the same SM partition sizes, under the baseline GPU-MMU configuration
  * with paging disabled-overhead -- the paper's IPC_alone denominator.
- * Results are memoized per (app name, SM count, scale signature).
+ * Results are memoized per (app name, SM count, scale signature); the
+ * memo is mutex-guarded, so this is safe to call concurrently.
  */
 std::vector<double> aloneIpcs(const Workload &workload,
                               const SimConfig &sharedConfig);

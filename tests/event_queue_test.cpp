@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "engine/event_queue.h"
@@ -93,6 +95,67 @@ TEST(EventQueueTest, ExecutedCountsEvents)
         q.schedule(static_cast<Cycles>(i), [] {});
     q.runAll();
     EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueueTest, ReserveGrowsCapacityWithoutChangingBehavior)
+{
+    EventQueue q;
+    q.reserve(4096);
+    EXPECT_GE(q.capacity(), 4096u);
+    const std::size_t reserved = q.capacity();
+    std::vector<int> order;
+    for (int i = 99; i >= 0; --i)
+        q.schedule(static_cast<Cycles>(i), [&order, i] { order.push_back(i); });
+    EXPECT_EQ(q.capacity(), reserved);  // no reallocation under the hint
+    q.runAll();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, MovePopKeepsHeapCapturedCallbacksIntact)
+{
+    // Callbacks whose captures exceed std::function's small-buffer size
+    // exercise the move-out-of-top dispatch path: the moved-from
+    // function left in the heap must never be invoked, and the heap
+    // order must survive the sift-down over a moved-from element.
+    EventQueue q;
+    std::uint64_t sum = 0;
+    struct Fat
+    {
+        std::uint64_t *sink;
+        std::uint64_t a, b, c;
+    };
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const Fat fat{&sum, i, 1000, 1};
+        // Reverse time order forces maximal sifting on every pop.
+        q.schedule(static_cast<Cycles>(200 - i),
+                   [fat] { *fat.sink += fat.a + fat.b + fat.c; });
+    }
+    q.runAll();
+    // sum of (i + 1001) for i in [0, 200)
+    EXPECT_EQ(sum, 199u * 200u / 2u + 200u * 1001u);
+    EXPECT_EQ(q.executed(), 200u);
+}
+
+TEST(EventQueueTest, RunUntilInterleavesWithRescheduling)
+{
+    EventQueue q;
+    std::vector<Cycles> fired;
+    std::function<void()> tick = [&] {
+        fired.push_back(q.now());
+        if (q.now() < 100)
+            q.scheduleAfter(10, tick);
+    };
+    q.schedule(0, tick);
+    q.runUntil(55);
+    EXPECT_EQ(fired, (std::vector<Cycles>{0, 10, 20, 30, 40, 50}));
+    EXPECT_EQ(q.now(), 55u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(200);
+    EXPECT_EQ(fired.back(), 100u);
+    EXPECT_EQ(q.now(), 200u);
+    EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
