@@ -5,9 +5,17 @@
 namespace mosaic {
 
 CacheHierarchy::CacheHierarchy(EventQueue &events, DramModel &dram,
-                               const CacheHierarchyConfig &config)
+                               const CacheHierarchyConfig &config,
+                               StatsRegistry *metrics)
     : events_(events), dram_(dram), config_(config)
 {
+    if (metrics != nullptr) {
+        metrics->bindCounter("cache.l1.accesses", stats_.l1Accesses);
+        metrics->bindCounter("cache.l1.hits", stats_.l1Hits);
+        metrics->bindCounter("cache.l2.accesses", stats_.l2Accesses);
+        metrics->bindCounter("cache.l2.hits", stats_.l2Hits);
+        metrics->bindCounter("cache.writebacks", stats_.writebacks);
+    }
     const std::size_t l1_lines = config_.l1Bytes / kCacheLineSize;
     const std::size_t l1_sets = std::max<std::size_t>(
         1, l1_lines / config_.l1Ways);

@@ -21,6 +21,7 @@
 #include "cache/mshr.h"
 #include "cache/set_assoc_cache.h"
 #include "common/stats.h"
+#include "common/stats_registry.h"
 #include "common/types.h"
 #include "dram/dram.h"
 #include "engine/event_queue.h"
@@ -69,8 +70,13 @@ class CacheHierarchy
         std::uint64_t writebacks = 0;
     };
 
+    /**
+     * @param metrics when non-null, hit/miss counters register under
+     *                "cache.*" at construction (DESIGN.md §8).
+     */
     CacheHierarchy(EventQueue &events, DramModel &dram,
-                   const CacheHierarchyConfig &config);
+                   const CacheHierarchyConfig &config,
+                   StatsRegistry *metrics = nullptr);
 
     /** SM data access: L1 -> L2 -> DRAM. */
     void access(SmId sm, Addr paddr, bool isWrite, Callback onDone);

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The one JSON serializer for the whole project.
+ *
+ * Every JSON artifact -- `mosaic_sim --json`, `--metrics-json`, the
+ * sweep harness's BENCH_sweep.json lines, and metrics snapshots --
+ * renders through this writer, so escaping and number formatting are
+ * correct in exactly one place. No external dependency: the writer is a
+ * small streaming emitter with automatic comma placement.
+ *
+ * Doubles use the ostream default (6 significant digits), matching the
+ * historical hand-rolled serializers byte for byte.
+ */
+
+#ifndef MOSAIC_COMMON_JSON_WRITER_H
+#define MOSAIC_COMMON_JSON_WRITER_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mosaic {
+
+/** Streaming JSON emitter with automatic comma management. */
+class JsonWriter
+{
+  public:
+    /**
+     * Escapes @p s for inclusion in a JSON string literal. All control
+     * characters below 0x20 are escaped (common ones as two-character
+     * sequences, the rest as \\u00XX), which the historical per-file
+     * escapers failed to do.
+     */
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size() + 2);
+        for (const char raw : s) {
+            const auto c = static_cast<unsigned char>(raw);
+            switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            case '\r':
+                out += "\\r";
+                break;
+            case '\b':
+                out += "\\b";
+                break;
+            case '\f':
+                out += "\\f";
+                break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += raw;
+                }
+            }
+        }
+        return out;
+    }
+
+    JsonWriter &
+    beginObject()
+    {
+        beforeItem();
+        out_ << '{';
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        out_ << '}';
+        stack_.pop_back();
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        beforeItem();
+        out_ << '[';
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        out_ << ']';
+        stack_.pop_back();
+        return *this;
+    }
+
+    /** Object member name; follow with exactly one value or container. */
+    JsonWriter &
+    key(const std::string &name)
+    {
+        beforeItem();
+        out_ << '"' << escape(name) << "\":";
+        afterKey_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &s)
+    {
+        beforeItem();
+        out_ << '"' << escape(s) << '"';
+        return *this;
+    }
+
+    JsonWriter &value(const char *s) { return value(std::string(s)); }
+
+    JsonWriter &
+    value(double v)
+    {
+        beforeItem();
+        if (std::isfinite(v))
+            out_ << v;
+        else
+            out_ << 0;  // JSON has no NaN/Inf literal
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        beforeItem();
+        out_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    JsonWriter &
+    value(T v)
+    {
+        beforeItem();
+        out_ << +v;  // promote char-sized integrals to numbers
+        return *this;
+    }
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** The document produced so far. */
+    std::string str() const { return out_.str(); }
+
+  private:
+    void
+    beforeItem()
+    {
+        if (afterKey_) {
+            afterKey_ = false;
+            return;
+        }
+        if (!stack_.empty()) {
+            if (stack_.back())
+                out_ << ',';
+            stack_.back() = true;
+        }
+    }
+
+    std::ostringstream out_;
+    std::vector<bool> stack_;  ///< per level: "a previous item exists"
+    bool afterKey_ = false;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_JSON_WRITER_H

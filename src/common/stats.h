@@ -10,6 +10,7 @@
 #define MOSAIC_COMMON_STATS_H
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -63,16 +64,26 @@ class Histogram
     /** Width of each bucket. */
     std::uint64_t bucketWidth() const { return width_; }
 
-    /** Approximate p-th percentile (p in [0,100]) from bucket midpoints. */
+    /**
+     * Approximate p-th percentile (p in [0,100]) from bucket midpoints.
+     *
+     * Ceil semantics: the result is the bucket containing the
+     * ceil(p/100 * samples)-th sample (at least the first), so p=0
+     * lands on the first *non-empty* bucket rather than an arbitrary
+     * empty one. A percentile falling in the overflow bucket reports
+     * the recorded maximum, the only bound the bucket provides.
+     */
     double
     percentile(double p) const
     {
         if (samples_ == 0)
             return 0.0;
-        const std::uint64_t target =
-            static_cast<std::uint64_t>(p / 100.0 * double(samples_));
+        const double clamped = std::min(std::max(p, 0.0), 100.0);
+        const std::uint64_t target = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::ceil(clamped / 100.0 * double(samples_))));
         std::uint64_t seen = 0;
-        for (std::size_t i = 0; i < counts_.size(); ++i) {
+        for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
             seen += counts_[i];
             if (seen >= target)
                 return (double(i) + 0.5) * double(width_);

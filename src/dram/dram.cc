@@ -5,11 +5,21 @@
 
 namespace mosaic {
 
-DramModel::DramModel(EventQueue &events, const DramConfig &config)
+DramModel::DramModel(EventQueue &events, const DramConfig &config,
+                     StatsRegistry *metrics)
     : events_(events), config_(config), channels_(config.channels)
 {
     for (auto &channel : channels_)
         channel.banks.assign(config_.banksPerChannel, Bank{});
+    if (metrics != nullptr) {
+        metrics->bindCounter("dram.reads", stats_.reads);
+        metrics->bindCounter("dram.writes", stats_.writes);
+        metrics->bindCounter("dram.rowHits", stats_.rowHits);
+        metrics->bindCounter("dram.rowMisses", stats_.rowMisses);
+        metrics->bindCounter("dram.bulkCopies", stats_.bulkCopies);
+        metrics->bindCounter("dram.bulkCopyCycles", stats_.bulkCopyCycles);
+        metrics->bindHistogram("dram.latency", stats_.latency);
+    }
 }
 
 DramModel::Decoded

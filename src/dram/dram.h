@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 
@@ -73,7 +74,12 @@ class DramModel
         Histogram latency{32, 64};
     };
 
-    DramModel(EventQueue &events, const DramConfig &config);
+    /**
+     * @param metrics when non-null, counters register under "dram.*"
+     *                at construction (DESIGN.md §8).
+     */
+    DramModel(EventQueue &events, const DramConfig &config,
+              StatsRegistry *metrics = nullptr);
 
     /** Issues a line access to @p addr; @p onDone runs at completion. */
     void access(Addr addr, bool isWrite, std::function<void()> onDone);

@@ -29,9 +29,28 @@ struct GpuConfig
 class Gpu
 {
   public:
-    explicit Gpu(EventQueue &events, const GpuConfig &config)
+    /**
+     * @param metrics when non-null, device-wide counters register under
+     *                "gpu.*" at construction; the per-SM sums are
+     *                computed at snapshot time so SMs created later are
+     *                included (DESIGN.md §8).
+     */
+    explicit Gpu(EventQueue &events, const GpuConfig &config,
+                 StatsRegistry *metrics = nullptr)
         : events_(events), config_(config)
     {
+        if (metrics != nullptr) {
+            metrics->bindCounterFn("gpu.sm.instructions", [this] {
+                return sumOverSms(&Sm::Stats::instructions);
+            });
+            metrics->bindCounterFn("gpu.sm.memInstructions", [this] {
+                return sumOverSms(&Sm::Stats::memInstructions);
+            });
+            metrics->bindCounterFn("gpu.sm.farFaultStalls", [this] {
+                return sumOverSms(&Sm::Stats::farFaultStalls);
+            });
+            metrics->bindCounter("gpu.stallCycles", stallCycles_);
+        }
     }
 
     /** Creates an SM bound to @p pageTable; returns its id. */
@@ -101,6 +120,15 @@ class Gpu
     }
 
   private:
+    std::uint64_t
+    sumOverSms(std::uint64_t Sm::Stats::*field) const
+    {
+        std::uint64_t total = 0;
+        for (const auto &sm : sms_)
+            total += sm->stats().*field;
+        return total;
+    }
+
     EventQueue &events_;
     GpuConfig config_;
     std::vector<std::unique_ptr<Sm>> sms_;

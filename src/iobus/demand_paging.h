@@ -18,6 +18,7 @@
 #include <functional>
 
 #include "cache/mshr.h"
+#include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 #include "iobus/pcie.h"
@@ -42,9 +43,24 @@ class DemandPager
         std::uint64_t prefetchedPages = 0;
     };
 
-    DemandPager(EventQueue &events, PcieBus &bus, MemoryManager &manager)
+    /**
+     * @param metrics when non-null, counters register under
+     *                "iobus.paging.*" at construction (DESIGN.md §8).
+     */
+    DemandPager(EventQueue &events, PcieBus &bus, MemoryManager &manager,
+                StatsRegistry *metrics = nullptr)
         : events_(events), bus_(bus), manager_(manager)
     {
+        if (metrics != nullptr) {
+            metrics->bindCounter("iobus.paging.farFaults", stats_.farFaults);
+            metrics->bindCounter("iobus.paging.mergedFaults",
+                                 stats_.mergedFaults);
+            metrics->bindCounter("iobus.paging.bytesTransferred",
+                                 stats_.bytesTransferred);
+            metrics->bindCounter("iobus.paging.oomFaults", stats_.oomFaults);
+            metrics->bindCounter("iobus.paging.prefetchedPages",
+                                 stats_.prefetchedPages);
+        }
     }
 
     /**

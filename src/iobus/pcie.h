@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "common/stats.h"
+#include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 
@@ -45,9 +46,21 @@ class PcieBus
         Histogram latency{4096, 128};  ///< request-to-done per transfer
     };
 
-    PcieBus(EventQueue &events, const PcieConfig &config)
+    /**
+     * @param metrics when non-null, counters register under
+     *                "iobus.pcie.*" at construction (DESIGN.md §8).
+     */
+    PcieBus(EventQueue &events, const PcieConfig &config,
+            StatsRegistry *metrics = nullptr)
         : events_(events), config_(config)
     {
+        if (metrics != nullptr) {
+            metrics->bindCounter("iobus.pcie.transfers", stats_.transfers);
+            metrics->bindCounter("iobus.pcie.bytes", stats_.bytes);
+            metrics->bindCounter("iobus.pcie.busBusyCycles",
+                                 stats_.busBusyCycles);
+            metrics->bindHistogram("iobus.pcie.latency", stats_.latency);
+        }
     }
 
     /**

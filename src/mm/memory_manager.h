@@ -17,6 +17,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/stats_registry.h"
 #include "common/types.h"
 #include "vm/page_table.h"
 
@@ -96,6 +97,32 @@ class MemoryManager
 
     /** Statistics. */
     virtual const MemoryManagerStats &stats() const = 0;
+
+    /**
+     * Binds this manager's counters into @p reg under "mm.*". Managers
+     * come from a factory, so the runner calls this right after
+     * construction -- the moral equivalent of the register-at-
+     * construction rule (DESIGN.md §8). Overrides add design-specific
+     * metrics and must call the base implementation.
+     */
+    virtual void
+    registerMetrics(StatsRegistry &reg)
+    {
+        const MemoryManagerStats &s = stats();
+        reg.bindCounter("mm.regionsReserved", s.regionsReserved);
+        reg.bindCounter("mm.pagesBacked", s.pagesBacked);
+        reg.bindCounter("mm.pagesReleased", s.pagesReleased);
+        reg.bindCounter("mm.coalesceOps", s.coalesceOps);
+        reg.bindCounter("mm.splinterOps", s.splinterOps);
+        reg.bindCounter("mm.compactions", s.compactions);
+        reg.bindCounter("mm.migrations", s.migrations);
+        reg.bindCounter("mm.emergencySplinters", s.emergencySplinters);
+        reg.bindCounter("mm.softGuaranteeViolations",
+                        s.softGuaranteeViolations);
+        reg.bindCounter("mm.outOfFrames", s.outOfFrames);
+        reg.bindCounterFn("mm.allocatedBytes",
+                          [this] { return allocatedBytes(); });
+    }
 };
 
 }  // namespace mosaic

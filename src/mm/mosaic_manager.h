@@ -68,6 +68,15 @@ class MosaicManager : public MemoryManager
     std::uint64_t coalescedHoleBytes() const;
     const MemoryManagerStats &stats() const override { return state_.stats; }
 
+    /** Adds Mosaic-specific gauges on top of the common "mm.*" set. */
+    void
+    registerMetrics(StatsRegistry &reg) override
+    {
+        MemoryManager::registerMetrics(reg);
+        reg.bindCounterFn("mm.mosaic.coalescedHoleBytes",
+                          [this] { return coalescedHoleBytes(); });
+    }
+
     /**
      * Pre-fragments physical memory for the Fig. 16 stress tests:
      * @p fragmentationIndex of all frames receive immovable data

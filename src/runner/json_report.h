@@ -1,44 +1,31 @@
 /**
  * @file
  * JSON serialization of simulation results, for downstream plotting and
- * regression tracking. No external JSON dependency: the schema is flat
- * enough to emit directly.
+ * regression tracking. All emission goes through the shared JsonWriter
+ * (common/json_writer.h), so escaping and number formatting live in one
+ * place; the metrics section renders straight from the simulation's
+ * StatsRegistry snapshot instead of a hand-maintained field list.
  */
 
 #ifndef MOSAIC_RUNNER_JSON_REPORT_H
 #define MOSAIC_RUNNER_JSON_REPORT_H
 
-#include <sstream>
+#include <cstdio>
 #include <string>
 
+#include "common/json_writer.h"
+#include "common/log.h"
 #include "runner/simulation.h"
 
 namespace mosaic {
 
 namespace detail {
 
-/** Escapes a string for a JSON literal. */
+/** Escapes a string for a JSON literal (shared-writer rules). */
 inline std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        default:
-            out += c;
-        }
-    }
-    return out;
+    return JsonWriter::escape(s);
 }
 
 }  // namespace detail
@@ -47,51 +34,98 @@ jsonEscape(const std::string &s)
 inline std::string
 toJson(const SimResult &result)
 {
-    std::ostringstream out;
-    out << "{";
-    out << "\"config\":\"" << detail::jsonEscape(result.configLabel)
-        << "\",";
-    out << "\"workload\":\"" << detail::jsonEscape(result.workloadName)
-        << "\",";
-    out << "\"totalCycles\":" << result.totalCycles << ",";
-    out << "\"l1TlbHitRate\":" << result.l1TlbHitRate << ",";
-    out << "\"l2TlbHitRate\":" << result.l2TlbHitRate << ",";
-    out << "\"pageWalks\":" << result.pageWalks << ",";
-    out << "\"avgWalkLatency\":" << result.avgWalkLatency << ",";
-    out << "\"farFaults\":" << result.farFaults << ",";
-    out << "\"pagedBytes\":" << result.pagedBytes << ",";
-    out << "\"allocatedBytes\":" << result.allocatedBytes << ",";
-    out << "\"neededBytes\":" << result.neededBytes << ",";
-    out << "\"l1CacheHitRate\":" << result.l1CacheHitRate << ",";
-    out << "\"l2CacheHitRate\":" << result.l2CacheHitRate << ",";
-    out << "\"gpuStallCycles\":" << result.gpuStallCycles << ",";
-    out << "\"mm\":{"
-        << "\"coalesceOps\":" << result.mm.coalesceOps << ","
-        << "\"splinterOps\":" << result.mm.splinterOps << ","
-        << "\"compactions\":" << result.mm.compactions << ","
-        << "\"migrations\":" << result.mm.migrations << ","
-        << "\"emergencySplinters\":" << result.mm.emergencySplinters << ","
-        << "\"softGuaranteeViolations\":"
-        << result.mm.softGuaranteeViolations << ","
-        << "\"outOfFrames\":" << result.mm.outOfFrames << ","
-        << "\"pagesBacked\":" << result.mm.pagesBacked << ","
-        << "\"pagesReleased\":" << result.mm.pagesReleased << "},";
-    out << "\"apps\":[";
-    for (std::size_t i = 0; i < result.apps.size(); ++i) {
-        const AppResult &app = result.apps[i];
-        if (i > 0)
-            out << ",";
-        out << "{\"name\":\"" << detail::jsonEscape(app.name) << "\","
-            << "\"sms\":" << app.smCount << ","
-            << "\"instructions\":" << app.instructions << ","
-            << "\"finishCycle\":" << app.finishCycle << ","
-            << "\"ipc\":" << app.ipc << ","
-            << "\"farFaultStalls\":" << app.farFaultStalls << ","
-            << "\"l1TlbHitRate\":" << app.l1TlbHitRate << ","
-            << "\"pageWalks\":" << app.pageWalks << "}";
+    JsonWriter w;
+    w.beginObject();
+    w.field("config", result.configLabel);
+    w.field("workload", result.workloadName);
+    w.field("totalCycles", result.totalCycles);
+    w.field("l1TlbHitRate", result.l1TlbHitRate);
+    w.field("l2TlbHitRate", result.l2TlbHitRate);
+    w.field("pageWalks", result.pageWalks);
+    w.field("avgWalkLatency", result.avgWalkLatency);
+    w.field("farFaults", result.farFaults);
+    w.field("pagedBytes", result.pagedBytes);
+    w.field("allocatedBytes", result.allocatedBytes);
+    w.field("neededBytes", result.neededBytes);
+    w.field("l1CacheHitRate", result.l1CacheHitRate);
+    w.field("l2CacheHitRate", result.l2CacheHitRate);
+    w.field("gpuStallCycles", result.gpuStallCycles);
+    w.key("mm").beginObject();
+    w.field("coalesceOps", result.mm.coalesceOps);
+    w.field("splinterOps", result.mm.splinterOps);
+    w.field("compactions", result.mm.compactions);
+    w.field("migrations", result.mm.migrations);
+    w.field("emergencySplinters", result.mm.emergencySplinters);
+    w.field("softGuaranteeViolations", result.mm.softGuaranteeViolations);
+    w.field("outOfFrames", result.mm.outOfFrames);
+    w.field("pagesBacked", result.mm.pagesBacked);
+    w.field("pagesReleased", result.mm.pagesReleased);
+    w.endObject();
+    w.key("apps").beginArray();
+    for (const AppResult &app : result.apps) {
+        w.beginObject();
+        w.field("name", app.name);
+        w.field("sms", app.smCount);
+        w.field("instructions", app.instructions);
+        w.field("finishCycle", app.finishCycle);
+        w.field("ipc", app.ipc);
+        w.field("farFaultStalls", app.farFaultStalls);
+        w.field("l1TlbHitRate", app.l1TlbHitRate);
+        w.field("pageWalks", app.pageWalks);
+        w.endObject();
     }
-    out << "]}";
-    return out.str();
+    w.endArray();
+    w.key("metrics");
+    result.metrics.writeJson(w);
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * Serializes the full metrics view of @p result: the end-of-run
+ * registry snapshot plus any interval samples recorded under
+ * SimConfig::metricsSamplePeriod (the `--metrics-json` document).
+ */
+inline std::string
+metricsToJson(const SimResult &result,
+              const std::string &managerName = std::string())
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("config", result.configLabel);
+    w.field("workload", result.workloadName);
+    if (!managerName.empty())
+        w.field("manager", managerName);
+    w.field("totalCycles", result.totalCycles);
+    w.key("metrics");
+    result.metrics.writeJson(w);
+    w.key("samples").beginArray();
+    for (const MetricsSnapshot &sample : result.metricsSamples) {
+        w.beginObject();
+        w.field("cycle", sample.atCycle);
+        w.key("metrics");
+        sample.writeJson(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+/** Writes metricsToJson(@p result) to @p path; false on I/O failure. */
+inline bool
+writeMetricsJson(const SimResult &result, const std::string &path,
+                 const std::string &managerName = std::string())
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        MOSAIC_WARN("cannot open " + path + " for writing");
+        return false;
+    }
+    const std::string doc = metricsToJson(result, managerName);
+    std::fprintf(f, "%s\n", doc.c_str());
+    std::fclose(f);
+    return true;
 }
 
 }  // namespace mosaic

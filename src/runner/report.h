@@ -59,11 +59,7 @@ printConfigBanner(const SimConfig &config, std::FILE *out = stdout)
                  config.translation.l2.largeEntries,
                  config.walker.maxConcurrentWalks,
                  config.demandPaging ? "demand" : "prefetch",
-                 config.manager == ManagerKind::Mosaic
-                     ? "Mosaic"
-                     : (config.manager == ManagerKind::LargeOnly
-                            ? "2MB-only"
-                            : "GPU-MMU"));
+                 managerKindName(config.manager));
 }
 
 }  // namespace mosaic

@@ -32,6 +32,21 @@ enum class ManagerKind : std::uint8_t {
     LargeOnly,  ///< 2MB pages only (§3.2 straw man)
 };
 
+/** Display name of @p kind (banner, JSON, and metrics output). */
+inline const char *
+managerKindName(ManagerKind kind)
+{
+    switch (kind) {
+    case ManagerKind::Mosaic:
+        return "Mosaic";
+    case ManagerKind::LargeOnly:
+        return "2MB-only";
+    case ManagerKind::GpuMmu:
+    default:
+        return "GPU-MMU";
+    }
+}
+
 /** Complete configuration of one simulation. */
 struct SimConfig
 {
@@ -77,6 +92,14 @@ struct SimConfig
     std::uint64_t seed = 1;
     Cycles maxCycles = 4'000'000'000ull;
 
+    /**
+     * Metrics time-series sampling interval in cycles; 0 (default)
+     * disables sampling. When enabled, runSimulation() captures a full
+     * registry snapshot every interval into SimResult::metricsSamples,
+     * so benches can plot coalesce/splinter/fault activity over a run.
+     */
+    Cycles metricsSamplePeriod = 0;
+
     /** Baseline GPU-MMU with 4KB pages and demand paging (Table 1). */
     static SimConfig
     baseline()
@@ -113,6 +136,15 @@ struct SimConfig
         SimConfig c;
         c.label = "2MB-only";
         c.manager = ManagerKind::LargeOnly;
+        return c;
+    }
+
+    /** Enables interval metrics sampling every @p cycles. */
+    SimConfig
+    withMetricsSampling(Cycles cycles) const
+    {
+        SimConfig c = *this;
+        c.metricsSamplePeriod = cycles;
         return c;
     }
 

@@ -48,11 +48,60 @@ makeManager(const SimConfig &config, Addr poolBase, std::uint64_t poolBytes)
     }
 }
 
+/**
+ * Derives the legacy SimResult scalar fields from the metrics snapshot.
+ * Every value reads the same underlying counter the old hand-harvest
+ * read, so derived figures (bench tables, weighted speedup) stay
+ * byte-identical -- the refactor's correctness proof.
+ */
+void
+deriveLegacyScalars(SimResult &result)
+{
+    const MetricsSnapshot &m = result.metrics;
+    result.l1TlbHitRate =
+        safeRatio(double(m.u64("vm.translation.l1Hits")),
+                  double(m.u64("vm.translation.requests")));
+    result.l2TlbHitRate = safeRatio(
+        double(m.u64("vm.tlb.l2.base.hits") +
+               m.u64("vm.tlb.l2.large.hits")),
+        double(m.u64("vm.tlb.l2.base.accesses") +
+               m.u64("vm.tlb.l2.large.accesses")));
+    result.pageWalks = m.u64("vm.walker.walks");
+    result.avgWalkLatency = m.real("vm.walker.latency.mean");
+    result.farFaults = m.u64("iobus.paging.farFaults");
+    result.pagedBytes = m.u64("iobus.paging.bytesTransferred");
+    result.mm.regionsReserved = m.u64("mm.regionsReserved");
+    result.mm.pagesBacked = m.u64("mm.pagesBacked");
+    result.mm.pagesReleased = m.u64("mm.pagesReleased");
+    result.mm.coalesceOps = m.u64("mm.coalesceOps");
+    result.mm.splinterOps = m.u64("mm.splinterOps");
+    result.mm.compactions = m.u64("mm.compactions");
+    result.mm.migrations = m.u64("mm.migrations");
+    result.mm.emergencySplinters = m.u64("mm.emergencySplinters");
+    result.mm.softGuaranteeViolations =
+        m.u64("mm.softGuaranteeViolations");
+    result.mm.outOfFrames = m.u64("mm.outOfFrames");
+    result.allocatedBytes = m.u64("mm.peakAllocatedBytes");
+    result.neededBytes = m.u64("sim.neededBytes");
+    result.coalescedHoleBytes = m.u64("mm.mosaic.peakCoalescedHoleBytes");
+    result.l1CacheHitRate = safeRatio(double(m.u64("cache.l1.hits")),
+                                      double(m.u64("cache.l1.accesses")));
+    result.l2CacheHitRate = safeRatio(double(m.u64("cache.l2.hits")),
+                                      double(m.u64("cache.l2.accesses")));
+    result.dramRowHits = m.u64("dram.rowHits");
+    result.dramRowMisses = m.u64("dram.rowMisses");
+    result.gpuStallCycles = m.u64("gpu.stallCycles");
+}
+
 }  // namespace
 
 SimResult
 runSimulation(const Workload &workload, const SimConfig &config)
 {
+    // The registry outlives every component (declared first) so the
+    // components can bind their counters into it at construction; it is
+    // private to this simulation per the DESIGN.md §7 contract.
+    StatsRegistry registry;
     EventQueue events;
     // Capacity hint: roughly one in-flight event per warp plus headroom
     // for walks, DRAM transactions, and paging transfers. Avoids the
@@ -60,16 +109,16 @@ runSimulation(const Workload &workload, const SimConfig &config)
     events.reserve(static_cast<std::size_t>(config.gpu.numSms) *
                        config.gpu.sm.warpsPerSm * 2 +
                    1024);
-    DramModel dram(events, config.dram);
+    DramModel dram(events, config.dram, &registry);
 
     CacheHierarchyConfig cache_cfg = config.caches;
     cache_cfg.numSms = config.gpu.numSms;
-    CacheHierarchy caches(events, dram, cache_cfg);
+    CacheHierarchy caches(events, dram, cache_cfg, &registry);
 
-    PageTableWalker walker(events, caches, config.walker);
+    PageTableWalker walker(events, caches, config.walker, &registry);
     TranslationService translation(events, walker, config.gpu.numSms,
-                                   config.translation);
-    PcieBus pcie(events, config.pcie);
+                                   config.translation, &registry);
+    PcieBus pcie(events, config.pcie, &registry);
 
     // Physical layout: frames from address 0; page-table nodes in a
     // dedicated pool at the top of memory.
@@ -77,9 +126,10 @@ runSimulation(const Workload &workload, const SimConfig &config)
         config.dram.capacityBytes - config.pageTablePoolBytes,
         kLargePageSize);
     auto manager = makeManager(config, 0, pool_bytes);
+    manager->registerMetrics(registry);
     RegionPtNodeAllocator pt_alloc(pool_bytes, config.pageTablePoolBytes);
 
-    Gpu gpu(events, config.gpu);
+    Gpu gpu(events, config.gpu, &registry);
     ManagerEnv env;
     env.events = &events;
     env.dram = &dram;
@@ -118,7 +168,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
                                    buf.bytes);
     }
 
-    DemandPager pager(events, pcie, *manager);
+    DemandPager pager(events, pcie, *manager, &registry);
 
     // Carve the SMs into equal per-application partitions and populate
     // each SM with this application's warps.
@@ -252,6 +302,51 @@ runSimulation(const Workload &workload, const SimConfig &config)
                              [churn_tick] { (*churn_tick)(); });
     }
 
+    // Runner-owned metrics: values that only the harness can see (peak
+    // trackers, demand totals). Everything else registered itself at
+    // component construction.
+    registry.bindCounterFn("sim.cycles", [&events] { return events.now(); });
+    registry.bindCounterFn("mm.peakAllocatedBytes",
+                           [&peak_allocated, m = manager.get()] {
+                               return std::max(peak_allocated,
+                                               m->allocatedBytes());
+                           });
+    registry.bindCounterFn(
+        "mm.mosaic.peakCoalescedHoleBytes", [&peak_holes, m = manager.get()] {
+            if (auto *mosaic = dynamic_cast<MosaicManager *>(m))
+                return std::max(peak_holes, mosaic->coalescedHoleBytes());
+            return peak_holes;
+        });
+    registry.bindCounterFn("sim.neededBytes", [&apps] {
+        std::uint64_t needed = 0;
+        for (const auto &ctx : apps) {
+            for (const auto &buf : ctx->layout->buffers())
+                needed += roundUp(buf.touchedBytes, kBasePageSize);
+        }
+        return needed;
+    });
+
+    // Opt-in interval sampler: records a full registry snapshot every
+    // metricsSamplePeriod cycles so benches can plot metric activity
+    // over a run. Snapshot events never mutate simulator state, so the
+    // simulated outcome is identical with sampling on or off.
+    std::vector<MetricsSnapshot> samples;
+    // The tick closure outlives the event loop below, so pending events
+    // may capture it by reference; callbacks only fire inside that loop.
+    std::function<void()> sample_tick;
+    if (config.metricsSamplePeriod > 0) {
+        sample_tick = [&registry, &samples, &events, &all_finished,
+                       &config, &sample_tick] {
+            samples.push_back(registry.snapshot(events.now()));
+            if (!all_finished) {
+                events.scheduleAfter(config.metricsSamplePeriod,
+                                     [&sample_tick] { sample_tick(); });
+            }
+        };
+        events.scheduleAfter(config.metricsSamplePeriod,
+                             [&sample_tick] { sample_tick(); });
+    }
+
     while (!all_finished && events.now() < config.maxCycles) {
         if (!events.runOne())
             MOSAIC_PANIC("simulation deadlocked: no events pending");
@@ -259,7 +354,8 @@ runSimulation(const Workload &workload, const SimConfig &config)
     if (!all_finished)
         MOSAIC_WARN("simulation hit maxCycles before completion");
 
-    // Harvest results.
+    // Harvest: one generic registry snapshot replaces the old per-field
+    // hand-copy; the legacy scalar fields are derived from it.
     SimResult result;
     result.configLabel = config.label;
     result.workloadName = workload.name;
@@ -282,35 +378,9 @@ runSimulation(const Workload &workload, const SimConfig &config)
         result.apps.push_back(std::move(app));
     }
 
-    const Tlb::Stats &l2 = translation.l2Tlb().stats();
-    result.l1TlbHitRate = safeRatio(
-        double(translation.stats().l1Hits),
-        double(translation.stats().requests));
-    result.l2TlbHitRate = safeRatio(double(l2.hits()), double(l2.accesses()));
-    result.pageWalks = walker.stats().walks;
-    result.avgWalkLatency = walker.stats().latency.mean();
-    result.farFaults = pager.stats().farFaults;
-    result.pagedBytes = pager.stats().bytesTransferred;
-    result.mm = manager->stats();
-    result.allocatedBytes = std::max(peak_allocated,
-                                     manager->allocatedBytes());
-    if (auto *m = dynamic_cast<MosaicManager *>(manager.get())) {
-        result.coalescedHoleBytes =
-            std::max(peak_holes, m->coalescedHoleBytes());
-    }
-    std::uint64_t needed = 0;
-    for (const auto &ctx : apps) {
-        for (const auto &buf : ctx->layout->buffers())
-            needed += roundUp(buf.touchedBytes, kBasePageSize);
-    }
-    result.neededBytes = needed;
-    result.l1CacheHitRate = safeRatio(double(caches.stats().l1Hits),
-                                      double(caches.stats().l1Accesses));
-    result.l2CacheHitRate = safeRatio(double(caches.stats().l2Hits),
-                                      double(caches.stats().l2Accesses));
-    result.dramRowHits = dram.stats().rowHits;
-    result.dramRowMisses = dram.stats().rowMisses;
-    result.gpuStallCycles = gpu.totalStallCycles();
+    result.metrics = registry.snapshot(events.now());
+    result.metricsSamples = std::move(samples);
+    deriveLegacyScalars(result);
     return result;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats_registry.h"
 #include "runner/sim_config.h"
 #include "workload/workload.h"
 
@@ -37,6 +38,17 @@ struct SimResult
     std::string workloadName;
     std::vector<AppResult> apps;
     Cycles totalCycles = 0;
+
+    /**
+     * Generic end-of-run capture of every metric the simulation's
+     * StatsRegistry knows about, keyed by dotted path (DESIGN.md §8).
+     * The scalar fields below are *derived* from this snapshot and kept
+     * for source compatibility -- new metrics need no new fields here.
+     */
+    MetricsSnapshot metrics;
+
+    /** Interval snapshots (SimConfig::metricsSamplePeriod > 0 only). */
+    std::vector<MetricsSnapshot> metricsSamples;
 
     double l1TlbHitRate = 0.0;
     double l2TlbHitRate = 0.0;

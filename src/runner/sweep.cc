@@ -3,10 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <sstream>
 
+#include "common/json_writer.h"
 #include "common/log.h"
-#include "runner/json_report.h"
 
 namespace mosaic {
 
@@ -154,24 +153,25 @@ SweepRunner::stats()
 std::string
 toJson(const SweepStats &stats, const std::string &benchName)
 {
-    std::ostringstream out;
-    out << "{\"bench\":\"" << detail::jsonEscape(benchName) << "\","
-        << "\"threads\":" << stats.threads << ","
-        << "\"jobs\":" << stats.jobs << ","
-        << "\"totalWallSeconds\":" << stats.totalWallSeconds << ","
-        << "\"sumJobSeconds\":" << stats.sumJobSeconds << ","
-        << "\"speedup\":" << stats.speedup << ","
-        << "\"perJob\":[";
-    for (std::size_t i = 0; i < stats.perJob.size(); ++i) {
-        const SweepJobStats &job = stats.perJob[i];
-        if (i > 0)
-            out << ",";
-        out << "{\"index\":" << job.index << ","
-            << "\"label\":\"" << detail::jsonEscape(job.label) << "\","
-            << "\"wallSeconds\":" << job.wallSeconds << "}";
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", benchName);
+    w.field("threads", stats.threads);
+    w.field("jobs", stats.jobs);
+    w.field("totalWallSeconds", stats.totalWallSeconds);
+    w.field("sumJobSeconds", stats.sumJobSeconds);
+    w.field("speedup", stats.speedup);
+    w.key("perJob").beginArray();
+    for (const SweepJobStats &job : stats.perJob) {
+        w.beginObject();
+        w.field("index", job.index);
+        w.field("label", job.label);
+        w.field("wallSeconds", job.wallSeconds);
+        w.endObject();
     }
-    out << "]}";
-    return out.str();
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 void

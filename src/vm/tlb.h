@@ -13,7 +13,10 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "cache/set_assoc_cache.h"
+#include "common/stats_registry.h"
 #include "common/types.h"
 
 namespace mosaic {
@@ -130,6 +133,23 @@ class Tlb
 
     /** Statistics. */
     const Stats &stats() const { return stats_; }
+
+    /**
+     * Binds this level's counters into @p reg under
+     * "<prefix>.{base,large}.{accesses,hits}" (e.g. "vm.tlb.l2").
+     * Owners with stable addresses call this at construction.
+     */
+    void
+    registerMetrics(StatsRegistry &reg, const std::string &prefix,
+                    const MetricLabels &labels = {}) const
+    {
+        reg.bindCounter(prefix + ".base.accesses", stats_.baseAccesses,
+                        labels);
+        reg.bindCounter(prefix + ".base.hits", stats_.baseHits, labels);
+        reg.bindCounter(prefix + ".large.accesses", stats_.largeAccesses,
+                        labels);
+        reg.bindCounter(prefix + ".large.hits", stats_.largeHits, labels);
+    }
 
     /** Resets statistics (e.g., after warmup). */
     void resetStats() { stats_ = Stats{}; }

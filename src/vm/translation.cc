@@ -1,5 +1,7 @@
 #include "vm/translation.h"
 
+#include <algorithm>
+
 namespace mosaic {
 
 namespace {
@@ -16,7 +18,8 @@ missKey(AppId app, Addr va)
 TranslationService::TranslationService(EventQueue &events,
                                        PageTableWalker &walker,
                                        unsigned numSms,
-                                       const TranslationConfig &config)
+                                       const TranslationConfig &config,
+                                       StatsRegistry *metrics)
     : events_(events), walker_(walker), config_(config), l2_(config.l2)
 {
     l1_.reserve(numSms);
@@ -24,6 +27,49 @@ TranslationService::TranslationService(EventQueue &events,
     for (unsigned i = 0; i < numSms; ++i) {
         l1_.emplace_back(config.l1);
         mshrs_.emplace_back(0);
+    }
+    if (metrics != nullptr) {
+        metrics->bindCounter("vm.translation.requests", stats_.requests);
+        metrics->bindCounter("vm.translation.l1Hits", stats_.l1Hits);
+        metrics->bindCounter("vm.translation.l2Hits", stats_.l2Hits);
+        metrics->bindCounter("vm.translation.walksIssued",
+                             stats_.walksIssued);
+        metrics->bindCounter("vm.translation.mshrMerges", stats_.mshrMerges);
+        metrics->bindCounter("vm.translation.faults", stats_.faults);
+        // The shared L2 TLB has a stable address; the per-SM L1s are
+        // summed through l1StatsTotal() so the paths stay size-agnostic.
+        l2_.registerMetrics(*metrics, "vm.tlb.l2");
+        metrics->bindCounterFn("vm.tlb.l1.base.accesses", [this] {
+            return l1StatsTotal().baseAccesses;
+        });
+        metrics->bindCounterFn("vm.tlb.l1.base.hits", [this] {
+            return l1StatsTotal().baseHits;
+        });
+        metrics->bindCounterFn("vm.tlb.l1.large.accesses", [this] {
+            return l1StatsTotal().largeAccesses;
+        });
+        metrics->bindCounterFn("vm.tlb.l1.large.hits", [this] {
+            return l1StatsTotal().largeHits;
+        });
+        // Per-app breakdown: address spaces appear as they translate, so
+        // this is a dynamic labeled family (sorted for determinism).
+        metrics->addProvider([this](StatsRegistry::Sink &sink) {
+            std::vector<AppId> ids;
+            ids.reserve(perApp_.size());
+            for (const auto &kv : perApp_)
+                ids.push_back(kv.first);
+            std::sort(ids.begin(), ids.end());
+            for (const AppId id : ids) {
+                const AppStats &s = perApp_.at(id);
+                const MetricLabels labels = {
+                    {"app", std::to_string(unsigned(id))}};
+                sink.counter("vm.translation.app.requests", labels,
+                             s.requests);
+                sink.counter("vm.translation.app.l1Hits", labels, s.l1Hits);
+                sink.counter("vm.translation.app.l2Hits", labels, s.l2Hits);
+                sink.counter("vm.translation.app.walks", labels, s.walks);
+            }
+        });
     }
 }
 

@@ -75,8 +75,17 @@ class TranslationService
         std::uint64_t walks = 0;
     };
 
+    /**
+     * @param metrics when non-null, counters register at construction:
+     *                service counters under "vm.translation.*", the
+     *                shared L2 TLB under "vm.tlb.l2.*", the summed
+     *                per-SM L1 TLBs under "vm.tlb.l1.*", and a dynamic
+     *                per-app family "vm.translation.app.*{app=N}"
+     *                (DESIGN.md §8).
+     */
     TranslationService(EventQueue &events, PageTableWalker &walker,
-                       unsigned numSms, const TranslationConfig &config);
+                       unsigned numSms, const TranslationConfig &config,
+                       StatsRegistry *metrics = nullptr);
 
     /**
      * Translates @p va for @p sm in address space @p pageTable.appId().

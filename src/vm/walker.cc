@@ -3,11 +3,21 @@
 namespace mosaic {
 
 PageTableWalker::PageTableWalker(EventQueue &events, CacheHierarchy &memory,
-                                 const WalkerConfig &config)
+                                 const WalkerConfig &config,
+                                 StatsRegistry *metrics)
     : events_(events), memory_(memory), config_(config)
 {
     if (config_.usePageWalkCache) {
         pwc_ = std::make_unique<SetAssocCache>(1, config_.pwcEntries);
+    }
+    if (metrics != nullptr) {
+        metrics->bindCounter("vm.walker.walks", stats_.walks);
+        metrics->bindCounter("vm.walker.queued", stats_.queued);
+        metrics->bindCounter("vm.walker.faults", stats_.faults);
+        metrics->bindCounter("vm.walker.largeResults", stats_.largeResults);
+        metrics->bindCounter("vm.walker.pwcHits", stats_.pwcHits);
+        metrics->bindCounter("vm.walker.pwcMisses", stats_.pwcMisses);
+        metrics->bindHistogram("vm.walker.latency", stats_.latency);
     }
 }
 

@@ -22,6 +22,7 @@
 #include "cache/hierarchy.h"
 #include "cache/set_assoc_cache.h"
 #include "common/stats.h"
+#include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 #include "vm/page_table.h"
@@ -64,8 +65,13 @@ class PageTableWalker
         Histogram latency{64, 128};     ///< cycles per completed walk
     };
 
+    /**
+     * @param metrics when non-null, counters register under
+     *                "vm.walker.*" at construction (DESIGN.md §8).
+     */
     PageTableWalker(EventQueue &events, CacheHierarchy &memory,
-                    const WalkerConfig &config);
+                    const WalkerConfig &config,
+                    StatsRegistry *metrics = nullptr);
 
     /**
      * Starts (or queues) a walk of @p va through @p pageTable.

@@ -1,0 +1,216 @@
+/** @file Tests for the metrics registry and the shared JSON writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json_writer.h"
+#include "common/stats.h"
+#include "common/stats_registry.h"
+
+namespace mosaic {
+namespace {
+
+// ---------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriterTest, EscapesControlCharacters)
+{
+    // The historical per-file escapers let \t, \r, and other control
+    // characters through raw, producing invalid JSON.
+    EXPECT_EQ(JsonWriter::escape("a\tb"), "a\\tb");
+    EXPECT_EQ(JsonWriter::escape("a\rb"), "a\\rb");
+    EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+    EXPECT_EQ(JsonWriter::escape("a\bb"), "a\\bb");
+    EXPECT_EQ(JsonWriter::escape("a\fb"), "a\\fb");
+    EXPECT_EQ(JsonWriter::escape(std::string("a\x01", 2) + "b"),
+              "a\\u0001b");
+    EXPECT_EQ(JsonWriter::escape(std::string("x\x1f", 2)), "x\\u001f");
+    EXPECT_EQ(JsonWriter::escape("q\"w\\e"), "q\\\"w\\\\e");
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, CommasAndNesting)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("a", std::uint64_t(1));
+    w.field("b", "two");
+    w.key("c").beginArray();
+    w.value(std::uint64_t(3)).value(4.5).value(true);
+    w.beginObject().field("d", std::uint64_t(6)).endObject();
+    w.endArray();
+    w.key("e").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"a\":1,\"b\":\"two\",\"c\":[3,4.5,true,{\"d\":6}],"
+              "\"e\":{}}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeZero)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(0.0 / 0.0);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[0]");
+}
+
+// ----------------------------------------------------------- Histogram fixes
+
+TEST(HistogramPercentileTest, BoundaryPercentiles)
+{
+    Histogram h(10, 8);  // buckets [0,10) [10,20) ... plus overflow
+    // Three samples in bucket 2, one in bucket 5.
+    h.record(25);
+    h.record(26);
+    h.record(27);
+    h.record(55);
+    // p=0 must land on the first *non-empty* bucket, not return the
+    // midpoint of an empty bucket 0 (the pre-fix behavior).
+    EXPECT_DOUBLE_EQ(h.percentile(0), 25.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 25.0);   // 2nd of 4 samples
+    EXPECT_DOUBLE_EQ(h.percentile(75), 25.0);   // 3rd of 4 samples
+    EXPECT_DOUBLE_EQ(h.percentile(100), 55.0);  // 4th sample, bucket 5
+}
+
+TEST(HistogramPercentileTest, OverflowBucketReportsMax)
+{
+    Histogram h(10, 3);  // overflow bucket covers values >= 30
+    h.record(5);
+    h.record(1000);
+    // The overflow bucket has no midpoint; the recorded max is the only
+    // honest bound.
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);
+}
+
+TEST(HistogramPercentileTest, EmptyAndClamped)
+{
+    Histogram h(10, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // no samples
+    h.record(12);
+    EXPECT_DOUBLE_EQ(h.percentile(-5), 15.0);   // clamps to p=0
+    EXPECT_DOUBLE_EQ(h.percentile(200), 15.0);  // clamps to p=100
+}
+
+// ------------------------------------------------------------- StatsRegistry
+
+TEST(StatsRegistryTest, OwnedHandles)
+{
+    StatsRegistry reg;
+    Counter &hits = reg.counter("vm.tlb.l1.base.hits");
+    Gauge &occupancy = reg.gauge("mm.occupancy");
+    ++hits;
+    hits += 4;
+    hits.add(5);
+    occupancy.set(0.75);
+
+    const MetricsSnapshot snap = reg.snapshot(123);
+    EXPECT_EQ(snap.atCycle, 123u);
+    EXPECT_EQ(snap.u64("vm.tlb.l1.base.hits"), 10u);
+    EXPECT_DOUBLE_EQ(snap.real("mm.occupancy"), 0.75);
+}
+
+TEST(StatsRegistryTest, BindsLegacyStructFields)
+{
+    struct LegacyStats
+    {
+        std::uint64_t walks = 0;
+        std::uint64_t faults = 0;
+    } stats;
+
+    StatsRegistry reg;
+    reg.bindCounter("vm.walker.walks", stats.walks);
+    reg.bindCounter("vm.walker.faults", stats.faults);
+    stats.walks = 42;
+    stats.faults = 7;
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.u64("vm.walker.walks"), 42u);
+    EXPECT_EQ(snap.u64("vm.walker.faults"), 7u);
+    // Bindings are live: later snapshots see later values.
+    stats.walks = 100;
+    EXPECT_EQ(reg.snapshot().u64("vm.walker.walks"), 100u);
+}
+
+TEST(StatsRegistryTest, ComputedCountersAndGauges)
+{
+    StatsRegistry reg;
+    std::uint64_t a = 3, b = 4;
+    reg.bindCounterFn("sum", [&] { return a + b; });
+    reg.bindGaugeFn("ratio", [&] { return double(a) / double(b); });
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.u64("sum"), 7u);
+    EXPECT_DOUBLE_EQ(snap.real("ratio"), 0.75);
+}
+
+TEST(StatsRegistryTest, HistogramExplodesIntoScalars)
+{
+    StatsRegistry reg;
+    Histogram &h = reg.histogram("dram.latency", 10, 8);
+    h.record(25);
+    h.record(25);
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.u64("dram.latency.samples"), 2u);
+    EXPECT_DOUBLE_EQ(snap.real("dram.latency.mean"), 25.0);
+    EXPECT_EQ(snap.u64("dram.latency.max"), 25u);
+    EXPECT_DOUBLE_EQ(snap.real("dram.latency.p50"), 25.0);
+    EXPECT_DOUBLE_EQ(snap.real("dram.latency.p95"), 25.0);
+}
+
+TEST(StatsRegistryTest, LabeledProviderFamilies)
+{
+    StatsRegistry reg;
+    reg.addProvider([](StatsRegistry::Sink &sink) {
+        // Deliberately emit out of order; snapshots sort by key.
+        sink.counter("vm.translation.app.requests", {{"app", "1"}}, 20);
+        sink.counter("vm.translation.app.requests", {{"app", "0"}}, 10);
+    });
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.u64("vm.translation.app.requests{app=0}"), 10u);
+    EXPECT_EQ(snap.u64("vm.translation.app.requests{app=1}"), 20u);
+    ASSERT_EQ(snap.values.size(), 2u);
+    EXPECT_EQ(snap.values[0].key(), "vm.translation.app.requests{app=0}");
+}
+
+TEST(StatsRegistryTest, SnapshotIsSortedAndLookupsMissGracefully)
+{
+    StatsRegistry reg;
+    reg.counter("z.last");
+    reg.counter("a.first");
+    reg.counter("m.middle");
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.values.size(), 3u);
+    EXPECT_EQ(snap.values[0].path, "a.first");
+    EXPECT_EQ(snap.values[2].path, "z.last");
+    EXPECT_FALSE(snap.has("no.such.metric"));
+    EXPECT_EQ(snap.u64("no.such.metric"), 0u);
+    EXPECT_DOUBLE_EQ(snap.real("no.such.metric"), 0.0);
+    EXPECT_EQ(snap.find("no.such.metric"), nullptr);
+}
+
+TEST(StatsRegistryTest, SnapshotJsonIsFlatAndStable)
+{
+    StatsRegistry reg;
+    Counter &c = reg.counter("b.count");
+    ++c;
+    reg.bindGaugeFn("a.rate", [] { return 0.5; });
+    const std::string json = reg.snapshot().toJson();
+    EXPECT_EQ(json, "{\"a.rate\":0.5,\"b.count\":1}");
+}
+
+TEST(StatsRegistryTest, HandleReferencesSurviveGrowth)
+{
+    StatsRegistry reg;
+    Counter &first = reg.counter("first");
+    for (int i = 0; i < 100; ++i)
+        reg.counter("c" + std::to_string(i));
+    ++first;  // must not be a dangling reference after 100 more registrations
+    EXPECT_EQ(reg.snapshot().u64("first"), 1u);
+    EXPECT_EQ(reg.entryCount(), 101u);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -48,6 +48,9 @@ usage()
         "  --seed <n>             simulation seed (default 1)\n"
         "  --weighted-speedup     also run per-app alone baselines\n"
         "  --json                 emit the result as JSON instead of text\n"
+        "  --metrics-json <path>  write the full metrics registry snapshot\n"
+        "                         (plus any interval samples) to <path>\n"
+        "  --metrics-sample <n>   sample all metrics every <n> cycles\n"
         "  --list-apps            print the application catalog\n");
 }
 
@@ -76,6 +79,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     bool weighted = false;
     bool json = false;
+    std::string metrics_json_path;
+    Cycles metrics_sample = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -140,6 +145,10 @@ main(int argc, char **argv)
             weighted = true;
         } else if (match(a, "--json")) {
             json = true;
+        } else if (match(a, "--metrics-json")) {
+            metrics_json_path = next();
+        } else if (match(a, "--metrics-sample")) {
+            metrics_sample = static_cast<Cycles>(std::atoll(next()));
         } else {
             std::fprintf(stderr, "unknown flag %s\n\n", a);
             usage();
@@ -208,6 +217,8 @@ main(int argc, char **argv)
     config.mosaic.cac.useBulkCopy = cac_bc;
     config.mosaic.cac.ideal = cac_ideal;
     config.seed = seed;
+    if (metrics_sample > 0)
+        config = config.withMetricsSampling(metrics_sample);
     if (tight) {
         config.pageTablePoolBytes = 16ull << 20;
         config.dram.capacityBytes = std::max<std::uint64_t>(
@@ -226,6 +237,15 @@ main(int argc, char **argv)
             printSimResult(r);
         return r;
     }();
+
+    if (!metrics_json_path.empty()) {
+        if (!writeMetricsJson(result, metrics_json_path,
+                              managerKindName(config.manager)))
+            return 1;
+        if (!json)
+            std::printf("metrics written to %s\n",
+                        metrics_json_path.c_str());
+    }
 
     if (weighted) {
         const auto alone = aloneIpcs(w, config);
