@@ -5,11 +5,20 @@
  * panic()  -- an internal simulator invariant was violated; aborts.
  * fatal()  -- the user supplied an impossible configuration; exits.
  * warn()   -- something questionable happened; simulation continues.
+ *
+ * Warnings inside a simulation should carry the current tick
+ * (MOSAIC_WARN_AT) so they can be correlated with a trace, and
+ * per-event warnings that can fire millions of times should be
+ * deduplicated (MOSAIC_WARN_ONCE) or rate-limited (MOSAIC_WARN_EVERY).
+ * The suppression state is a per-call-site atomic, so concurrent sweep
+ * jobs stay TSan-clean (DESIGN.md §7).
  */
 
 #ifndef MOSAIC_COMMON_LOG_H
 #define MOSAIC_COMMON_LOG_H
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -38,6 +47,15 @@ warnImpl(const char *file, int line, const std::string &msg)
     std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
+inline void
+warnAtImpl(const char *file, int line, std::uint64_t tick,
+           const std::string &msg)
+{
+    std::fprintf(stderr, "warn: [cycle %llu] %s (%s:%d)\n",
+                 static_cast<unsigned long long>(tick), msg.c_str(), file,
+                 line);
+}
+
 }  // namespace detail
 
 }  // namespace mosaic
@@ -53,6 +71,35 @@ warnImpl(const char *file, int line, const std::string &msg)
 /** Report a suspicious condition without stopping the simulation. */
 #define MOSAIC_WARN(msg) \
     ::mosaic::detail::warnImpl(__FILE__, __LINE__, (msg))
+
+/** MOSAIC_WARN with the simulation time the condition occurred at. */
+#define MOSAIC_WARN_AT(tick, msg) \
+    ::mosaic::detail::warnAtImpl(__FILE__, __LINE__, (tick), (msg))
+
+/** Warns the first time this call site is reached; silent afterwards. */
+#define MOSAIC_WARN_ONCE(msg)                                         \
+    do {                                                              \
+        static std::atomic<bool> mosaicWarned_{false};                \
+        if (!mosaicWarned_.exchange(true, std::memory_order_relaxed)) \
+            MOSAIC_WARN(msg);                                         \
+    } while (0)
+
+/**
+ * Tick-stamped warning emitted on the 1st, (n+1)th, (2n+1)th ... hit of
+ * this call site; the final tally appears in the suppressed messages.
+ */
+#define MOSAIC_WARN_EVERY(n, tick, msg)                                    \
+    do {                                                                   \
+        static std::atomic<std::uint64_t> mosaicWarnHits_{0};              \
+        const std::uint64_t mosaicHit_ =                                   \
+            mosaicWarnHits_.fetch_add(1, std::memory_order_relaxed);       \
+        if (mosaicHit_ % (n) == 0) {                                       \
+            MOSAIC_WARN_AT((tick),                                         \
+                           (msg) + std::string(" [occurrence ") +          \
+                               std::to_string(mosaicHit_ + 1) +            \
+                               ", repeats suppressed to 1 in " #n "]");    \
+        }                                                                  \
+    } while (0)
 
 /** Cheap always-on assertion that panics with context on failure. */
 #define MOSAIC_ASSERT(cond, msg)                    \

@@ -6,8 +6,9 @@
 namespace mosaic {
 
 DramModel::DramModel(EventQueue &events, const DramConfig &config,
-                     StatsRegistry *metrics)
-    : events_(events), config_(config), channels_(config.channels)
+                     StatsRegistry *metrics, Tracer *tracer)
+    : events_(events), config_(config), tracer_(tracer),
+      channels_(config.channels)
 {
     for (auto &channel : channels_)
         channel.banks.assign(config_.banksPerChannel, Bank{});
@@ -173,6 +174,16 @@ DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
 
     ++stats_.bulkCopies;
     stats_.bulkCopyCycles += duration;
+    if (tracer_ != nullptr && tracer_->on(kTraceDram)) {
+        const std::uint64_t id =
+            traceId(TraceIdSpace::BulkCopy, stats_.bulkCopies);
+        tracer_->asyncBegin(kTraceDram, TraceTrack::Dram, "dram.bulkCopy",
+                            id, start,
+                            {"inDram", inDramCopy && same_channel ? 1u : 0u},
+                            {"channel", dst_channel});
+        tracer_->asyncEnd(kTraceDram, TraceTrack::Dram, "dram.bulkCopy", id,
+                          done);
+    }
     events_.schedule(done, std::move(onDone));
 }
 

@@ -23,6 +23,7 @@
 #include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
+#include "trace/tracer.h"
 
 namespace mosaic {
 
@@ -77,9 +78,11 @@ class DramModel
     /**
      * @param metrics when non-null, counters register under "dram.*"
      *                at construction (DESIGN.md §8).
+     * @param tracer when non-null, bulk copies record spans (regular
+     *               line accesses are far too hot to trace).
      */
     DramModel(EventQueue &events, const DramConfig &config,
-              StatsRegistry *metrics = nullptr);
+              StatsRegistry *metrics = nullptr, Tracer *tracer = nullptr);
 
     /** Issues a line access to @p addr; @p onDone runs at completion. */
     void access(Addr addr, bool isWrite, std::function<void()> onDone);
@@ -136,6 +139,7 @@ class DramModel
 
     EventQueue &events_;
     DramConfig config_;
+    Tracer *tracer_;
     std::vector<Channel> channels_;
     Stats stats_;
     std::size_t inFlight_ = 0;

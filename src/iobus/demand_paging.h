@@ -18,11 +18,13 @@
 #include <functional>
 
 #include "cache/mshr.h"
+#include "common/log.h"
 #include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 #include "iobus/pcie.h"
 #include "mm/memory_manager.h"
+#include "trace/tracer.h"
 #include "vm/page_table.h"
 
 namespace mosaic {
@@ -46,10 +48,12 @@ class DemandPager
     /**
      * @param metrics when non-null, counters register under
      *                "iobus.paging.*" at construction (DESIGN.md §8).
+     * @param tracer when non-null, each distinct far-fault records a
+     *               span from fault to page-resident.
      */
     DemandPager(EventQueue &events, PcieBus &bus, MemoryManager &manager,
-                StatsRegistry *metrics = nullptr)
-        : events_(events), bus_(bus), manager_(manager)
+                StatsRegistry *metrics = nullptr, Tracer *tracer = nullptr)
+        : events_(events), bus_(bus), manager_(manager), tracer_(tracer)
     {
         if (metrics != nullptr) {
             metrics->bindCounter("iobus.paging.farFaults", stats_.farFaults);
@@ -87,9 +91,28 @@ class DemandPager
         ++stats_.farFaults;
         const std::uint64_t bytes = pageBytes(gran);
         stats_.bytesTransferred += bytes;
+        if (tracer_ != nullptr && tracer_->on(kTraceIo)) {
+            // The MSHR guarantees one outstanding fault per key, so the
+            // key doubles as the span id (no storage needed).
+            tracer_->asyncBegin(kTraceIo, TraceTrack::Io, "farFault",
+                                traceId(TraceIdSpace::Fault, key),
+                                events_.now(),
+                                {"app", static_cast<std::uint64_t>(app)},
+                                {"bytes", bytes});
+        }
         bus_.transfer(bytes, [this, app, va, key] {
-            if (!manager_.backPage(app, va))
+            const bool backed = manager_.backPage(app, va);
+            if (!backed) {
                 ++stats_.oomFaults;
+                MOSAIC_WARN_EVERY(1024, events_.now(),
+                                  "far-fault could not be backed: GPU "
+                                  "memory exhausted");
+            }
+            if (tracer_ != nullptr && tracer_->on(kTraceIo)) {
+                tracer_->asyncEnd(kTraceIo, TraceTrack::Io, "farFault",
+                                  traceId(TraceIdSpace::Fault, key),
+                                  events_.now(), {"oom", backed ? 0u : 1u});
+            }
             faults_.fill(key);
         });
     }
@@ -137,6 +160,7 @@ class DemandPager
     EventQueue &events_;
     PcieBus &bus_;
     MemoryManager &manager_;
+    Tracer *tracer_;
     MshrFile faults_;
     Stats stats_;
 };

@@ -19,6 +19,7 @@
 #include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
+#include "trace/tracer.h"
 
 namespace mosaic {
 
@@ -49,10 +50,12 @@ class PcieBus
     /**
      * @param metrics when non-null, counters register under
      *                "iobus.pcie.*" at construction (DESIGN.md §8).
+     * @param tracer when non-null, each transfer records a span from
+     *               request to data-usable.
      */
     PcieBus(EventQueue &events, const PcieConfig &config,
-            StatsRegistry *metrics = nullptr)
-        : events_(events), config_(config)
+            StatsRegistry *metrics = nullptr, Tracer *tracer = nullptr)
+        : events_(events), config_(config), tracer_(tracer)
     {
         if (metrics != nullptr) {
             metrics->bindCounter("iobus.pcie.transfers", stats_.transfers);
@@ -82,6 +85,17 @@ class PcieBus
         stats_.bytes += bytes;
         stats_.busBusyCycles += busy;
         stats_.latency.record(done - now);
+        if (tracer_ != nullptr && tracer_->on(kTraceIo)) {
+            // The whole timing resolves here, so both edges record now;
+            // the exporter orders events by timestamp.
+            const std::uint64_t id =
+                traceId(TraceIdSpace::Pcie, stats_.transfers);
+            tracer_->asyncBegin(kTraceIo, TraceTrack::Io, "pcie.transfer",
+                                id, now, {"bytes", bytes},
+                                {"queuedCycles", start - now});
+            tracer_->asyncEnd(kTraceIo, TraceTrack::Io, "pcie.transfer",
+                              id, done);
+        }
         events_.schedule(done, std::move(onDone));
     }
 
@@ -97,6 +111,7 @@ class PcieBus
   private:
     EventQueue &events_;
     PcieConfig config_;
+    Tracer *tracer_;
     Cycles busFreeAt_ = 0;
     Stats stats_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dram/dram.h"
+#include "mm/mm_trace.h"
 #include "vm/translation.h"
 
 namespace mosaic {
@@ -23,6 +24,8 @@ Cac::onFrameFragmented(std::uint32_t frameIdx)
 {
     FrameInfo &frame = state_.pool.frame(frameIdx);
     MOSAIC_ASSERT(frame.coalesced, "fragment callback on uncoalesced frame");
+    mmtrace::frameMark(state_, "frame.fragmented", frameIdx,
+                       {"used", frame.usedCount});
 
     if (!config_.enabled || frame.usedCount >= config_.occupancyThresholdPages) {
         // Keep the coalesced translation (it still improves TLB reach);
@@ -53,6 +56,8 @@ Cac::splinterFrame(std::uint32_t frameIdx)
     pt.splinter(chunk_va);
     frame.coalesced = false;
     ++state_.stats.splinterOps;
+    mmtrace::frameMark(state_, "frame.splinter", frameIdx,
+                       {"used", frame.usedCount});
 
     // Splintering must shoot the stale large-page mapping down in every
     // TLB level before any base mapping can change (paper §4.4).
@@ -174,8 +179,11 @@ Cac::compactFrame(std::uint32_t frameIdx)
         if (!frame.used[slot])
             continue;
         const Dest dest = dests[next_dest++];
-        if (!dest.ownerMatch)
+        if (!dest.ownerMatch) {
             ++state_.stats.softGuaranteeViolations;
+            mmtrace::violation(state_, dest.frame,
+                               mmtrace::kSiteCompactDest);
+        }
 
         const Addr va = frame.slotVa[slot];
         const Addr src_pa = state_.pool.slotAddr(frameIdx, slot);
@@ -199,6 +207,8 @@ Cac::compactFrame(std::uint32_t frameIdx)
         state_.env.stallGpu(total_stall);
 
     MOSAIC_ASSERT(frame.usedCount == 0, "compaction left pages behind");
+    mmtrace::frameMark(state_, "frame.compact", frameIdx,
+                       {"migrated", next_dest}, {"stall", total_stall});
     retireEmptyFrame(frameIdx);
     ++state_.stats.compactions;
     return true;
@@ -289,6 +299,8 @@ Cac::consolidateAlienFrame()
         state_.env.stallGpu(total_stall);
 
     MOSAIC_ASSERT(src_info.empty(), "alien consolidation left data");
+    mmtrace::frameMark(state_, "frame.compact", src,
+                       {"migrated", next_dest}, {"alien", 1});
     retireEmptyFrame(src);
     ++state_.stats.compactions;
     return true;
@@ -320,6 +332,7 @@ Cac::retireEmptyFrame(std::uint32_t frameIdx)
     state_.pool.resetOwner(frameIdx);
     inEmergency_[frameIdx] = false;
     state_.freeFrames.push_back(frameIdx);
+    mmtrace::frameFree(state_, frameIdx);
 }
 
 bool
@@ -367,8 +380,13 @@ Cac::reclaim(AppId requester)
 
         splinterFrame(frameIdx);
         ++state_.stats.emergencySplinters;
-        if (frame.owner != requester)
+        mmtrace::frameMark(state_, "frame.emergencySplinter", frameIdx,
+                           {"requester", static_cast<std::uint64_t>(requester)});
+        if (frame.owner != requester) {
             ++state_.stats.softGuaranteeViolations;
+            mmtrace::violation(state_, frameIdx,
+                               mmtrace::kSiteEmergencyDonate);
+        }
 
         // The chunk reservation is gone for good: holes will now hold
         // unrelated pages, so the region can never re-coalesce here.

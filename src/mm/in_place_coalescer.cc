@@ -1,6 +1,7 @@
 #include "mm/in_place_coalescer.h"
 
 #include "dram/dram.h"
+#include "mm/mm_trace.h"
 
 namespace mosaic {
 
@@ -37,6 +38,8 @@ InPlaceCoalescer::tryCoalesce(std::uint32_t frameIdx)
     pt.coalesce(chunk_va);
     frame.coalesced = true;
     ++state_.stats.coalesceOps;
+    mmtrace::frameMark(state_, "frame.coalesce", frameIdx,
+                       {"resident", frame.residentCount});
 
     if (state_.env.dram != nullptr) {
         const auto path = pt.walkPath(chunk_va);

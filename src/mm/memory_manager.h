@@ -19,11 +19,12 @@
 
 #include "common/stats_registry.h"
 #include "common/types.h"
+#include "engine/event_queue.h"
+#include "trace/tracer.h"
 #include "vm/page_table.h"
 
 namespace mosaic {
 
-class EventQueue;
 class DramModel;
 class TranslationService;
 
@@ -37,9 +38,18 @@ struct ManagerEnv
     EventQueue *events = nullptr;
     DramModel *dram = nullptr;
     TranslationService *translation = nullptr;
+    /** Event tracer; null when tracing is disabled. */
+    Tracer *tracer = nullptr;
     /** Stalls every SM for the given duration (CAC's worst-case cost). */
     std::function<void(Cycles)> stallGpu;
 };
+
+/** Current simulation time, or 0 in env-less unit tests. */
+inline Cycles
+envNow(const ManagerEnv &env)
+{
+    return env.events != nullptr ? env.events->now() : 0;
+}
 
 /** Statistics every manager reports. */
 struct MemoryManagerStats

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Trace-emission helpers shared by CoCoA, the In-Place Coalescer, and
+ * CAC.
+ *
+ * Every large page frame gets one nestable async flow keyed by
+ * traceId(Frame, frameIndex): opened when the frame leaves the free
+ * list (or is pinned by fragmentation injection), marked at each
+ * lifecycle transition (coalesce, splinter, compaction, emergency use),
+ * and closed when CAC retires the empty frame. Soft-guarantee
+ * violations are thread-scoped instants carrying the frame and the
+ * violation site, so tools/trace_check can re-verify the counters from
+ * the event stream alone.
+ *
+ * All helpers are free when state.env.tracer is null (one branch).
+ */
+
+#ifndef MOSAIC_MM_MM_TRACE_H
+#define MOSAIC_MM_MM_TRACE_H
+
+#include "mm/mosaic_state.h"
+#include "trace/tracer.h"
+
+namespace mosaic {
+namespace mmtrace {
+
+/** Soft-guarantee violation sites (the "site" arg of the instant). */
+enum ViolationSite : std::uint64_t {
+    kSiteLooseLastResort = 1,  ///< CoCoA backLoosePage last resort
+    kSiteCompactDest = 2,      ///< CAC migration into a non-owner frame
+    kSiteEmergencyDonate = 3,  ///< CAC donated another app's emergency frame
+};
+
+/** Flow id of @p frame's lifecycle. */
+inline std::uint64_t
+frameFlowId(std::uint32_t frame)
+{
+    return traceId(TraceIdSpace::Frame, frame);
+}
+
+/** Opens @p frame's lifecycle flow. @p kind is a string literal. */
+inline void
+frameAlloc(MosaicState &state, std::uint32_t frame, AppId app,
+           const char *kind)
+{
+    if (Tracer *t = state.env.tracer) {
+        t->asyncBegin(kTraceMm, TraceTrack::Mm, "frame", frameFlowId(frame),
+                      envNow(state.env),
+                      {"app", static_cast<std::uint64_t>(app)}, {kind, 1});
+    }
+}
+
+/** Closes @p frame's lifecycle flow (frame returned to the free list). */
+inline void
+frameFree(MosaicState &state, std::uint32_t frame)
+{
+    if (Tracer *t = state.env.tracer) {
+        t->asyncEnd(kTraceMm, TraceTrack::Mm, "frame", frameFlowId(frame),
+                    envNow(state.env));
+    }
+}
+
+/** Marks lifecycle transition @p name (a literal) on @p frame's flow. */
+inline void
+frameMark(MosaicState &state, const char *name, std::uint32_t frame,
+          TraceArg a0 = {}, TraceArg a1 = {})
+{
+    if (Tracer *t = state.env.tracer) {
+        t->asyncInstant(kTraceMm, TraceTrack::Mm, name, frameFlowId(frame),
+                        envNow(state.env), a0, a1);
+    }
+}
+
+/** Records a soft-guarantee violation instant at @p site. */
+inline void
+violation(MosaicState &state, std::uint32_t frame, ViolationSite site)
+{
+    if (Tracer *t = state.env.tracer) {
+        t->instant(kTraceMm, TraceTrack::Mm, "mm.softGuaranteeViolation",
+                   envNow(state.env), {"frame", frame},
+                   {"site", static_cast<std::uint64_t>(site)});
+    }
+}
+
+}  // namespace mmtrace
+}  // namespace mosaic
+
+#endif  // MOSAIC_MM_MM_TRACE_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mm/mm_trace.h"
+
 namespace mosaic {
 
 MosaicManager::MosaicManager(Addr poolBase, std::uint64_t poolBytes,
@@ -35,6 +37,7 @@ MosaicManager::assignChunkFrame(AppId app, Addr chunkVa)
     state_.pool.frame(frame).owner = app;
     state_.frameChunkVa[frame] = chunkVa;
     st.chunkFrames[lvpn] = frame;
+    mmtrace::frameAlloc(state_, frame, app, "chunk");
 
     // CoCoA commits the whole frame at allocation time: every base page
     // of the chunk gets its predetermined, contiguity-conserving slot.
@@ -150,6 +153,7 @@ MosaicManager::backLoosePage(MosaicAppState &app, AppId appId, Addr vaPage)
             const std::uint32_t frame = state_.freeFrames.back();
             state_.freeFrames.pop_back();
             state_.pool.frame(frame).owner = appId;
+            mmtrace::frameAlloc(state_, frame, appId, "loose");
             for (unsigned s = 0; s < kBasePagesPerLargePage; ++s) {
                 app.freeBaseSlots.emplace_back(
                     frame, static_cast<std::uint16_t>(s));
@@ -175,9 +179,18 @@ MosaicManager::backLoosePage(MosaicAppState &app, AppId appId, Addr vaPage)
         for (unsigned s = 0; s < kBasePagesPerLargePage; ++s) {
             if (info.used[s] || info.pinned[s])
                 continue;
-            if (info.owner != appId && info.owner != kInvalidAppId)
+            const AppId prev_owner = info.owner;
+            if (prev_owner != appId && prev_owner != kInvalidAppId) {
                 ++state_.stats.softGuaranteeViolations;
+                mmtrace::violation(state_, static_cast<std::uint32_t>(f),
+                                   mmtrace::kSiteLooseLastResort);
+            }
             state_.pool.allocateSlot(f, s, appId, vaPage);
+            if (prev_owner == kInvalidAppId) {
+                // The frame only now gained an owner: open its flow.
+                mmtrace::frameAlloc(state_, static_cast<std::uint32_t>(f),
+                                    appId, "lastResort");
+            }
             pt.mapBasePage(vaPage, state_.pool.slotAddr(f, s));
             return true;
         }
@@ -286,6 +299,8 @@ MosaicManager::injectFragmentation(double fragmentationIndex,
     for (const std::uint32_t frame : state_.freeFrames) {
         if (rng.chance(fragmentationIndex)) {
             state_.pool.pinFragments(frame, pinned_per_frame, rng);
+            mmtrace::frameAlloc(state_, frame, state_.pool.frame(frame).owner,
+                                "alien");
         } else {
             still_free.push_back(frame);
         }

@@ -20,6 +20,7 @@
 #include "gpu/gpu.h"
 #include "iobus/pcie.h"
 #include "mm/mosaic_manager.h"
+#include "trace/tracer.h"
 #include "vm/translation.h"
 #include "vm/walker.h"
 
@@ -100,6 +101,15 @@ struct SimConfig
      */
     Cycles metricsSamplePeriod = 0;
 
+    /**
+     * Event tracing (off by default). When trace.enabled, the runner
+     * builds a per-simulation Tracer, threads it through every
+     * component, and returns it in SimResult::trace for export as
+     * Chrome Trace Event JSON (see DESIGN.md §9). Tracing is
+     * observation-only: it never changes simulated behavior.
+     */
+    TraceConfig trace;
+
     /** Baseline GPU-MMU with 4KB pages and demand paging (Table 1). */
     static SimConfig
     baseline()
@@ -145,6 +155,16 @@ struct SimConfig
     {
         SimConfig c = *this;
         c.metricsSamplePeriod = cycles;
+        return c;
+    }
+
+    /** Enables event tracing for @p categories (a TraceCategory mask). */
+    SimConfig
+    withTracing(std::uint32_t categories = kTraceAll) const
+    {
+        SimConfig c = *this;
+        c.trace.enabled = true;
+        c.trace.categories = categories;
         return c;
     }
 

@@ -10,6 +10,7 @@
 #include "mm/gpu_mmu_manager.h"
 #include "mm/large_only_manager.h"
 #include "mm/mosaic_manager.h"
+#include "trace/tracer.h"
 #include "workload/access_pattern.h"
 #include "workload/metrics.h"
 
@@ -93,6 +94,42 @@ deriveLegacyScalars(SimResult &result)
     result.gpuStallCycles = m.u64("gpu.stallCycles");
 }
 
+/**
+ * Counter tracks sampled into the trace. A curated list of string
+ * literals rather than the live snapshot keys: TraceEvent stores
+ * `const char *` names, so they must outlive the tracer.
+ */
+constexpr const char *kCounterTracks[] = {
+    "mm.allocatedBytes",
+    "mm.coalesceOps",
+    "mm.splinterOps",
+    "mm.compactions",
+    "mm.migrations",
+    "mm.emergencySplinters",
+    "mm.softGuaranteeViolations",
+    "mm.outOfFrames",
+    "vm.walker.walks",
+    "vm.translation.requests",
+    "vm.translation.l1Hits",
+    "iobus.paging.farFaults",
+    "iobus.pcie.bytes",
+    "dram.rowHits",
+    "dram.rowMisses",
+    "gpu.stallCycles",
+};
+
+/** Samples every curated counter track into the trace at @p now. */
+void
+sampleCounterTracks(Tracer &tracer, StatsRegistry &registry, Cycles now)
+{
+    const MetricsSnapshot snap = registry.snapshot(now);
+    for (const char *name : kCounterTracks) {
+        const MetricValue *v = snap.find(name);
+        if (v != nullptr)
+            tracer.counter(name, now, snap.u64(name));
+    }
+}
+
 }  // namespace
 
 SimResult
@@ -102,6 +139,13 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // components can bind their counters into it at construction; it is
     // private to this simulation per the DESIGN.md §7 contract.
     StatsRegistry registry;
+    // Optional event tracer, private to this simulation like the
+    // registry (shared_ptr only so SimResult can carry it out). Every
+    // component takes a plain pointer; null means no tracing.
+    std::shared_ptr<Tracer> tracer;
+    if (config.trace.enabled)
+        tracer = std::make_shared<Tracer>(config.trace);
+    Tracer *const tr = tracer.get();
     EventQueue events;
     // Capacity hint: roughly one in-flight event per warp plus headroom
     // for walks, DRAM transactions, and paging transfers. Avoids the
@@ -109,16 +153,16 @@ runSimulation(const Workload &workload, const SimConfig &config)
     events.reserve(static_cast<std::size_t>(config.gpu.numSms) *
                        config.gpu.sm.warpsPerSm * 2 +
                    1024);
-    DramModel dram(events, config.dram, &registry);
+    DramModel dram(events, config.dram, &registry, tr);
 
     CacheHierarchyConfig cache_cfg = config.caches;
     cache_cfg.numSms = config.gpu.numSms;
     CacheHierarchy caches(events, dram, cache_cfg, &registry);
 
-    PageTableWalker walker(events, caches, config.walker, &registry);
+    PageTableWalker walker(events, caches, config.walker, &registry, tr);
     TranslationService translation(events, walker, config.gpu.numSms,
-                                   config.translation, &registry);
-    PcieBus pcie(events, config.pcie, &registry);
+                                   config.translation, &registry, tr);
+    PcieBus pcie(events, config.pcie, &registry, tr);
 
     // Physical layout: frames from address 0; page-table nodes in a
     // dedicated pool at the top of memory.
@@ -134,6 +178,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
     env.events = &events;
     env.dram = &dram;
     env.translation = &translation;
+    env.tracer = tr;
     env.stallGpu = [&gpu](Cycles d) { gpu.stallAll(d); };
     manager->setEnv(env);
 
@@ -168,7 +213,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
                                    buf.bytes);
     }
 
-    DemandPager pager(events, pcie, *manager, &registry);
+    DemandPager pager(events, pcie, *manager, &registry, tr);
 
     // Carve the SMs into equal per-application partitions and populate
     // each SM with this application's warps.
@@ -347,12 +392,59 @@ runSimulation(const Workload &workload, const SimConfig &config)
                              [&sample_tick] { sample_tick(); });
     }
 
-    while (!all_finished && events.now() < config.maxCycles) {
-        if (!events.runOne())
-            MOSAIC_PANIC("simulation deadlocked: no events pending");
+    // Trace counter tracks: the same observation-only pattern as the
+    // metrics sampler above -- the tick events shift insertion sequence
+    // numbers of later events but never their relative order, and the
+    // callback only reads, so the simulated outcome is unchanged.
+    std::function<void()> trace_counter_tick;
+    if (tr != nullptr && tr->on(kTraceCounter) &&
+        config.trace.counterPeriodCycles > 0) {
+        trace_counter_tick = [tr, &registry, &events, &all_finished,
+                              &config, &trace_counter_tick] {
+            sampleCounterTracks(*tr, registry, events.now());
+            if (!all_finished) {
+                events.scheduleAfter(config.trace.counterPeriodCycles,
+                                     [&trace_counter_tick] {
+                                         trace_counter_tick();
+                                     });
+            }
+        };
+        events.scheduleAfter(config.trace.counterPeriodCycles,
+                             [&trace_counter_tick] {
+                                 trace_counter_tick();
+                             });
+    }
+
+    if (tr != nullptr && tr->on(kTraceEngine) &&
+        config.trace.engineSampleEvery > 0) {
+        // Sampled engine-dispatch instants: one marker every N executed
+        // events keeps the ring from flooding at full dispatch rate.
+        const std::uint64_t every = config.trace.engineSampleEvery;
+        std::uint64_t executed = 0;
+        while (!all_finished && events.now() < config.maxCycles) {
+            if (!events.runOne())
+                MOSAIC_PANIC("simulation deadlocked: no events pending");
+            if (++executed % every == 0) {
+                tr->instant(kTraceEngine, TraceTrack::Engine,
+                            "engine.sample", events.now(),
+                            {"executed", executed},
+                            {"pending", events.pending()});
+            }
+        }
+    } else {
+        while (!all_finished && events.now() < config.maxCycles) {
+            if (!events.runOne())
+                MOSAIC_PANIC("simulation deadlocked: no events pending");
+        }
     }
     if (!all_finished)
-        MOSAIC_WARN("simulation hit maxCycles before completion");
+        MOSAIC_WARN_AT(events.now(),
+                       "simulation hit maxCycles before completion");
+    // A final counter sample after the last event (application teardown
+    // included) lets trace_check reconcile the counter tracks against
+    // the complete event stream.
+    if (tr != nullptr && tr->on(kTraceCounter))
+        sampleCounterTracks(*tr, registry, events.now());
 
     // Harvest: one generic registry snapshot replaces the old per-field
     // hand-copy; the legacy scalar fields are derived from it.
@@ -380,6 +472,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
 
     result.metrics = registry.snapshot(events.now());
     result.metricsSamples = std::move(samples);
+    result.trace = std::move(tracer);
     deriveLegacyScalars(result);
     return result;
 }

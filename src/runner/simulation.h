@@ -12,6 +12,7 @@
 
 #include "common/stats_registry.h"
 #include "runner/sim_config.h"
+#include "trace/tracer.h"
 #include "workload/workload.h"
 
 namespace mosaic {
@@ -49,6 +50,13 @@ struct SimResult
 
     /** Interval snapshots (SimConfig::metricsSamplePeriod > 0 only). */
     std::vector<MetricsSnapshot> metricsSamples;
+
+    /**
+     * The run's event trace (SimConfig::trace.enabled only; otherwise
+     * null). Shared so results stay cheaply copyable; export with
+     * trace/trace_export.h.
+     */
+    std::shared_ptr<Tracer> trace;
 
     double l1TlbHitRate = 0.0;
     double l2TlbHitRate = 0.0;

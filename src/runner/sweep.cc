@@ -29,8 +29,10 @@ SweepRunner::jobsFromEnv()
         const long parsed = std::strtol(env, &end, 10);
         if (end != env && *end == '\0' && parsed > 0)
             return static_cast<unsigned>(parsed);
-        MOSAIC_WARN(std::string("ignoring invalid MOSAIC_BENCH_JOBS='") +
-                    env + "'");
+        // Every SweepRunner construction re-reads the environment; one
+        // report of the bad value is enough.
+        MOSAIC_WARN_ONCE(std::string("ignoring invalid MOSAIC_BENCH_JOBS='") +
+                         env + "'");
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -1,0 +1,290 @@
+#include "trace/trace_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mosaic {
+
+namespace {
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string *error)
+    {
+        skipWs();
+        if (!parseValue(out)) {
+            if (error != nullptr)
+                *error = error_ + " at offset " + std::to_string(pos_);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            if (error != nullptr)
+                *error = "trailing characters at offset " +
+                         std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (++depth_ > 64)
+            return fail("nesting too deep");
+        bool ok = false;
+        if (pos_ >= text_.size()) {
+            ok = fail("unexpected end of input");
+        } else {
+            switch (text_[pos_]) {
+            case '{':
+                ok = parseObject(out);
+                break;
+            case '[':
+                ok = parseArray(out);
+                break;
+            case '"':
+                out.kind = JsonValue::Kind::String;
+                ok = parseString(out.string);
+                break;
+            case 't':
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = true;
+                ok = literal("true");
+                break;
+            case 'f':
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = false;
+                ok = literal("false");
+                break;
+            case 'n':
+                out.kind = JsonValue::Kind::Null;
+                ok = literal("null");
+                break;
+            default:
+                ok = parseNumber(out);
+                break;
+            }
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_;  // '"'
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode (the writer only emits < 0x20, but accept
+                // the full BMP; surrogate pairs are out of scope).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected value");
+        char *end = nullptr;
+        const std::string token = text_.substr(start, pos_ - start);
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("bad number");
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    return Parser(text).parse(out, error);
+}
+
+}  // namespace mosaic

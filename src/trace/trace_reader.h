@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal JSON parser for reading traces back.
+ *
+ * The project emits JSON through common/json_writer.h; this is the
+ * matching read side, used by tools/trace_check and the trace tests to
+ * replay an exported trace without any external dependency. It is a
+ * strict recursive-descent parser for the full JSON grammar (objects,
+ * arrays, strings with escapes, numbers, booleans, null) -- small
+ * because it only needs to be correct, not fast.
+ */
+
+#ifndef MOSAIC_TRACE_TRACE_READER_H
+#define MOSAIC_TRACE_TRACE_READER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mosaic {
+
+/** One parsed JSON value (a tree). */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;  ///< exact for integers up to 2^53
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key, or nullptr. */
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    /** Member @p key as a number (@p fallback when absent/mistyped). */
+    double
+    num(const std::string &key, double fallback = 0.0) const
+    {
+        const JsonValue *v = get(key);
+        return v != nullptr && v->isNumber() ? v->number : fallback;
+    }
+
+    /** Member @p key as a string ("" when absent/mistyped). */
+    std::string
+    str(const std::string &key) const
+    {
+        const JsonValue *v = get(key);
+        return v != nullptr && v->isString() ? v->string : std::string();
+    }
+};
+
+/**
+ * Parses @p text as one JSON document.
+ * @return false with a position-annotated message in @p error (when
+ *         non-null) on malformed input, including trailing garbage.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_TRACE_TRACE_READER_H

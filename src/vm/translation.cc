@@ -13,14 +13,27 @@ missKey(AppId app, Addr va)
     return (static_cast<std::uint64_t>(app) << 44) | basePageNumber(va);
 }
 
+/**
+ * TLB-miss flow id, derived deterministically from (sm, miss key) so
+ * the fill sites can close the span without storing the id: one SM has
+ * at most one outstanding miss per key (the MSHR merges the rest).
+ */
+std::uint64_t
+missFlowId(SmId sm, std::uint64_t key)
+{
+    return traceId(TraceIdSpace::TlbMiss,
+                   (static_cast<std::uint64_t>(sm) << 48) ^ key);
+}
+
 }  // namespace
 
 TranslationService::TranslationService(EventQueue &events,
                                        PageTableWalker &walker,
                                        unsigned numSms,
                                        const TranslationConfig &config,
-                                       StatsRegistry *metrics)
-    : events_(events), walker_(walker), config_(config), l2_(config.l2)
+                                       StatsRegistry *metrics, Tracer *tracer)
+    : events_(events), walker_(walker), config_(config), tracer_(tracer),
+      l2_(config.l2)
 {
     l1_.reserve(numSms);
     mshrs_.reserve(numSms);
@@ -143,6 +156,12 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
         ++stats_.mshrMerges;
         return;
     }
+    if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
+        tracer_->asyncBegin(kTraceVm, TraceTrack::Vm, "tlbMiss",
+                            missFlowId(sm, key), events_.now(),
+                            {"sm", static_cast<std::uint64_t>(sm)},
+                            {"vpn", basePageNumber(va)});
+    }
 
     events_.scheduleAfter(config_.l1.latencyCycles,
                           [this, sm, &pageTable, va] {
@@ -172,17 +191,20 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
         const AppId app = pageTable.appId();
         const std::uint64_t key = missKey(app, va);
 
-        if (l2_.lookupLarge(app, largePageNumber(va))) {
+        const bool l2_large = l2_.lookupLarge(app, largePageNumber(va));
+        if (l2_large || l2_.lookupBase(app, basePageNumber(va))) {
             ++stats_.l2Hits;
             ++perApp_[app].l2Hits;
-            l1_[sm].fillLarge(app, largePageNumber(va));
-            mshrs_[sm].fill(key);
-            return;
-        }
-        if (l2_.lookupBase(app, basePageNumber(va))) {
-            ++stats_.l2Hits;
-            ++perApp_[app].l2Hits;
-            l1_[sm].fillBase(app, basePageNumber(va));
+            if (l2_large)
+                l1_[sm].fillLarge(app, largePageNumber(va));
+            else
+                l1_[sm].fillBase(app, basePageNumber(va));
+            if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
+                // servedBy: 2 == shared L2 TLB, 3 == page-table walk.
+                tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "tlbMiss",
+                                  missFlowId(sm, key), events_.now(),
+                                  {"servedBy", 2});
+            }
             mshrs_[sm].fill(key);
             return;
         }
@@ -193,6 +215,12 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
                             [this, sm, &pageTable, va,
                              key](const Translation &result) {
             fillFromWalk(sm, pageTable, va, result);
+            if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
+                tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "tlbMiss",
+                                  missFlowId(sm, key), events_.now(),
+                                  {"servedBy", 3},
+                                  {"faulted", result.valid ? 0u : 1u});
+            }
             mshrs_[sm].fill(key);
         });
     });

@@ -82,10 +82,13 @@ class TranslationService
      *                per-SM L1 TLBs under "vm.tlb.l1.*", and a dynamic
      *                per-app family "vm.translation.app.*{app=N}"
      *                (DESIGN.md §8).
+     * @param tracer when non-null, every L1 miss records a TLB-miss
+     *               span from registration to fill.
      */
     TranslationService(EventQueue &events, PageTableWalker &walker,
                        unsigned numSms, const TranslationConfig &config,
-                       StatsRegistry *metrics = nullptr);
+                       StatsRegistry *metrics = nullptr,
+                       Tracer *tracer = nullptr);
 
     /**
      * Translates @p va for @p sm in address space @p pageTable.appId().
@@ -135,6 +138,7 @@ class TranslationService
     EventQueue &events_;
     PageTableWalker &walker_;
     TranslationConfig config_;
+    Tracer *tracer_;
     std::vector<Tlb> l1_;
     Tlb l2_;
     Cycles l2NextIssueAt_ = 0;

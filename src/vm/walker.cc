@@ -2,10 +2,23 @@
 
 namespace mosaic {
 
+namespace {
+
+/** Per-level span names ("walk.L1" is the root). */
+const char *
+walkLevelName(unsigned depth)
+{
+    static const char *const names[PageTable::kLevels] = {
+        "walk.L1", "walk.L2", "walk.L3", "walk.L4"};
+    return depth < PageTable::kLevels ? names[depth] : "walk.L?";
+}
+
+}  // namespace
+
 PageTableWalker::PageTableWalker(EventQueue &events, CacheHierarchy &memory,
                                  const WalkerConfig &config,
-                                 StatsRegistry *metrics)
-    : events_(events), memory_(memory), config_(config)
+                                 StatsRegistry *metrics, Tracer *tracer)
+    : events_(events), memory_(memory), config_(config), tracer_(tracer)
 {
     if (config_.usePageWalkCache) {
         pwc_ = std::make_unique<SetAssocCache>(1, config_.pwcEntries);
@@ -26,8 +39,16 @@ PageTableWalker::requestWalk(const PageTable &pageTable, Addr va,
                              WalkCallback onDone)
 {
     Walk walk{&pageTable, va, std::move(onDone), events_.now()};
+    if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
+        walk.traceId = traceId(TraceIdSpace::Walk, tracer_->nextId());
+        tracer_->asyncBegin(
+            kTraceVm, TraceTrack::Vm, "walk", walk.traceId, walk.startedAt,
+            {"va", va},
+            {"app", static_cast<std::uint64_t>(pageTable.appId())});
+    }
     if (active_ >= config_.maxConcurrentWalks) {
         ++stats_.queued;
+        walk.wasQueued = true;
         queue_.push_back(std::move(walk));
         return;
     }
@@ -40,6 +61,13 @@ PageTableWalker::startWalk(Walk walk)
     ++active_;
     ++stats_.walks;
     auto shared = std::make_shared<Walk>(std::move(walk));
+    if (shared->traceId != 0 && shared->wasQueued) {
+        // The whole wait for a walker slot as one nested span.
+        tracer_->asyncBegin(kTraceVm, TraceTrack::Vm, "walk.queued",
+                            shared->traceId, shared->startedAt);
+        tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "walk.queued",
+                          shared->traceId, events_.now());
+    }
     // Snapshot the walk path and coalescing state at walk start; the
     // runtime never changes mappings under an in-flight access (CAC
     // stalls the GPU during compaction), so the snapshot stays valid.
@@ -64,6 +92,7 @@ PageTableWalker::step(std::shared_ptr<Walk> walk,
         finish(walk, true);
         return;
     }
+    walk->levelStartedAt = events_.now();
 
     // Upper levels (root..L3) may hit in the page-walk cache; leaf-level
     // PTEs always go to memory, as in CPU walkers.
@@ -98,6 +127,14 @@ PageTableWalker::advanceAfterRead(
     std::shared_ptr<Walk> walk, std::array<Addr, PageTable::kLevels> path,
     unsigned depth, bool coalesced)
 {
+    if (walk->traceId != 0) {
+        // Per-level latency attribution: one nested span per PTE read,
+        // from issue to data return (PWC hits show as short spans).
+        tracer_->asyncBegin(kTraceVm, TraceTrack::Vm, walkLevelName(depth),
+                            walk->traceId, walk->levelStartedAt);
+        tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, walkLevelName(depth),
+                          walk->traceId, events_.now());
+    }
     // On a coalesced region the L3 PTE (depth 2) has the large bit set;
     // the walker then reads only the first L4 PTE to obtain the large
     // frame number (paper Fig. 7). That read is the depth-3 access, after
@@ -117,6 +154,11 @@ PageTableWalker::finish(const std::shared_ptr<Walk> &walk, bool faulted)
     else if (result.size == PageSize::Large)
         ++stats_.largeResults;
     stats_.latency.record(events_.now() - walk->startedAt);
+    if (walk->traceId != 0) {
+        tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "walk", walk->traceId,
+                          events_.now(), {"faulted", faulted ? 1u : 0u},
+                          {"large", result.size == PageSize::Large ? 1u : 0u});
+    }
 
     --active_;
     if (!queue_.empty()) {

@@ -25,6 +25,7 @@
 #include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
+#include "trace/tracer.h"
 #include "vm/page_table.h"
 
 namespace mosaic {
@@ -68,10 +69,14 @@ class PageTableWalker
     /**
      * @param metrics when non-null, counters register under
      *                "vm.walker.*" at construction (DESIGN.md §8).
+     * @param tracer when non-null, each walk records a nested async
+     *               span per page-table level (walk-latency
+     *               attribution); null costs one branch per walk.
      */
     PageTableWalker(EventQueue &events, CacheHierarchy &memory,
                     const WalkerConfig &config,
-                    StatsRegistry *metrics = nullptr);
+                    StatsRegistry *metrics = nullptr,
+                    Tracer *tracer = nullptr);
 
     /**
      * Starts (or queues) a walk of @p va through @p pageTable.
@@ -97,6 +102,9 @@ class PageTableWalker
         Addr va;
         WalkCallback onDone;
         Cycles startedAt = 0;
+        std::uint64_t traceId = 0;  ///< walk flow id (0: not traced)
+        Cycles levelStartedAt = 0;  ///< current PTE read issue time
+        bool wasQueued = false;
     };
 
     void startWalk(Walk walk);
@@ -111,6 +119,7 @@ class PageTableWalker
     EventQueue &events_;
     CacheHierarchy &memory_;
     WalkerConfig config_;
+    Tracer *tracer_;
     unsigned active_ = 0;
     std::deque<Walk> queue_;
     std::unique_ptr<SetAssocCache> pwc_;

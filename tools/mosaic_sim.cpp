@@ -19,6 +19,7 @@
 #include "runner/json_report.h"
 #include "runner/report.h"
 #include "runner/simulation.h"
+#include "trace/trace_export.h"
 #include "workload/apps.h"
 #include "workload/workload.h"
 
@@ -51,7 +52,15 @@ usage()
         "  --metrics-json <path>  write the full metrics registry snapshot\n"
         "                         (plus any interval samples) to <path>\n"
         "  --metrics-sample <n>   sample all metrics every <n> cycles\n"
-        "  --list-apps            print the application catalog\n");
+        "  --trace-out <path>     record an event trace and write it to\n"
+        "                         <path> as Chrome Trace Event JSON\n"
+        "                         (open in https://ui.perfetto.dev)\n"
+        "  --trace-categories <spec>  categories to record: 'all', a\n"
+        "                         numeric mask, or a comma list of\n"
+        "                         engine,vm,mm,io,dram,counter\n"
+        "                         (default all; needs --trace-out)\n"
+        "  --list-apps            print the application catalog\n"
+        "  --help                 print this message\n");
 }
 
 bool
@@ -81,11 +90,14 @@ main(int argc, char **argv)
     bool json = false;
     std::string metrics_json_path;
     Cycles metrics_sample = 0;
+    std::string trace_out_path;
+    std::string trace_categories_spec;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
-        auto next = [&]() -> const char * {
+        auto next = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
+                std::fprintf(stderr, "flag %s requires a value\n\n", flag);
                 usage();
                 std::exit(1);
             }
@@ -104,19 +116,19 @@ main(int argc, char **argv)
             }
             return 0;
         } else if (match(a, "--workload")) {
-            workload_spec = next();
+            workload_spec = next("--workload");
         } else if (match(a, "--config")) {
-            config_name = next();
+            config_name = next("--config");
         } else if (match(a, "--scale")) {
-            scale = std::atof(next());
+            scale = std::atof(next("--scale"));
         } else if (match(a, "--instr")) {
-            instr = static_cast<std::uint64_t>(std::atoll(next()));
+            instr = static_cast<std::uint64_t>(std::atoll(next("--instr")));
         } else if (match(a, "--warps")) {
-            warps = static_cast<unsigned>(std::atoi(next()));
+            warps = static_cast<unsigned>(std::atoi(next("--warps")));
         } else if (match(a, "--sms")) {
-            sms = static_cast<unsigned>(std::atoi(next()));
+            sms = static_cast<unsigned>(std::atoi(next("--sms")));
         } else if (match(a, "--io-compression")) {
-            io_comp = std::atof(next());
+            io_comp = std::atof(next("--io-compression"));
         } else if (match(a, "--no-paging")) {
             no_paging = true;
             if (i + 1 < argc && match(argv[i + 1], "charged")) {
@@ -124,9 +136,9 @@ main(int argc, char **argv)
                 ++i;
             }
         } else if (match(a, "--frag")) {
-            frag = std::atof(next());
+            frag = std::atof(next("--frag"));
         } else if (match(a, "--occ")) {
-            occ = std::atof(next());
+            occ = std::atof(next("--occ"));
         } else if (match(a, "--churn")) {
             churn = true;
         } else if (match(a, "--tight-memory")) {
@@ -140,15 +152,20 @@ main(int argc, char **argv)
         } else if (match(a, "--rr")) {
             rr = true;
         } else if (match(a, "--seed")) {
-            seed = static_cast<std::uint64_t>(std::atoll(next()));
+            seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
         } else if (match(a, "--weighted-speedup")) {
             weighted = true;
         } else if (match(a, "--json")) {
             json = true;
         } else if (match(a, "--metrics-json")) {
-            metrics_json_path = next();
+            metrics_json_path = next("--metrics-json");
         } else if (match(a, "--metrics-sample")) {
-            metrics_sample = static_cast<Cycles>(std::atoll(next()));
+            metrics_sample =
+                static_cast<Cycles>(std::atoll(next("--metrics-sample")));
+        } else if (match(a, "--trace-out")) {
+            trace_out_path = next("--trace-out");
+        } else if (match(a, "--trace-categories")) {
+            trace_categories_spec = next("--trace-categories");
         } else {
             std::fprintf(stderr, "unknown flag %s\n\n", a);
             usage();
@@ -219,6 +236,24 @@ main(int argc, char **argv)
     config.seed = seed;
     if (metrics_sample > 0)
         config = config.withMetricsSampling(metrics_sample);
+    if (!trace_categories_spec.empty() && trace_out_path.empty()) {
+        std::fprintf(stderr,
+                     "--trace-categories needs --trace-out <path>\n");
+        return 1;
+    }
+    if (!trace_out_path.empty()) {
+        std::uint32_t categories = kTraceAll;
+        if (!trace_categories_spec.empty() &&
+            !parseTraceCategories(trace_categories_spec, &categories)) {
+            std::fprintf(stderr,
+                         "bad --trace-categories spec '%s' (want 'all', a "
+                         "numeric mask, or names from "
+                         "engine,vm,mm,io,dram,counter)\n",
+                         trace_categories_spec.c_str());
+            return 1;
+        }
+        config = config.withTracing(categories);
+    }
     if (tight) {
         config.pageTablePoolBytes = 16ull << 20;
         config.dram.capacityBytes = std::max<std::uint64_t>(
@@ -237,6 +272,23 @@ main(int argc, char **argv)
             printSimResult(r);
         return r;
     }();
+
+    if (!trace_out_path.empty()) {
+        if (result.trace == nullptr ||
+            !writeChromeTraceFile(*result.trace, trace_out_path,
+                                  config.label)) {
+            std::fprintf(stderr, "failed to write trace to %s\n",
+                         trace_out_path.c_str());
+            return 1;
+        }
+        if (!json)
+            std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                        trace_out_path.c_str(),
+                        static_cast<unsigned long long>(
+                            result.trace->size()),
+                        static_cast<unsigned long long>(
+                            result.trace->dropped()));
+    }
 
     if (!metrics_json_path.empty()) {
         if (!writeMetricsJson(result, metrics_json_path,
