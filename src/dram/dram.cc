@@ -26,12 +26,35 @@ DramModel::DramModel(EventQueue &events, const DramConfig &config,
 DramModel::Decoded
 DramModel::decode(Addr addr) const
 {
-    // Channels interleave at line granularity (bandwidth); within a
-    // channel, banks interleave at row granularity so streaming accesses
-    // enjoy row-buffer hits.
+    // Channel selection follows the configured interleave granularity;
+    // within a channel, banks interleave at row granularity so streaming
+    // accesses enjoy row-buffer hits. idx is the line's sequence number
+    // within its channel under each scheme.
     const std::uint64_t line = addr / kCacheLineSize;
-    const unsigned channel = line % config_.channels;
-    const std::uint64_t idx = line / config_.channels;
+    unsigned channel = 0;
+    std::uint64_t idx = 0;
+    switch (config_.channelInterleave) {
+    case ChannelInterleave::Line:
+        channel = line % config_.channels;
+        idx = line / config_.channels;
+        break;
+    case ChannelInterleave::Page: {
+        const std::uint64_t page = addr / kBasePageSize;
+        const std::uint64_t lines_per_page = kBasePageSize / kCacheLineSize;
+        channel = page % config_.channels;
+        idx = (page / config_.channels) * lines_per_page +
+              (line % lines_per_page);
+        break;
+    }
+    case ChannelInterleave::Frame: {
+        const std::uint64_t frame = addr / kLargePageSize;
+        const std::uint64_t lines_per_frame = kLargePageSize / kCacheLineSize;
+        channel = frame % config_.channels;
+        idx = (frame / config_.channels) * lines_per_frame +
+              (line % lines_per_frame);
+        break;
+    }
+    }
     const std::uint64_t lines_per_row = config_.rowBytes / kCacheLineSize;
     const std::uint64_t row_seq = idx / lines_per_row;
     const unsigned bank = row_seq % config_.banksPerChannel;
@@ -145,6 +168,16 @@ DramModel::tryDispatch(unsigned channelIdx)
     }
 }
 
+Cycles
+DramModel::bulkCopyCycles(Addr src, Addr dst, bool inDramCopy) const
+{
+    const bool same_channel = decode(src).channel == decode(dst).channel;
+    if (inDramCopy && same_channel)
+        return config_.bulkCopyInDramCycles;
+    const std::uint64_t lines = kBasePageSize / kCacheLineSize;
+    return lines * config_.bulkCopyViaBusCyclesPerLine;
+}
+
 void
 DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
                         std::function<void()> onDone)
@@ -153,13 +186,7 @@ DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
     const unsigned dst_channel = decode(dst).channel;
     const bool same_channel = src_channel == dst_channel;
 
-    Cycles duration;
-    if (inDramCopy && same_channel) {
-        duration = config_.bulkCopyInDramCycles;
-    } else {
-        const std::uint64_t lines = kBasePageSize / kCacheLineSize;
-        duration = lines * config_.bulkCopyViaBusCyclesPerLine;
-    }
+    const Cycles duration = bulkCopyCycles(src, dst, inDramCopy);
 
     // The copy occupies the destination channel's bus (and the source's
     // too when they differ); model it by pushing out busFreeAt.

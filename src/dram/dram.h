@@ -27,10 +27,27 @@
 
 namespace mosaic {
 
+/**
+ * Granularity at which physical addresses interleave across channels.
+ *
+ * Line maximizes bandwidth (consecutive cache lines hit different
+ * channels) and is the default, matching the paper's Table 1 memory
+ * system. Page/Frame keep a whole 4KB page / 2MB frame in one channel,
+ * which is what makes CAC-BC's in-DRAM copy (RowClone/LISA: src and dst
+ * rows must share a channel) actually attainable for migrations.
+ */
+enum class ChannelInterleave
+{
+    Line,
+    Page,
+    Frame,
+};
+
 /** Timing and geometry parameters of the DRAM model. */
 struct DramConfig
 {
     unsigned channels = 6;          ///< independent memory partitions
+    ChannelInterleave channelInterleave = ChannelInterleave::Line;
     unsigned banksPerChannel = 8;   ///< banks per rank (one rank modeled)
     std::uint64_t rowBytes = 2048;  ///< row buffer size per bank
     Cycles rowHitCycles = 60;       ///< access latency on a row-buffer hit
@@ -101,6 +118,14 @@ class DramModel
 
     /** Memory channel servicing @p addr (used by CAC's placement policy). */
     unsigned channelOf(Addr addr) const;
+
+    /**
+     * Cycles a bulkCopyPage(src, dst, inDramCopy) would take, without
+     * performing it. The single source of truth for the copy-path choice:
+     * CAC charges migration stalls through this, so the cost model can
+     * never disagree with the timing model about in-DRAM eligibility.
+     */
+    Cycles bulkCopyCycles(Addr src, Addr dst, bool inDramCopy) const;
 
     /** DRAM statistics. */
     const Stats &stats() const { return stats_; }

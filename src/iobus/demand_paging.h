@@ -14,6 +14,7 @@
 #ifndef MOSAIC_IOBUS_DEMAND_PAGING_H
 #define MOSAIC_IOBUS_DEMAND_PAGING_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
@@ -29,6 +30,24 @@
 
 namespace mosaic {
 
+/** Demand-pager policy knobs. */
+struct PagerConfig
+{
+    /**
+     * Backoff before re-attempting backPage() after an OOM failure
+     * (gives CAC reclaim / concurrent releases time to free capacity).
+     * The delay grows linearly with the attempt number, capped at 8x.
+     */
+    Cycles oomRetryDelayCycles = 2000;
+    /**
+     * Bounded retry budget per fault. On exhaustion the fault stays
+     * pending (its warps never wake on an unmapped VA); persistent OOM
+     * thus surfaces as an idle-queue deadlock instead of silently
+     * resuming warps with no mapping installed.
+     */
+    unsigned maxOomRetries = 64;
+};
+
 /** The far-fault handler. */
 class DemandPager
 {
@@ -42,6 +61,7 @@ class DemandPager
         std::uint64_t mergedFaults = 0;    ///< faults merged into one
         std::uint64_t bytesTransferred = 0;
         std::uint64_t oomFaults = 0;       ///< backPage() ran out of memory
+        std::uint64_t oomRetries = 0;      ///< backing re-attempts scheduled
         std::uint64_t prefetchedPages = 0;
     };
 
@@ -52,8 +72,10 @@ class DemandPager
      *               span from fault to page-resident.
      */
     DemandPager(EventQueue &events, PcieBus &bus, MemoryManager &manager,
-                StatsRegistry *metrics = nullptr, Tracer *tracer = nullptr)
-        : events_(events), bus_(bus), manager_(manager), tracer_(tracer)
+                StatsRegistry *metrics = nullptr, Tracer *tracer = nullptr,
+                const PagerConfig &config = {})
+        : events_(events), bus_(bus), manager_(manager), tracer_(tracer),
+          config_(config)
     {
         if (metrics != nullptr) {
             metrics->bindCounter("iobus.paging.farFaults", stats_.farFaults);
@@ -62,6 +84,8 @@ class DemandPager
             metrics->bindCounter("iobus.paging.bytesTransferred",
                                  stats_.bytesTransferred);
             metrics->bindCounter("iobus.paging.oomFaults", stats_.oomFaults);
+            metrics->bindCounter("iobus.paging.oomRetries",
+                                 stats_.oomRetries);
             metrics->bindCounter("iobus.paging.prefetchedPages",
                                  stats_.prefetchedPages);
         }
@@ -101,19 +125,7 @@ class DemandPager
                                 {"bytes", bytes});
         }
         bus_.transfer(bytes, [this, app, va, key] {
-            const bool backed = manager_.backPage(app, va);
-            if (!backed) {
-                ++stats_.oomFaults;
-                MOSAIC_WARN_EVERY(1024, events_.now(),
-                                  "far-fault could not be backed: GPU "
-                                  "memory exhausted");
-            }
-            if (tracer_ != nullptr && tracer_->on(kTraceIo)) {
-                tracer_->asyncEnd(kTraceIo, TraceTrack::Io, "farFault",
-                                  traceId(TraceIdSpace::Fault, key),
-                                  events_.now(), {"oom", backed ? 0u : 1u});
-            }
-            faults_.fill(key);
+            tryBackPage(app, va, key, /*attempt=*/0);
         });
     }
 
@@ -127,8 +139,10 @@ class DemandPager
     prefetchRegion(PageTable &pageTable, Addr vaBase, std::uint64_t bytes,
                    bool chargeBus, Callback onDone)
     {
+        // Capture only what the lambda uses: a captured &pageTable would
+        // dangle if the app tore down before the queued transfer lands.
         const AppId app = pageTable.appId();
-        auto back_all = [this, &pageTable, app, vaBase, bytes] {
+        auto back_all = [this, app, vaBase, bytes] {
             for (Addr va = basePageBase(vaBase); va < vaBase + bytes;
                  va += kBasePageSize) {
                 if (!manager_.backPage(app, va))
@@ -157,10 +171,59 @@ class DemandPager
     std::size_t inFlight() const { return faults_.size(); }
 
   private:
+    /**
+     * Attempts to commit physical memory for a fault whose data already
+     * crossed the bus. The MSHR is filled -- waking the faulting warps --
+     * only once a mapping exists. On OOM the attempt is retried after a
+     * backoff (the data stays buffered; no PCIe transfer is repeated);
+     * past the retry budget the fault is abandoned still-pending so no
+     * warp ever resumes on an unmapped VA.
+     */
+    void
+    tryBackPage(AppId app, Addr va, std::uint64_t key, unsigned attempt)
+    {
+        const bool backed = manager_.backPage(app, va);
+        if (backed) {
+            if (tracer_ != nullptr && tracer_->on(kTraceIo)) {
+                tracer_->asyncEnd(kTraceIo, TraceTrack::Io, "farFault",
+                                  traceId(TraceIdSpace::Fault, key),
+                                  events_.now(), {"oom", 0u});
+            }
+            faults_.fill(key);
+            return;
+        }
+
+        if (attempt == 0) {
+            ++stats_.oomFaults;
+            MOSAIC_WARN_EVERY(1024, events_.now(),
+                              "far-fault could not be backed: GPU "
+                              "memory exhausted; retrying");
+        }
+        if (attempt >= config_.maxOomRetries) {
+            MOSAIC_WARN_EVERY(64, events_.now(),
+                              "far-fault abandoned after retry budget: "
+                              "fault stays pending (persistent OOM)");
+            if (tracer_ != nullptr && tracer_->on(kTraceIo)) {
+                tracer_->asyncEnd(kTraceIo, TraceTrack::Io, "farFault",
+                                  traceId(TraceIdSpace::Fault, key),
+                                  events_.now(), {"oom", 1u});
+            }
+            return;
+        }
+
+        ++stats_.oomRetries;
+        const Cycles scale = std::min<Cycles>(attempt + 1, 8);
+        events_.scheduleAfter(config_.oomRetryDelayCycles * scale,
+                              [this, app, va, key, attempt] {
+            tryBackPage(app, va, key, attempt + 1);
+        });
+    }
+
     EventQueue &events_;
     PcieBus &bus_;
     MemoryManager &manager_;
     Tracer *tracer_;
+    PagerConfig config_;
     MshrFile faults_;
     Stats stats_;
 };

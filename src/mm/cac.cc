@@ -8,16 +8,15 @@
 
 namespace mosaic {
 
-namespace {
-
-/** Channel a page maps to for migration-locality purposes. */
 unsigned
-pageChannel(Addr pa, unsigned channels)
+Cac::channelOf(Addr pa) const
 {
-    return static_cast<unsigned>((pa >> kLargePageBits) % channels);
+    // Migration locality must use the DRAM model's real channel mapping
+    // (it depends on DramConfig::channelInterleave); a private frame-
+    // granular heuristic here once disagreed with the timing model and
+    // mischarged in-DRAM copy latency for bus-path migrations.
+    return state_.env.dram != nullptr ? state_.env.dram->channelOf(pa) : 0;
 }
-
-}  // namespace
 
 void
 Cac::onFrameFragmented(std::uint32_t frameIdx)
@@ -34,11 +33,13 @@ Cac::onFrameFragmented(std::uint32_t frameIdx)
             inEmergency_[frameIdx] = true;
             state_.emergencyFrames.push_back(frameIdx);
         }
+        envMutated(state_.env, "cac.frameFragmented");
         return;
     }
 
     splinterFrame(frameIdx);
     compactFrame(frameIdx);
+    envMutated(state_.env, "cac.frameFragmented");
 }
 
 void
@@ -68,6 +69,7 @@ Cac::splinterFrame(std::uint32_t frameIdx)
         state_.env.dram->access(path[2], true, [] {});
         state_.env.dram->access(path[3], true, [] {});
     }
+    envMutated(state_.env, "cac.splinterFrame");
 }
 
 Cycles
@@ -75,13 +77,9 @@ Cac::migrationCycles(Addr src, Addr dst) const
 {
     if (config_.ideal || state_.env.dram == nullptr)
         return 0;
-    const DramConfig &dram = state_.env.dram->config();
-    const bool same_channel = pageChannel(src, dram.channels) ==
-                              pageChannel(dst, dram.channels);
-    if (config_.useBulkCopy && same_channel)
-        return dram.bulkCopyInDramCycles;
-    const std::uint64_t lines = kBasePageSize / kCacheLineSize;
-    return lines * dram.bulkCopyViaBusCyclesPerLine;
+    // Single source of truth: charge exactly what bulkCopyPage will
+    // model for the same (src, dst, useBulkCopy) triple.
+    return state_.env.dram->bulkCopyCycles(src, dst, config_.useBulkCopy);
 }
 
 bool
@@ -105,12 +103,10 @@ Cac::compactFrame(std::uint32_t frameIdx)
     // (preserving the soft guarantee), and within those prefer the same
     // memory channel so CAC-BC can use in-DRAM copy. Frames of other
     // owners (including pre-fragmented ones) are a last resort under
-    // memory pressure.
-    const unsigned channels = state_.env.dram != nullptr
-                                  ? state_.env.dram->config().channels
-                                  : 6;
-    const unsigned src_channel =
-        pageChannel(state_.pool.frameBase(frameIdx), channels);
+    // memory pressure. Frame-base channel is only an ordering heuristic
+    // (under line interleave slots of one frame span all channels); the
+    // actual per-migration cost always comes from migrationCycles.
+    const unsigned src_channel = channelOf(state_.pool.frameBase(frameIdx));
 
     struct Dest
     {
@@ -141,8 +137,7 @@ Cac::compactFrame(std::uint32_t frameIdx)
                 if (!owner_match && info.usedCount + info.pinnedCount == 0)
                     continue;  // empty foreign frame: nothing to gain
                 const bool same_channel =
-                    pageChannel(state_.pool.frameBase(f), channels) ==
-                    src_channel;
+                    channelOf(state_.pool.frameBase(f)) == src_channel;
                 if (same_channel != channel_pass)
                     continue;
                 for (unsigned s = 0; s < kBasePagesPerLargePage; ++s) {
@@ -173,12 +168,42 @@ Cac::compactFrame(std::uint32_t frameIdx)
         return a.sameChannel > b.sameChannel;
     });
 
+    // Per-migration destination choice. The owner preference (soft
+    // guarantee) always dominates; within an owner class, prefer a slot
+    // on the same memory channel as the source page so CAC-BC's in-DRAM
+    // copy is actually eligible (slot channels differ within one frame
+    // under line/page interleave, so this must be decided per slot, not
+    // per frame).
+    std::vector<bool> taken(dests.size(), false);
+    auto pick_dest = [&](Addr srcPa) {
+        const unsigned want = channelOf(srcPa);
+        std::size_t best = dests.size();
+        int best_rank = -1;
+        for (std::size_t i = 0; i < dests.size(); ++i) {
+            if (taken[i])
+                continue;
+            const Addr dst_pa =
+                state_.pool.slotAddr(dests[i].frame, dests[i].slot);
+            const int rank = (dests[i].ownerMatch ? 2 : 0) +
+                             (channelOf(dst_pa) == want ? 1 : 0);
+            if (rank > best_rank) {
+                best_rank = rank;
+                best = i;
+                if (rank == 3)
+                    break;
+            }
+        }
+        taken[best] = true;
+        return dests[best];
+    };
+
     Cycles total_stall = 0;
-    std::size_t next_dest = 0;
+    std::size_t migrated = 0;
     for (unsigned slot = 0; slot < kBasePagesPerLargePage; ++slot) {
         if (!frame.used[slot])
             continue;
-        const Dest dest = dests[next_dest++];
+        const Dest dest = pick_dest(state_.pool.slotAddr(frameIdx, slot));
+        ++migrated;
         if (!dest.ownerMatch) {
             ++state_.stats.softGuaranteeViolations;
             mmtrace::violation(state_, dest.frame,
@@ -196,7 +221,13 @@ Cac::compactFrame(std::uint32_t frameIdx)
         state_.pool.freeSlot(frameIdx, slot);
         ++state_.stats.migrations;
 
-        total_stall += migrationCycles(src_pa, dst_pa);
+        const Cycles stall = migrationCycles(src_pa, dst_pa);
+        total_stall += stall;
+        if (state_.env.checker != nullptr) {
+            state_.env.checker->onMigrationCharged(src_pa, dst_pa,
+                                                   config_.useBulkCopy,
+                                                   stall);
+        }
         if (!config_.ideal && state_.env.dram != nullptr) {
             state_.env.dram->bulkCopyPage(src_pa, dst_pa,
                                           config_.useBulkCopy, [] {});
@@ -208,9 +239,10 @@ Cac::compactFrame(std::uint32_t frameIdx)
 
     MOSAIC_ASSERT(frame.usedCount == 0, "compaction left pages behind");
     mmtrace::frameMark(state_, "frame.compact", frameIdx,
-                       {"migrated", next_dest}, {"stall", total_stall});
+                       {"migrated", migrated}, {"stall", total_stall});
     retireEmptyFrame(frameIdx);
     ++state_.stats.compactions;
+    envMutated(state_.env, "cac.compactFrame");
     return true;
 }
 
@@ -240,18 +272,15 @@ Cac::consolidateAlienFrame()
     if (!found)
         return false;
 
-    const unsigned channels = state_.env.dram != nullptr
-                                  ? state_.env.dram->config().channels
-                                  : 6;
-    const unsigned src_channel =
-        pageChannel(state_.pool.frameBase(src), channels);
+    const unsigned src_channel = channelOf(state_.pool.frameBase(src));
 
     // Destinations: holes in other alien frames (avoid polluting frames
-    // that hold application data), same channel first.
+    // that hold application data), same channel first. Collect extra
+    // candidates so the per-slot channel match below has room to choose.
     std::vector<std::pair<std::uint32_t, std::uint16_t>> dests;
     for (const bool channel_pass : {true, false}) {
         for (std::size_t f = 0; f < state_.pool.numFrames() &&
-                                dests.size() < src_count;
+                                dests.size() < 2 * src_count;
              ++f) {
             if (f == src)
                 continue;
@@ -262,12 +291,11 @@ Cac::consolidateAlienFrame()
             if (state_.frameChunkVa[f] != kInvalidAddr)
                 continue;
             const bool same_channel =
-                pageChannel(state_.pool.frameBase(f), channels) ==
-                src_channel;
+                channelOf(state_.pool.frameBase(f)) == src_channel;
             if (same_channel != channel_pass)
                 continue;
             for (unsigned s = 0;
-                 s < kBasePagesPerLargePage && dests.size() < src_count;
+                 s < kBasePagesPerLargePage && dests.size() < 2 * src_count;
                  ++s) {
                 if (!info.used[s] && !info.pinned[s])
                     dests.emplace_back(static_cast<std::uint32_t>(f),
@@ -278,18 +306,48 @@ Cac::consolidateAlienFrame()
     if (dests.size() < src_count)
         return false;
 
+    std::vector<bool> taken(dests.size(), false);
+    auto pick_dest = [&](Addr srcPa) {
+        const unsigned want = channelOf(srcPa);
+        std::size_t best = dests.size();
+        bool best_match = false;
+        for (std::size_t i = 0; i < dests.size(); ++i) {
+            if (taken[i])
+                continue;
+            const bool match =
+                channelOf(state_.pool.slotAddr(dests[i].first,
+                                               dests[i].second)) == want;
+            if (best == dests.size() || (match && !best_match)) {
+                best = i;
+                best_match = match;
+                if (match)
+                    break;
+            }
+        }
+        taken[best] = true;
+        return dests[best];
+    };
+
     Cycles total_stall = 0;
-    std::size_t next_dest = 0;
+    std::size_t migrated = 0;
     FrameInfo &src_info = state_.pool.frame(src);
     for (unsigned slot = 0; slot < kBasePagesPerLargePage; ++slot) {
         if (!src_info.pinned[slot])
             continue;
-        const auto [dst_frame, dst_slot] = dests[next_dest++];
+        const auto [dst_frame, dst_slot] =
+            pick_dest(state_.pool.slotAddr(src, slot));
+        ++migrated;
         const Addr src_pa = state_.pool.slotAddr(src, slot);
         const Addr dst_pa = state_.pool.slotAddr(dst_frame, dst_slot);
         state_.pool.moveFragment(src, slot, dst_frame, dst_slot);
         ++state_.stats.migrations;
-        total_stall += migrationCycles(src_pa, dst_pa);
+        const Cycles stall = migrationCycles(src_pa, dst_pa);
+        total_stall += stall;
+        if (state_.env.checker != nullptr) {
+            state_.env.checker->onMigrationCharged(src_pa, dst_pa,
+                                                   config_.useBulkCopy,
+                                                   stall);
+        }
         if (!config_.ideal && state_.env.dram != nullptr) {
             state_.env.dram->bulkCopyPage(src_pa, dst_pa,
                                           config_.useBulkCopy, [] {});
@@ -300,9 +358,10 @@ Cac::consolidateAlienFrame()
 
     MOSAIC_ASSERT(src_info.empty(), "alien consolidation left data");
     mmtrace::frameMark(state_, "frame.compact", src,
-                       {"migrated", next_dest}, {"alien", 1});
+                       {"migrated", migrated}, {"alien", 1});
     retireEmptyFrame(src);
     ++state_.stats.compactions;
+    envMutated(state_.env, "cac.consolidateAlien");
     return true;
 }
 
@@ -405,6 +464,7 @@ Cac::reclaim(AppId requester)
                     frameIdx, static_cast<std::uint16_t>(slot));
             }
         }
+        envMutated(state_.env, "cac.emergencySplinter");
         return true;
     }
     return false;

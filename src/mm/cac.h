@@ -72,12 +72,20 @@ class Cac
     /** Active configuration. */
     const CacConfig &config() const { return config_; }
 
+    /**
+     * Copy cost of one page migration under the current config. Routed
+     * through DramModel::bulkCopyCycles so the charged stall can never
+     * disagree with the path the timing model executes (public so the
+     * channel-parity property test can probe it directly).
+     */
+    Cycles migrationCycles(Addr src, Addr dst) const;
+
   private:
     /** Releases a now-empty frame back to CoCoA's free frame list. */
     void retireEmptyFrame(std::uint32_t frameIdx);
 
-    /** Copy cost of one page migration under the current config. */
-    Cycles migrationCycles(Addr src, Addr dst) const;
+    /** DRAM channel of @p pa (0 without a DRAM model). */
+    unsigned channelOf(Addr pa) const;
 
     MosaicState &state_;
     CacConfig config_;

@@ -1,5 +1,7 @@
 #include "mm/gpu_mmu_manager.h"
 
+#include "vm/translation.h"
+
 namespace mosaic {
 
 GpuMmuManager::GpuMmuManager(Addr poolBase, std::uint64_t poolBytes)
@@ -65,6 +67,7 @@ GpuMmuManager::backPage(AppId app, Addr va)
     pool_.allocateSlot(frame, slot, app, va_page);
     pt.mapBasePage(va_page, pool_.slotAddr(frame, slot));
     ++stats_.pagesBacked;
+    envMutated(env_, "gpummu.backPage");
     return true;
 }
 
@@ -83,10 +86,15 @@ GpuMmuManager::releaseRegion(AppId app, Addr vaBase, std::uint64_t bytes)
         const auto slot = static_cast<std::uint16_t>(
             basePageIndexInLargePage(pa));
         pt.unmapBasePage(va);
+        // Shoot the released translation down so a re-reserved VA cannot
+        // hit a stale TLB entry pointing at the recycled slot.
+        if (env_.translation != nullptr)
+            env_.translation->shootdownBase(app, va);
         pool_.freeSlot(frame, slot);
         recycledSlots_.emplace_back(static_cast<std::uint32_t>(frame), slot);
         ++stats_.pagesReleased;
     }
+    envMutated(env_, "gpummu.releaseRegion");
 }
 
 std::uint64_t

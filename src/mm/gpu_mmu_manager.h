@@ -37,6 +37,7 @@ class GpuMmuManager : public MemoryManager
     void releaseRegion(AppId app, Addr vaBase, std::uint64_t bytes) override;
     std::uint64_t allocatedBytes() const override;
     const MemoryManagerStats &stats() const override { return stats_; }
+    const FramePool *framePool() const override { return &pool_; }
 
     /** Frame bookkeeping (tests/inspection). */
     const FramePool &pool() const { return pool_; }

@@ -46,6 +46,7 @@ InPlaceCoalescer::tryCoalesce(std::uint32_t frameIdx)
         state_.env.dram->access(path[2], true, [] {});
         state_.env.dram->access(path[3], true, [] {});
     }
+    envMutated(state_.env, "coalescer.tryCoalesce");
     return true;
 }
 

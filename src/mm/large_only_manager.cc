@@ -1,5 +1,7 @@
 #include "mm/large_only_manager.h"
 
+#include "vm/translation.h"
+
 namespace mosaic {
 
 LargeOnlyManager::LargeOnlyManager(Addr poolBase, std::uint64_t poolBytes)
@@ -55,6 +57,7 @@ LargeOnlyManager::reserveRegion(AppId app, Addr vaBase, std::uint64_t bytes)
         pool_.frame(frame).coalesced = true;
         ++stats_.coalesceOps;
     }
+    envMutated(env_, "largeonly.reserveRegion");
 }
 
 bool
@@ -73,6 +76,7 @@ LargeOnlyManager::backPage(AppId app, Addr va)
     // The far-fault delivered the whole 2MB: mark it all resident.
     for (unsigned slot = 0; slot < kBasePagesPerLargePage; ++slot)
         pt.markResident(chunk_va + slot * kBasePageSize);
+    envMutated(env_, "largeonly.backPage");
     return true;
 }
 
@@ -93,11 +97,18 @@ LargeOnlyManager::releaseRegion(AppId app, Addr vaBase, std::uint64_t bytes)
             pt.splinter(chunk);
             info.coalesced = false;
             ++stats_.splinterOps;
+            // Large-entry shootdown, same contract as Cac::splinterFrame.
+            if (env_.translation != nullptr)
+                env_.translation->shootdownLarge(app, chunk);
         }
         for (unsigned slot = 0; slot < kBasePagesPerLargePage; ++slot) {
             const Addr slot_va = chunk + slot * kBasePageSize;
             if (pt.isMapped(slot_va)) {
                 pt.unmapBasePage(slot_va);
+                // Released VAs can be re-reserved onto another frame; a
+                // stale base entry would keep serving the freed slot.
+                if (env_.translation != nullptr)
+                    env_.translation->shootdownBase(app, slot_va);
                 pool_.freeSlot(frame, slot);
                 ++stats_.pagesReleased;
             }
@@ -107,6 +118,7 @@ LargeOnlyManager::releaseRegion(AppId app, Addr vaBase, std::uint64_t bytes)
         freeFrames_.push_back(frame);
         --framesHeld_;
     }
+    envMutated(env_, "largeonly.releaseRegion");
 }
 
 std::uint64_t

@@ -33,6 +33,7 @@ class LargeOnlyManager : public MemoryManager
     PageSize transferGranularity() const override { return PageSize::Large; }
     std::uint64_t allocatedBytes() const override;
     const MemoryManagerStats &stats() const override { return stats_; }
+    const FramePool *framePool() const override { return &pool_; }
 
   private:
     struct AppState

@@ -17,6 +17,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "check/check_sink.h"
 #include "common/stats_registry.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
@@ -26,6 +27,7 @@
 namespace mosaic {
 
 class DramModel;
+class FramePool;
 class TranslationService;
 
 /**
@@ -42,7 +44,17 @@ struct ManagerEnv
     Tracer *tracer = nullptr;
     /** Stalls every SM for the given duration (CAC's worst-case cost). */
     std::function<void(Cycles)> stallGpu;
+    /** Invariant checker; null when checking is disabled. */
+    CheckSink *checker = nullptr;
 };
+
+/** Notifies the checker that a manager mutation at @p site completed. */
+inline void
+envMutated(const ManagerEnv &env, const char *site)
+{
+    if (env.checker != nullptr)
+        env.checker->onMutation(site);
+}
 
 /** Current simulation time, or 0 in env-less unit tests. */
 inline Cycles
@@ -107,6 +119,9 @@ class MemoryManager
 
     /** Statistics. */
     virtual const MemoryManagerStats &stats() const = 0;
+
+    /** Frame pool backing this manager (null if it doesn't use one). */
+    virtual const FramePool *framePool() const { return nullptr; }
 
     /**
      * Binds this manager's counters into @p reg under "mm.*". Managers

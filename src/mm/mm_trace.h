@@ -71,7 +71,11 @@ frameMark(MosaicState &state, const char *name, std::uint32_t frame,
     }
 }
 
-/** Records a soft-guarantee violation instant at @p site. */
+/**
+ * Records a soft-guarantee violation instant at @p site. These are the
+ * only audited sites allowed to mix owners; the invariant checker
+ * counts them and cross-checks against stats.softGuaranteeViolations.
+ */
 inline void
 violation(MosaicState &state, std::uint32_t frame, ViolationSite site)
 {
@@ -79,6 +83,10 @@ violation(MosaicState &state, std::uint32_t frame, ViolationSite site)
         t->instant(kTraceMm, TraceTrack::Mm, "mm.softGuaranteeViolation",
                    envNow(state.env), {"frame", frame},
                    {"site", static_cast<std::uint64_t>(site)});
+    }
+    if (state.env.checker != nullptr) {
+        state.env.checker->onAuditedViolation(
+            static_cast<AuditedSite>(static_cast<unsigned>(site)));
     }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mm/mm_trace.h"
+#include "vm/translation.h"
 
 namespace mosaic {
 
@@ -73,6 +74,7 @@ MosaicManager::reserveRegion(AppId app, Addr vaBase, std::uint64_t bytes)
          chunk += kLargePageSize) {
         assignChunkFrame(app, chunk);
     }
+    envMutated(state_.env, "mosaic.reserveRegion");
 }
 
 bool
@@ -99,6 +101,7 @@ MosaicManager::backPage(AppId app, Addr va)
                 info.residentCount >= config_.coalesceResidentThreshold)
                 coalescer_.tryCoalesce(frame);
         }
+        envMutated(state_.env, "mosaic.backPage");
         return true;
     }
 
@@ -117,6 +120,7 @@ MosaicManager::backPage(AppId app, Addr va)
             ++state_.stats.pagesBacked;
             if (config_.coalescingEnabled && !info.coalesced)
                 coalescer_.tryCoalesce(frame);
+            envMutated(state_.env, "mosaic.backPage.chunkSlot");
             return true;
         }
     }
@@ -125,6 +129,7 @@ MosaicManager::backPage(AppId app, Addr va)
     // whose chunk could not get a frame.
     if (backLoosePage(st, app, va_page)) {
         ++state_.stats.pagesBacked;
+        envMutated(state_.env, "mosaic.backPage.loose");
         return true;
     }
     return false;
@@ -216,6 +221,11 @@ MosaicManager::releaseRegion(AppId app, Addr vaBase, std::uint64_t bytes)
         const auto slot = static_cast<unsigned>(
             basePageIndexInLargePage(pa));
         pt.unmapBasePage(va);
+        // Shoot the released translation down: the VA can be re-reserved
+        // and remapped to a different frame, and a stale TLB entry would
+        // keep serving the old physical page.
+        if (state_.env.translation != nullptr)
+            state_.env.translation->shootdownBase(app, va);
         state_.pool.freeSlot(frame, slot);
         ++state_.stats.pagesReleased;
         if (touched.empty() || touched.back() != frame)
@@ -253,6 +263,7 @@ MosaicManager::releaseRegion(AppId app, Addr vaBase, std::uint64_t bytes)
             }
         }
     }
+    envMutated(state_.env, "mosaic.releaseRegion");
 }
 
 std::uint64_t

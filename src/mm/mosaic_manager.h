@@ -67,6 +67,7 @@ class MosaicManager : public MemoryManager
      */
     std::uint64_t coalescedHoleBytes() const;
     const MemoryManagerStats &stats() const override { return state_.stats; }
+    const FramePool *framePool() const override { return &state_.pool; }
 
     /** Adds Mosaic-specific gauges on top of the common "mm.*" set. */
     void

@@ -110,6 +110,23 @@ struct SimConfig
      */
     TraceConfig trace;
 
+    /**
+     * Shadow-model invariant checking (off by default; DESIGN.md §10).
+     * When enabled, the runner builds an InvariantChecker, attaches it
+     * to every page table, the TLBs, the manager, and the DRAM model,
+     * and cross-validates the structures after manager mutations. Like
+     * tracing it is observation-only: the SimResult is byte-identical
+     * with checks on or off (enforced by a test).
+     */
+    struct InvariantChecks
+    {
+        bool enabled = false;
+        /** Full sweep every N manager mutations (1 = every mutation). */
+        std::uint64_t fullSweepEvery = 4096;
+        /** Panic on the first violation (off: collect and count). */
+        bool abortOnViolation = true;
+    } invariantChecks;
+
     /** Baseline GPU-MMU with 4KB pages and demand paging (Table 1). */
     static SimConfig
     baseline()
@@ -165,6 +182,16 @@ struct SimConfig
         SimConfig c = *this;
         c.trace.enabled = true;
         c.trace.categories = categories;
+        return c;
+    }
+
+    /** Enables invariant checking, sweeping every @p sweepEvery mutations. */
+    SimConfig
+    withInvariantChecks(std::uint64_t sweepEvery = 4096) const
+    {
+        SimConfig c = *this;
+        c.invariantChecks.enabled = true;
+        c.invariantChecks.fullSweepEvery = sweepEvery;
         return c;
     }
 

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "cache/hierarchy.h"
+#include "check/invariant_checker.h"
 #include "engine/event_queue.h"
 #include "iobus/demand_paging.h"
 #include "mm/gpu_mmu_manager.h"
@@ -173,6 +174,28 @@ runSimulation(const Workload &workload, const SimConfig &config)
     manager->registerMetrics(registry);
     RegionPtNodeAllocator pt_alloc(pool_bytes, config.pageTablePoolBytes);
 
+    // Optional shadow-model invariant checker (DESIGN.md §10). Strictly
+    // observation-only: it binds nothing into the registry, schedules no
+    // events, and only reads through const probes, so the SimResult is
+    // byte-identical with checks on or off. Declared before the page
+    // tables below so it outlives their raw observer pointers.
+    std::unique_ptr<InvariantChecker> checker;
+    if (config.invariantChecks.enabled) {
+        InvariantChecker::Config cc;
+        cc.fullSweepEvery = config.invariantChecks.fullSweepEvery;
+        cc.abortOnViolation = config.invariantChecks.abortOnViolation;
+        checker = std::make_unique<InvariantChecker>(cc);
+        checker->attachManager(manager.get());
+        checker->attachTranslation(&translation);
+        checker->attachDram(&dram);
+        if (config.manager == ManagerKind::Mosaic) {
+            checker->attachMosaicState(
+                &static_cast<MosaicManager *>(manager.get())->state());
+            checker->attachCacConfig(&config.mosaic.cac);
+        }
+        translation.setChecker(checker.get());
+    }
+
     Gpu gpu(events, config.gpu, &registry);
     ManagerEnv env;
     env.events = &events;
@@ -180,6 +203,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
     env.translation = &translation;
     env.tracer = tr;
     env.stallGpu = [&gpu](Cycles d) { gpu.stallAll(d); };
+    env.checker = checker.get();
     manager->setEnv(env);
 
     if (config.manager == ManagerKind::Mosaic &&
@@ -204,6 +228,8 @@ runSimulation(const Workload &workload, const SimConfig &config)
         // the application's 1TB address slice.
         ctx->nextChurnVa = ((static_cast<Addr>(i) + 1) << 40) +
                            (1ull << 39);
+        if (checker != nullptr)
+            checker->observePageTable(*ctx->pageTable);
         manager->registerApp(static_cast<AppId>(i), *ctx->pageTable);
         apps.push_back(std::move(ctx));
     }
@@ -445,6 +471,11 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // the complete event stream.
     if (tr != nullptr && tr->on(kTraceCounter))
         sampleCounterTracks(*tr, registry, events.now());
+
+    // Final sweep: after teardown every invariant must still hold (all
+    // apps released their regions, so the shadow should be empty too).
+    if (checker != nullptr)
+        checker->verifyAll();
 
     // Harvest: one generic registry snapshot replaces the old per-field
     // hand-copy; the legacy scalar fields are derived from it.

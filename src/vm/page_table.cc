@@ -95,6 +95,8 @@ PageTable::mapBasePage(Addr va, Addr pa, bool resident)
     leaf.leafDisabled[idx] = false;
     leaf.leafResident[idx] = resident;
     ++mappedPages_;
+    if (observer_ != nullptr)
+        observer_->onMap(app_, basePageBase(va), basePageBase(pa), resident);
 }
 
 void
@@ -106,6 +108,8 @@ PageTable::markResident(Addr va)
     MOSAIC_ASSERT(leaf->leafPhys[idx] != kInvalidAddr,
                   "markResident on unmapped page");
     leaf->leafResident[idx] = true;
+    if (observer_ != nullptr)
+        observer_->onResident(app_, basePageBase(va));
 }
 
 bool
@@ -130,6 +134,8 @@ PageTable::unmapBasePage(Addr va)
     leaf->leafDisabled[idx] = false;
     leaf->leafResident[idx] = false;
     --mappedPages_;
+    if (observer_ != nullptr)
+        observer_->onUnmap(app_, basePageBase(va));
 }
 
 void
@@ -141,6 +147,8 @@ PageTable::remapBasePage(Addr va, Addr newPa)
     MOSAIC_ASSERT(leaf->leafPhys[idx] != kInvalidAddr,
                   "remap of unmapped base page");
     leaf->leafPhys[idx] = basePageBase(newPa);
+    if (observer_ != nullptr)
+        observer_->onRemap(app_, basePageBase(va), basePageBase(newPa));
 }
 
 bool
@@ -195,6 +203,8 @@ PageTable::coalesce(Addr vaLargeBase)
     l3->childLarge[levelIndex(vaLargeBase, 2)] = true;
     for (unsigned i = 0; i < kFanout; ++i)
         leaf->leafDisabled[i] = true;
+    if (observer_ != nullptr)
+        observer_->onCoalesce(app_, vaLargeBase);
 }
 
 void
@@ -209,6 +219,8 @@ PageTable::splinter(Addr vaLargeBase)
     l3->childLarge[levelIndex(vaLargeBase, 2)] = false;
     for (unsigned i = 0; i < kFanout; ++i)
         leaf->leafDisabled[i] = false;
+    if (observer_ != nullptr)
+        observer_->onSplinter(app_, vaLargeBase);
 }
 
 bool

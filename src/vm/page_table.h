@@ -27,6 +27,27 @@
 
 namespace mosaic {
 
+/**
+ * Observer notified synchronously after every page-table mutation.
+ *
+ * Used by the invariant checker (src/check/) to maintain a flat shadow
+ * translation map without polling. Observers must be purely passive:
+ * they may read the table through const methods but must not mutate
+ * simulation state (no event scheduling, no stats).
+ */
+class PageTableObserver
+{
+  public:
+    virtual ~PageTableObserver() = default;
+
+    virtual void onMap(AppId app, Addr va, Addr pa, bool resident) = 0;
+    virtual void onUnmap(AppId app, Addr va) = 0;
+    virtual void onRemap(AppId app, Addr va, Addr newPa) = 0;
+    virtual void onResident(AppId app, Addr va) = 0;
+    virtual void onCoalesce(AppId app, Addr vaLargeBase) = 0;
+    virtual void onSplinter(AppId app, Addr vaLargeBase) = 0;
+};
+
 /** Result of a functional translation. */
 struct Translation
 {
@@ -147,6 +168,9 @@ class PageTable
     /** Number of mapped base pages. */
     std::uint64_t mappedPages() const { return mappedPages_; }
 
+    /** Attaches (or detaches, with nullptr) a passive mutation observer. */
+    void setObserver(PageTableObserver *observer) { observer_ = observer; }
+
   private:
     struct Node
     {
@@ -178,6 +202,7 @@ class PageTable
     PtNodeAllocator &nodeAllocator_;
     std::unique_ptr<Node> root_;
     std::uint64_t mappedPages_ = 0;
+    PageTableObserver *observer_ = nullptr;
 };
 
 }  // namespace mosaic

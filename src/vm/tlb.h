@@ -95,6 +95,24 @@ class Tlb
             large_.insert(k);
     }
 
+    /**
+     * Non-mutating presence probe for a base-page translation. Unlike
+     * lookupBase this touches neither stats nor recency — safe for
+     * observation-only consumers (the invariant checker).
+     */
+    bool
+    containsBase(AppId app, std::uint64_t baseVpn) const
+    {
+        return base_.contains(key(app, baseVpn));
+    }
+
+    /** Non-mutating presence probe for a large-page translation. */
+    bool
+    containsLarge(AppId app, std::uint64_t largeVpn) const
+    {
+        return large_.contains(key(app, largeVpn));
+    }
+
     /** Removes one large-page translation (splinter shootdown). */
     bool
     flushLarge(AppId app, std::uint64_t largeVpn)

@@ -195,10 +195,15 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
         if (l2_large || l2_.lookupBase(app, basePageNumber(va))) {
             ++stats_.l2Hits;
             ++perApp_[app].l2Hits;
-            if (l2_large)
+            if (l2_large) {
                 l1_[sm].fillLarge(app, largePageNumber(va));
-            else
+                if (checker_ != nullptr)
+                    checker_->onTlbFillLarge(app, largePageNumber(va));
+            } else {
                 l1_[sm].fillBase(app, basePageNumber(va));
+                if (checker_ != nullptr)
+                    checker_->onTlbFillBase(app, basePageNumber(va));
+            }
             if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
                 // servedBy: 2 == shared L2 TLB, 3 == page-table walk.
                 tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "tlbMiss",
@@ -238,9 +243,13 @@ TranslationService::fillFromWalk(SmId sm, const PageTable &pageTable,
         // compete with uncoalesced pages for base-page TLB capacity.
         l2_.fillLarge(app, largePageNumber(va));
         l1_[sm].fillLarge(app, largePageNumber(va));
+        if (checker_ != nullptr)
+            checker_->onTlbFillLarge(app, largePageNumber(va));
     } else {
         l2_.fillBase(app, basePageNumber(va));
         l1_[sm].fillBase(app, basePageNumber(va));
+        if (checker_ != nullptr)
+            checker_->onTlbFillBase(app, basePageNumber(va));
     }
 }
 
@@ -251,6 +260,8 @@ TranslationService::shootdownLarge(AppId app, Addr vaLargeBase)
     for (Tlb &tlb : l1_)
         tlb.flushLarge(app, vpn);
     l2_.flushLarge(app, vpn);
+    if (checker_ != nullptr)
+        checker_->onTlbShootdownLarge(app, vpn);
 }
 
 void
@@ -260,6 +271,8 @@ TranslationService::shootdownBase(AppId app, Addr vaBase)
     for (Tlb &tlb : l1_)
         tlb.flushBase(app, vpn);
     l2_.flushBase(app, vpn);
+    if (checker_ != nullptr)
+        checker_->onTlbShootdownBase(app, vpn);
 }
 
 }  // namespace mosaic

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/mshr.h"
+#include "check/check_sink.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 #include "vm/page_table.h"
@@ -113,6 +114,12 @@ class TranslationService
     /** Shared L2 TLB. */
     const Tlb &l2Tlb() const { return l2_; }
 
+    /** Number of per-SM L1 TLBs. */
+    unsigned numSms() const { return static_cast<unsigned>(l1_.size()); }
+
+    /** Attaches (or detaches, with nullptr) the invariant checker. */
+    void setChecker(CheckSink *checker) { checker_ = checker; }
+
     /** Aggregate L1 statistics summed over SMs. */
     Tlb::Stats l1StatsTotal() const;
 
@@ -144,6 +151,7 @@ class TranslationService
     Cycles l2NextIssueAt_ = 0;
     unsigned l2IssuesThisCycle_ = 0;
     std::vector<MshrFile> mshrs_;  ///< per-SM, keyed by (app, base vpn)
+    CheckSink *checker_ = nullptr;
     Stats stats_;
     std::unordered_map<AppId, AppStats> perApp_;
 };

@@ -178,5 +178,57 @@ TEST(CacTest, CompactionSkippedWithoutDestinations)
     EXPECT_EQ(rig.mgr.state().freeFrames.size(), free_before);
 }
 
+/**
+ * Channel-parity property (regression for the CAC<->DRAM channel-mapping
+ * disagreement): the stall CAC charges for a migration must equal what
+ * the DRAM model's own address decode yields for the same (src, dst)
+ * pair -- every frame pair, a spread of slot offsets, every configured
+ * channel-interleave mode, with and without bulk copy.
+ */
+TEST(CacTest, MigrationCostAgreesWithDramForEveryFramePair)
+{
+    constexpr unsigned kFrames = 32;
+    const std::uint64_t via_bus_lines = kBasePageSize / kCacheLineSize;
+    for (const ChannelInterleave mode :
+         {ChannelInterleave::Line, ChannelInterleave::Page,
+          ChannelInterleave::Frame}) {
+        for (const bool bulk : {true, false}) {
+            EventQueue ev;
+            DramConfig dc;
+            dc.channelInterleave = mode;
+            DramModel dram(ev, dc);
+            MosaicConfig cfg;
+            cfg.cac.useBulkCopy = bulk;
+            MosaicManager mgr(0, kFrames * kLargePageSize, cfg);
+            ManagerEnv env;
+            env.events = &ev;
+            env.dram = &dram;
+            mgr.setEnv(env);
+
+            for (unsigned fs = 0; fs < kFrames; ++fs) {
+                for (unsigned fd = 0; fd < kFrames; ++fd) {
+                    for (const unsigned slot : {0u, 1u, 7u, 255u}) {
+                        const Addr src = fs * kLargePageSize +
+                                         slot * kBasePageSize;
+                        const Addr dst = fd * kLargePageSize +
+                                         slot * kBasePageSize;
+                        const bool same =
+                            dram.channelOf(src) == dram.channelOf(dst);
+                        const Cycles want =
+                            bulk && same
+                                ? dc.bulkCopyInDramCycles
+                                : via_bus_lines *
+                                      dc.bulkCopyViaBusCyclesPerLine;
+                        ASSERT_EQ(mgr.cac().migrationCycles(src, dst), want)
+                            << "interleave=" << static_cast<int>(mode)
+                            << " bulk=" << bulk << " fs=" << fs
+                            << " fd=" << fd << " slot=" << slot;
+                    }
+                }
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace mosaic

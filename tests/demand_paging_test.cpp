@@ -168,5 +168,76 @@ TEST(DemandPagerTest, OomFaultCounted)
     EXPECT_EQ(pager.stats().oomFaults, 1u);
 }
 
+/** Rig with a one-frame pool so backPage() exhausts deterministically. */
+struct OomRig
+{
+    EventQueue ev;
+    PcieBus bus{ev, PcieConfig{}};
+    RegionPtNodeAllocator alloc{1ull << 33, 64ull << 20};
+    GpuMmuManager mgr{0, kLargePageSize};
+    PageTable pt{0, alloc};
+    StatsRegistry metrics;
+    DemandPager pager{ev, bus, mgr, &metrics};
+    static constexpr Addr kBase = 1ull << 40;
+
+    OomRig()
+    {
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+        mgr.reserveRegion(0, kBase, 2 * kLargePageSize);
+        // Exhaust all 512 slots of the single frame.
+        for (unsigned i = 0; i < kBasePagesPerLargePage; ++i)
+            EXPECT_TRUE(mgr.backPage(0, kBase + i * kBasePageSize));
+    }
+};
+
+/**
+ * Regression for the far-fault OOM bug: handleFarFault() used to fill
+ * the MSHR even when backPage() failed, resuming warps on a VA with no
+ * mapping installed. Under persistent OOM the fault must instead stay
+ * pending forever -- the callback never runs.
+ */
+TEST(DemandPagerTest, PersistentOomNeverWakesWarpsOnUnmappedVa)
+{
+    OomRig rig;
+    const Addr fault_va =
+        OomRig::kBase + kBasePagesPerLargePage * kBasePageSize;
+    bool resumed = false;
+    rig.pager.handleFarFault(rig.pt, fault_va, [&] { resumed = true; });
+    rig.ev.runAll();
+
+    EXPECT_FALSE(resumed);
+    EXPECT_FALSE(rig.pt.isMapped(fault_va));
+    EXPECT_EQ(rig.pager.stats().oomFaults, 1u);
+    EXPECT_EQ(rig.pager.stats().oomRetries, PagerConfig{}.maxOomRetries);
+    EXPECT_EQ(rig.pager.inFlight(), 1u);  // abandoned still-pending
+    // The retry counter reaches the registry (DESIGN.md §8).
+    EXPECT_EQ(rig.metrics.snapshot().u64("iobus.paging.oomRetries"),
+              PagerConfig{}.maxOomRetries);
+}
+
+/** The bounded retries succeed once a concurrent release frees memory. */
+TEST(DemandPagerTest, OomRetrySucceedsAfterMemoryIsReleased)
+{
+    OomRig rig;
+    const Addr fault_va =
+        OomRig::kBase + kBasePagesPerLargePage * kBasePageSize;
+    bool resumed = false;
+    rig.pager.handleFarFault(rig.pt, fault_va, [&] { resumed = true; });
+    // Free a few slots while the fault is in its retry loop (well after
+    // the ~56k-cycle PCIe transfer lands and the first attempt fails).
+    rig.ev.scheduleAfter(70000, [&] {
+        rig.mgr.releaseRegion(0, OomRig::kBase, 4 * kBasePageSize);
+    });
+    rig.ev.runAll();
+
+    EXPECT_TRUE(resumed);
+    EXPECT_TRUE(rig.pt.isResident(fault_va));
+    EXPECT_EQ(rig.pager.stats().oomFaults, 1u);
+    EXPECT_GT(rig.pager.stats().oomRetries, 0u);
+    EXPECT_LT(rig.pager.stats().oomRetries, PagerConfig{}.maxOomRetries);
+    EXPECT_EQ(rig.pager.inFlight(), 0u);
+}
+
 }  // namespace
 }  // namespace mosaic

@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Deterministic randomized stress fuzzer for the memory managers.
+ *
+ * Drives randomized alloc/free/touch/oversubscribe/multi-app schedules
+ * against any of the three memory managers with the shadow-model
+ * invariant checker (src/check/) verifying after every operation. The
+ * harness is deterministic from its seed: the whole schedule is
+ * generated up front from a seeded Rng, so any failure reproduces with
+ * `mosaic_fuzz --seed N` and the failing schedule can be written out,
+ * minimized, and replayed byte-for-byte (`--replay FILE`).
+ *
+ * Usage:
+ *   mosaic_fuzz --seed N [--ops N] [--manager mosaic|gpummu|largeonly]
+ *               [--oversubscribe] [--apps N] [--out FILE]
+ *   mosaic_fuzz --smoke [--seed N] [--ops N]    # 3 managers x oversub
+ *   mosaic_fuzz --replay FILE                   # replay a schedule
+ *
+ * Exit status: 0 = all invariants held, 1 = violation found (the
+ * failing schedule is minimized and printed/written), 2 = usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "check/invariant_checker.h"
+#include "common/rng.h"
+#include "dram/dram.h"
+#include "engine/event_queue.h"
+#include "mm/gpu_mmu_manager.h"
+#include "mm/large_only_manager.h"
+#include "mm/mosaic_manager.h"
+#include "vm/translation.h"
+#include "vm/walker.h"
+
+using namespace mosaic;
+
+namespace {
+
+enum class Op : unsigned {
+    Reserve = 0,   ///< reserve a region in a free slot
+    Back = 1,      ///< demand-back one page of a reserved region
+    Touch = 2,     ///< translate one page through the TLBs (fill path)
+    ReleaseAll = 3,///< release a whole reserved region
+    ReleaseSlice = 4, ///< release a random slice (fragmentation)
+};
+
+/** One schedule step; fields are reinterpreted per opcode. */
+struct FuzzOp
+{
+    Op op = Op::Reserve;
+    unsigned app = 0;
+    unsigned slot = 0;   ///< region slot index within the app
+    unsigned pages = 1;  ///< Reserve: region size; ReleaseSlice: length
+    unsigned page = 0;   ///< Back/Touch/ReleaseSlice: page offset
+};
+
+/** Everything that parameterizes one fuzz run (all seed-derived). */
+struct FuzzConfig
+{
+    std::string manager = "mosaic";
+    bool oversubscribe = false;
+    unsigned apps = 2;
+    bool useBulkCopy = false;
+    unsigned interleave = 0;  ///< ChannelInterleave as an int
+    unsigned coalesceThreshold = 0;
+    std::vector<FuzzOp> ops;
+};
+
+constexpr unsigned kSlotsPerApp = 8;
+constexpr Addr kSlotSpacing = 16ull << 20;  // 16MB between region slots
+constexpr unsigned kMaxRegionPages = 1536;  // up to 3 chunks
+
+Addr
+slotVa(unsigned app, unsigned slot)
+{
+    return ((static_cast<Addr>(app) + 1) << 32) + slot * kSlotSpacing;
+}
+
+std::unique_ptr<MemoryManager>
+makeManager(const FuzzConfig &cfg, Addr poolBase, std::uint64_t poolBytes,
+            MosaicConfig &mosaicCfg)
+{
+    if (cfg.manager == "mosaic")
+        return std::make_unique<MosaicManager>(poolBase, poolBytes,
+                                               mosaicCfg);
+    if (cfg.manager == "largeonly")
+        return std::make_unique<LargeOnlyManager>(poolBase, poolBytes);
+    return std::make_unique<GpuMmuManager>(poolBase, poolBytes);
+}
+
+/** Result of executing one schedule. */
+struct RunResult
+{
+    bool failed = false;
+    std::size_t failOp = 0;       ///< index of the op that tripped
+    std::uint64_t violations = 0;
+    std::vector<std::string> reports;
+};
+
+/**
+ * Executes @p cfg's schedule from scratch and verifies every invariant
+ * after every operation. Deterministic: same config, same outcome.
+ */
+RunResult
+runSchedule(const FuzzConfig &cfg)
+{
+    EventQueue events;
+    DramConfig dram_cfg;
+    dram_cfg.channelInterleave =
+        static_cast<ChannelInterleave>(cfg.interleave);
+    dram_cfg.capacityBytes = 256ull << 20;
+    DramModel dram(events, dram_cfg);
+
+    CacheHierarchyConfig cache_cfg;
+    cache_cfg.numSms = 2;
+    CacheHierarchy caches(events, dram, cache_cfg);
+    WalkerConfig walker_cfg;
+    PageTableWalker walker(events, caches, walker_cfg);
+    TranslationConfig tr_cfg;
+    TranslationService translation(events, walker, cache_cfg.numSms, tr_cfg);
+
+    // Oversubscription: the pool holds far fewer frames than the
+    // schedule's demand, so OOM, reclaim, compaction, and the emergency
+    // failsafe all get exercised.
+    const std::uint64_t pool_bytes =
+        cfg.oversubscribe ? (8ull << 20) : (64ull << 20);
+    MosaicConfig mosaic_cfg;
+    mosaic_cfg.cac.useBulkCopy = cfg.useBulkCopy;
+    mosaic_cfg.coalesceResidentThreshold = cfg.coalesceThreshold;
+    auto manager = makeManager(cfg, 0, pool_bytes, mosaic_cfg);
+
+    InvariantChecker::Config check_cfg;
+    check_cfg.fullSweepEvery = 1;  // verify after every manager mutation
+    check_cfg.abortOnViolation = false;
+    InvariantChecker checker(check_cfg);
+    checker.attachManager(manager.get());
+    checker.attachTranslation(&translation);
+    checker.attachDram(&dram);
+    if (cfg.manager == "mosaic") {
+        auto *mm = static_cast<MosaicManager *>(manager.get());
+        checker.attachMosaicState(&mm->state());
+        checker.attachCacConfig(&mosaic_cfg.cac);
+    }
+    translation.setChecker(&checker);
+
+    RegionPtNodeAllocator pt_alloc(dram_cfg.capacityBytes - (16ull << 20),
+                                   16ull << 20);
+    std::vector<std::unique_ptr<PageTable>> tables;
+    for (unsigned a = 0; a < cfg.apps; ++a) {
+        tables.push_back(std::make_unique<PageTable>(
+            static_cast<AppId>(a), pt_alloc));
+        checker.observePageTable(*tables.back());
+        manager->registerApp(static_cast<AppId>(a), *tables.back());
+    }
+    ManagerEnv env;
+    env.events = &events;
+    env.dram = &dram;
+    env.translation = &translation;
+    env.checker = &checker;
+    manager->setEnv(env);
+
+    // Reserved pages per (app, slot); 0 = slot free. Ops that do not
+    // apply to the current state are skipped (keeps minimized schedules
+    // replayable without re-validation).
+    std::vector<std::vector<unsigned>> reserved(
+        cfg.apps, std::vector<unsigned>(kSlotsPerApp, 0));
+
+    RunResult result;
+    auto drain = [&events] {
+        while (events.runOne()) {
+        }
+    };
+
+    for (std::size_t i = 0; i < cfg.ops.size(); ++i) {
+        const FuzzOp &op = cfg.ops[i];
+        const unsigned app = op.app % cfg.apps;
+        const unsigned slot = op.slot % kSlotsPerApp;
+        const Addr base = slotVa(app, slot);
+        unsigned &pages = reserved[app][slot];
+        const AppId id = static_cast<AppId>(app);
+
+        switch (op.op) {
+        case Op::Reserve:
+            if (pages != 0)
+                break;
+            pages = 1 + op.pages % kMaxRegionPages;
+            manager->reserveRegion(id, base,
+                                   static_cast<std::uint64_t>(pages) *
+                                       kBasePageSize);
+            break;
+        case Op::Back:
+            if (pages == 0)
+                break;
+            manager->backPage(id, base + (op.page % pages) * kBasePageSize);
+            break;
+        case Op::Touch: {
+            if (pages == 0)
+                break;
+            const Addr va = base + (op.page % pages) * kBasePageSize;
+            const SmId sm = static_cast<SmId>(op.page % 2);
+            Translation out;
+            translation.translate(sm, *tables[app], va,
+                                  [&out](const Translation &t) { out = t; });
+            drain();
+            if (!out.valid) {
+                // Far-fault: commit physical memory, then refill.
+                if (manager->backPage(id, va)) {
+                    translation.translate(sm, *tables[app], va,
+                                          [](const Translation &) {});
+                    drain();
+                }
+            }
+            break;
+        }
+        case Op::ReleaseAll:
+            if (pages == 0)
+                break;
+            manager->releaseRegion(id, base,
+                                   static_cast<std::uint64_t>(pages) *
+                                       kBasePageSize);
+            pages = 0;
+            break;
+        case Op::ReleaseSlice: {
+            if (pages < 2)
+                break;
+            const unsigned start = op.page % (pages - 1);
+            const unsigned len = 1 + op.pages % (pages - start);
+            manager->releaseRegion(id, base + start * kBasePageSize,
+                                   static_cast<std::uint64_t>(len) *
+                                       kBasePageSize);
+            // The slot stays reserved: later Back/Touch ops on released
+            // pages exercise the re-backing (loose allocation) paths.
+            break;
+        }
+        }
+        drain();
+        checker.verifyAll();
+        if (checker.violationCount() > result.violations) {
+            result.failed = true;
+            result.failOp = i;
+            result.violations = checker.violationCount();
+            result.reports = checker.reports();
+            return result;  // stop at the first failing op
+        }
+    }
+
+    // Teardown: release everything, then the shadow must be empty.
+    for (unsigned a = 0; a < cfg.apps; ++a) {
+        for (unsigned s = 0; s < kSlotsPerApp; ++s) {
+            if (reserved[a][s] != 0) {
+                manager->releaseRegion(
+                    static_cast<AppId>(a), slotVa(a, s),
+                    static_cast<std::uint64_t>(reserved[a][s]) *
+                        kBasePageSize);
+            }
+        }
+    }
+    drain();
+    checker.verifyAll();
+    if (checker.violationCount() > 0) {
+        result.failed = true;
+        result.failOp = cfg.ops.size();
+        result.violations = checker.violationCount();
+        result.reports = checker.reports();
+    }
+    return result;
+}
+
+/** Generates a schedule (and config bits) deterministically from a seed. */
+FuzzConfig
+generate(std::uint64_t seed, std::size_t numOps, const std::string &manager,
+         bool oversubscribe, unsigned apps)
+{
+    FuzzConfig cfg;
+    cfg.manager = manager;
+    cfg.oversubscribe = oversubscribe;
+    cfg.apps = apps;
+    Rng rng(seed);
+    cfg.useBulkCopy = rng.chance(0.5);
+    cfg.interleave = static_cast<unsigned>(rng.below(3));
+    cfg.coalesceThreshold = rng.chance(0.25) ? 256 : 0;
+    cfg.ops.reserve(numOps);
+    for (std::size_t i = 0; i < numOps; ++i) {
+        FuzzOp op;
+        // Weighted opcode mix: touching/backing dominates real usage.
+        const std::uint64_t roll = rng.below(100);
+        if (roll < 15)
+            op.op = Op::Reserve;
+        else if (roll < 45)
+            op.op = Op::Back;
+        else if (roll < 75)
+            op.op = Op::Touch;
+        else if (roll < 85)
+            op.op = Op::ReleaseAll;
+        else
+            op.op = Op::ReleaseSlice;
+        op.app = static_cast<unsigned>(rng.below(apps));
+        op.slot = static_cast<unsigned>(rng.below(kSlotsPerApp));
+        op.pages = static_cast<unsigned>(rng.below(kMaxRegionPages)) + 1;
+        op.page = static_cast<unsigned>(rng.below(kMaxRegionPages));
+        cfg.ops.push_back(op);
+    }
+    return cfg;
+}
+
+/**
+ * Greedy schedule minimization: repeatedly drop chunks (halving window
+ * sizes down to single ops) while the failure persists.
+ */
+FuzzConfig
+minimize(const FuzzConfig &failing)
+{
+    FuzzConfig best = failing;
+    for (std::size_t window = best.ops.size() / 2; window >= 1;
+         window /= 2) {
+        bool removed_any = true;
+        while (removed_any) {
+            removed_any = false;
+            for (std::size_t start = 0; start + window <= best.ops.size();
+                 start += window) {
+                FuzzConfig trial = best;
+                trial.ops.erase(trial.ops.begin() + start,
+                                trial.ops.begin() + start + window);
+                if (runSchedule(trial).failed) {
+                    best = std::move(trial);
+                    removed_any = true;
+                    break;
+                }
+            }
+        }
+        if (window == 1)
+            break;
+    }
+    return best;
+}
+
+void
+writeSchedule(const FuzzConfig &cfg, std::ostream &os)
+{
+    os << "mosaic_fuzz v1\n";
+    os << "manager=" << cfg.manager << " oversub=" << cfg.oversubscribe
+       << " apps=" << cfg.apps << " bulkcopy=" << cfg.useBulkCopy
+       << " interleave=" << cfg.interleave
+       << " threshold=" << cfg.coalesceThreshold << "\n";
+    for (const FuzzOp &op : cfg.ops) {
+        os << static_cast<unsigned>(op.op) << " " << op.app << " "
+           << op.slot << " " << op.pages << " " << op.page << "\n";
+    }
+}
+
+bool
+readSchedule(const std::string &path, FuzzConfig &cfg)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "mosaic_fuzz: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string line;
+    if (!std::getline(in, line) || line != "mosaic_fuzz v1") {
+        std::fprintf(stderr, "mosaic_fuzz: %s: bad header\n", path.c_str());
+        return false;
+    }
+    if (!std::getline(in, line))
+        return false;
+    {
+        std::istringstream hs(line);
+        std::string tok;
+        while (hs >> tok) {
+            const auto eq = tok.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "manager")
+                cfg.manager = val;
+            else if (key == "oversub")
+                cfg.oversubscribe = val != "0";
+            else if (key == "apps")
+                cfg.apps = static_cast<unsigned>(std::stoul(val));
+            else if (key == "bulkcopy")
+                cfg.useBulkCopy = val != "0";
+            else if (key == "interleave")
+                cfg.interleave = static_cast<unsigned>(std::stoul(val));
+            else if (key == "threshold")
+                cfg.coalesceThreshold =
+                    static_cast<unsigned>(std::stoul(val));
+        }
+    }
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        unsigned op = 0;
+        FuzzOp f;
+        if (!(ls >> op >> f.app >> f.slot >> f.pages >> f.page)) {
+            std::fprintf(stderr, "mosaic_fuzz: %s: bad op line\n",
+                         path.c_str());
+            return false;
+        }
+        f.op = static_cast<Op>(op);
+        cfg.ops.push_back(f);
+    }
+    return true;
+}
+
+/** Runs one config; on failure minimizes, reports, optionally saves. */
+int
+runAndReport(FuzzConfig cfg, std::uint64_t seed, const std::string &outPath)
+{
+    RunResult r = runSchedule(cfg);
+    if (!r.failed) {
+        std::printf("mosaic_fuzz: OK manager=%s oversub=%d apps=%u "
+                    "ops=%zu seed=%llu\n",
+                    cfg.manager.c_str(), cfg.oversubscribe ? 1 : 0,
+                    cfg.apps, cfg.ops.size(),
+                    static_cast<unsigned long long>(seed));
+        if (!outPath.empty()) {
+            // Dump the (passing) generated schedule too: corpus capture
+            // and the determinism smoke test compare these dumps.
+            std::ofstream out(outPath);
+            writeSchedule(cfg, out);
+        }
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "mosaic_fuzz: FAILURE manager=%s oversub=%d apps=%u "
+                 "seed=%llu at op %zu (%llu violations)\n",
+                 cfg.manager.c_str(), cfg.oversubscribe ? 1 : 0, cfg.apps,
+                 static_cast<unsigned long long>(seed), r.failOp,
+                 static_cast<unsigned long long>(r.violations));
+    for (const std::string &report : r.reports)
+        std::fprintf(stderr, "  %s\n", report.c_str());
+
+    std::fprintf(stderr, "mosaic_fuzz: minimizing %zu ops...\n",
+                 cfg.ops.size());
+    const FuzzConfig minimal = minimize(cfg);
+    std::fprintf(stderr, "mosaic_fuzz: minimized to %zu ops:\n",
+                 minimal.ops.size());
+    std::ostringstream dump;
+    writeSchedule(minimal, dump);
+    std::fprintf(stderr, "%s", dump.str().c_str());
+    if (!outPath.empty()) {
+        std::ofstream out(outPath);
+        writeSchedule(minimal, out);
+        std::fprintf(stderr, "mosaic_fuzz: schedule written to %s\n",
+                     outPath.c_str());
+    }
+    return 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mosaic_fuzz [--seed N] [--ops N] [--apps N]\n"
+        "                   [--manager mosaic|gpummu|largeonly]\n"
+        "                   [--oversubscribe] [--out FILE]\n"
+        "       mosaic_fuzz --smoke [--seed N] [--ops N]\n"
+        "       mosaic_fuzz --replay FILE\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    std::size_t ops = 2000;
+    unsigned apps = 2;
+    std::string manager = "mosaic";
+    bool oversubscribe = false;
+    bool smoke = false;
+    std::string replay_path;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mosaic_fuzz: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            seed = std::stoull(next());
+        else if (arg == "--ops")
+            ops = std::stoull(next());
+        else if (arg == "--apps")
+            apps = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--manager")
+            manager = next();
+        else if (arg == "--oversubscribe")
+            oversubscribe = true;
+        else if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--replay")
+            replay_path = next();
+        else if (arg == "--out")
+            out_path = next();
+        else
+            return usage();
+    }
+    if (manager != "mosaic" && manager != "gpummu" &&
+        manager != "largeonly")
+        return usage();
+    if (apps == 0 || apps > 8)
+        return usage();
+
+    if (!replay_path.empty()) {
+        FuzzConfig cfg;
+        if (!readSchedule(replay_path, cfg))
+            return 2;
+        return runAndReport(std::move(cfg), seed, out_path);
+    }
+
+    if (smoke) {
+        int rc = 0;
+        for (const char *m : {"mosaic", "gpummu", "largeonly"}) {
+            for (const bool over : {false, true}) {
+                FuzzConfig cfg = generate(seed, ops, m, over, apps);
+                rc |= runAndReport(std::move(cfg), seed, out_path);
+            }
+        }
+        return rc;
+    }
+
+    FuzzConfig cfg = generate(seed, ops, manager, oversubscribe, apps);
+    return runAndReport(std::move(cfg), seed, out_path);
+}
