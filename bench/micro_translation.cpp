@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the full translation spine --
+ * per-SM L1 TLBs -> shared L2 TLB -> page-table walker -> radix page
+ * table -- in the three regimes that dominate simulated cycles:
+ *
+ *  - TLB-hit: a hot working set that fits the L1 TLB (the steady state
+ *    of well-behaved workloads; ~90%+ of translation traffic);
+ *  - walk-miss: a footprint far beyond TLB reach, so nearly every
+ *    request runs the four-level walk against DRAM timing;
+ *  - coalesced-walk: walks over coalesced 2MB regions (the Mosaic path:
+ *    L3 large bit + first-L4 read, filling large-page TLB arrays only).
+ *
+ * Plus two functional (event-free) probes of the radix table itself:
+ * translate() and walkPath(), the per-walk bookkeeping cost.
+ *
+ * The benchmark drives only public APIs, so the same source builds
+ * against the pre- and post-PR-5 spine; BENCH_hotpath.json records the
+ * measured pre/post events-per-second (see EXPERIMENTS.md).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "dram/dram.h"
+#include "engine/event_queue.h"
+#include "vm/page_table.h"
+#include "vm/translation.h"
+#include "vm/walker.h"
+
+namespace {
+
+using namespace mosaic;
+
+/** Deterministic 64-bit mixer for address streams (no std::random). */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** A full translation rig: 4 SMs sharing one walker and one L2 TLB. */
+struct SpineRig
+{
+    static constexpr unsigned kSms = 4;
+
+    EventQueue ev;
+    DramModel dram;
+    CacheHierarchy caches;
+    PageTableWalker walker;
+    TranslationService xlate;
+    RegionPtNodeAllocator alloc{1ull << 33, 256ull << 20};
+    PageTable pt{0, alloc};
+
+    SpineRig()
+        : dram(ev, DramConfig{}),
+          caches(ev, dram, CacheHierarchyConfig{}),
+          walker(ev, caches, WalkerConfig{}),
+          xlate(ev, walker, kSms, TranslationConfig{})
+    {
+    }
+
+    /** Maps @p pages base pages starting at @p vaBase (identity-ish). */
+    void
+    mapPages(Addr vaBase, std::uint64_t pages)
+    {
+        for (std::uint64_t i = 0; i < pages; ++i)
+            pt.mapBasePage(vaBase + i * kBasePageSize,
+                           (1ull << 30) + (vaBase & 0xFFFFFFF) +
+                               i * kBasePageSize);
+    }
+
+    /** Maps and coalesces @p regions 2MB regions starting at @p vaBase. */
+    void
+    mapCoalesced(Addr vaBase, unsigned regions)
+    {
+        for (unsigned r = 0; r < regions; ++r) {
+            const Addr va = vaBase + Addr(r) * kLargePageSize;
+            const Addr pa = (4ull << 30) + Addr(r) * kLargePageSize;
+            for (std::uint64_t i = 0; i < kBasePagesPerLargePage; ++i)
+                pt.mapBasePage(va + i * kBasePageSize,
+                               pa + i * kBasePageSize);
+            pt.coalesce(va);
+        }
+    }
+
+    /** Issues one batch of translations and drains the event queue. */
+    template <typename AddrFn>
+    std::uint64_t
+    drainBatch(unsigned batch, AddrFn &&va)
+    {
+        std::uint64_t done = 0;
+        for (unsigned i = 0; i < batch; ++i) {
+            xlate.translate(static_cast<SmId>(i % kSms), pt, va(i),
+                            [&done](const Translation &t) {
+                done += t.valid ? 1 : 0;
+            });
+        }
+        ev.runAll();
+        return done;
+    }
+};
+
+/**
+ * TLB-hit regime: 64 hot base pages, warmed, then hammered. Nearly all
+ * requests complete via the L1 probe + one scheduled callback.
+ */
+void
+BM_SpineTlbHit(benchmark::State &state)
+{
+    SpineRig rig;
+    constexpr unsigned kHotPages = 64;
+    constexpr unsigned kBatch = 256;
+    rig.mapPages(0x10000000, kHotPages);
+    rig.drainBatch(kHotPages, [](unsigned i) {
+        return Addr(0x10000000) + Addr(i) * kBasePageSize;
+    });
+
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        completed += rig.drainBatch(kBatch, [](unsigned i) {
+            return Addr(0x10000000) + Addr(i % kHotPages) * kBasePageSize;
+        });
+    }
+    benchmark::DoNotOptimize(completed);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.counters["l1HitRate"] =
+        double(rig.xlate.stats().l1Hits) /
+        double(rig.xlate.stats().requests);
+}
+BENCHMARK(BM_SpineTlbHit);
+
+/**
+ * Walk-miss regime: a 64MB footprint (16384 pages) addressed through a
+ * mixed stream, far beyond L1+L2 TLB reach, so the four-level walker
+ * path (MSHR registration, walk slots, DRAM-timed PTE reads) dominates.
+ */
+void
+BM_SpineWalkMiss(benchmark::State &state)
+{
+    SpineRig rig;
+    constexpr std::uint64_t kPages = 16384;
+    constexpr unsigned kBatch = 256;
+    rig.mapPages(0x40000000, kPages);
+
+    std::uint64_t seq = 0;
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        completed += rig.drainBatch(kBatch, [&seq](unsigned) {
+            return Addr(0x40000000) +
+                   (mix(seq++) % kPages) * kBasePageSize;
+        });
+    }
+    benchmark::DoNotOptimize(completed);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.counters["walksPerReq"] =
+        double(rig.walker.stats().walks) /
+        double(rig.xlate.stats().requests);
+}
+BENCHMARK(BM_SpineWalkMiss);
+
+/**
+ * Coalesced-walk regime: 320 coalesced 2MB regions -- more than the 256
+ * large-page entries of the shared L2 TLB -- touched round-robin, so a
+ * steady fraction of requests walks the L3-large-bit + first-L4 path
+ * and fills only the large-page TLB arrays.
+ */
+void
+BM_SpineCoalescedWalk(benchmark::State &state)
+{
+    SpineRig rig;
+    constexpr unsigned kRegions = 320;
+    constexpr unsigned kBatch = 256;
+    rig.mapCoalesced(0x80000000, kRegions);
+
+    std::uint64_t seq = 0;
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        completed += rig.drainBatch(kBatch, [&seq](unsigned) {
+            const std::uint64_t r = seq++ % kRegions;
+            const std::uint64_t page = mix(seq) % kBasePagesPerLargePage;
+            return Addr(0x80000000) + r * kLargePageSize +
+                   page * kBasePageSize;
+        });
+    }
+    benchmark::DoNotOptimize(completed);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.counters["largeResults"] =
+        double(rig.walker.stats().largeResults);
+}
+BENCHMARK(BM_SpineCoalescedWalk);
+
+/**
+ * Functional radix descent: translate() as called once per completed
+ * translation, over a 32MB strided footprint (no events, no timing).
+ */
+void
+BM_FunctionalTranslate(benchmark::State &state)
+{
+    RegionPtNodeAllocator alloc{1ull << 33, 256ull << 20};
+    PageTable pt{0, alloc};
+    constexpr std::uint64_t kPages = 8192;
+    for (std::uint64_t i = 0; i < kPages; ++i)
+        pt.mapBasePage(0x40000000 + i * kBasePageSize,
+                       (1ull << 30) + i * kBasePageSize);
+
+    std::uint64_t seq = 0;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        const Addr va =
+            Addr(0x40000000) + (mix(seq++) % kPages) * kBasePageSize;
+        sum += pt.translate(va).physAddr;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalTranslate);
+
+/** Functional walk-path derivation, the per-walk setup cost. */
+void
+BM_FunctionalWalkPath(benchmark::State &state)
+{
+    RegionPtNodeAllocator alloc{1ull << 33, 256ull << 20};
+    PageTable pt{0, alloc};
+    constexpr std::uint64_t kPages = 8192;
+    for (std::uint64_t i = 0; i < kPages; ++i)
+        pt.mapBasePage(0x40000000 + i * kBasePageSize,
+                       (1ull << 30) + i * kBasePageSize);
+
+    std::uint64_t seq = 0;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        const Addr va =
+            Addr(0x40000000) + (mix(seq++) % kPages) * kBasePageSize;
+        sum += pt.walkPath(va)[PageTable::kLevels - 1];
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalWalkPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -14,12 +14,12 @@
 #define MOSAIC_CACHE_HIERARCHY_H
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cache/mshr.h"
 #include "cache/set_assoc_cache.h"
+#include "common/inline_function.h"
 #include "common/stats.h"
 #include "common/stats_registry.h"
 #include "common/types.h"
@@ -58,7 +58,7 @@ struct CacheHierarchyConfig
 class CacheHierarchy
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SimCallback;
 
     /** Aggregate hit/miss statistics. */
     struct Stats

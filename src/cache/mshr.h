@@ -7,10 +7,10 @@
 #define MOSAIC_CACHE_MSHR_H
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/inline_function.h"
 #include "common/types.h"
 
 namespace mosaic {
@@ -20,11 +20,17 @@ namespace mosaic {
  * address or page number). The first miss to a key allocates an entry;
  * subsequent misses to the same key merge into it. When the fill arrives,
  * every merged waiter's callback runs.
+ *
+ * Hot-path layout (DESIGN.md §11): entries live in a pooled slab indexed
+ * by a FlatMap, and the first waiter's continuation is stored inline in
+ * the entry. The common case -- a single waiter per miss -- therefore
+ * touches no node-based container and allocates nothing; only actual
+ * merges grow the entry's overflow vector.
  */
 class MshrFile
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SimCallback;
 
     /** @param maxEntries capacity; 0 means unlimited. */
     explicit MshrFile(std::size_t maxEntries = 0)
@@ -47,15 +53,16 @@ class MshrFile
     Outcome
     registerMiss(std::uint64_t key, Callback onFill)
     {
-        auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            it->second.push_back(std::move(onFill));
+        if (const std::uint32_t *slot = index_.find(key)) {
+            pool_[*slot].rest.push_back(std::move(onFill));
             ++merged_;
             return Outcome::Merged;
         }
-        if (maxEntries_ != 0 && entries_.size() >= maxEntries_)
+        if (maxEntries_ != 0 && index_.size() >= maxEntries_)
             ++overflows_;
-        entries_[key].push_back(std::move(onFill));
+        const std::uint32_t slot = acquireEntry();
+        pool_[slot].first = std::move(onFill);
+        index_.insert(key, slot);
         ++allocated_;
         return Outcome::NewMiss;
     }
@@ -64,20 +71,28 @@ class MshrFile
     void
     fill(std::uint64_t key)
     {
-        auto it = entries_.find(key);
-        if (it == entries_.end())
+        const std::uint32_t *slotPtr = index_.find(key);
+        if (slotPtr == nullptr)
             return;
-        std::vector<Callback> waiters = std::move(it->second);
-        entries_.erase(it);
-        for (Callback &cb : waiters)
+        const std::uint32_t slot = *slotPtr;
+        index_.erase(key);
+        // Detach the waiters before running them: a callback may itself
+        // register a new miss on the same key (retry loops), which must
+        // see this entry as gone and may even reuse its slot.
+        Callback first = std::move(pool_[slot].first);
+        std::vector<Callback> rest = std::move(pool_[slot].rest);
+        pool_[slot].rest.clear();  // moved-from: make reuse-ready
+        freeEntries_.push_back(slot);
+        first();
+        for (Callback &cb : rest)
             cb();
     }
 
     /** True if a miss on @p key is in flight. */
-    bool pending(std::uint64_t key) const { return entries_.count(key) > 0; }
+    bool pending(std::uint64_t key) const { return index_.find(key) != nullptr; }
 
     /** Number of distinct in-flight misses. */
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return index_.size(); }
 
     /** Total primary misses allocated. */
     std::uint64_t allocations() const { return allocated_; }
@@ -89,8 +104,28 @@ class MshrFile
     std::uint64_t overflows() const { return overflows_; }
 
   private:
+    struct Entry
+    {
+        Callback first;               ///< the primary miss's waiter
+        std::vector<Callback> rest;   ///< merged (secondary) waiters
+    };
+
+    std::uint32_t
+    acquireEntry()
+    {
+        if (freeEntries_.empty()) {
+            pool_.emplace_back();
+            return static_cast<std::uint32_t>(pool_.size() - 1);
+        }
+        const std::uint32_t slot = freeEntries_.back();
+        freeEntries_.pop_back();
+        return slot;
+    }
+
     std::size_t maxEntries_;
-    std::unordered_map<std::uint64_t, std::vector<Callback>> entries_;
+    FlatMap<std::uint32_t> index_;  ///< key -> pool slot
+    std::vector<Entry> pool_;
+    std::vector<std::uint32_t> freeEntries_;
     std::uint64_t allocated_ = 0;
     std::uint64_t merged_ = 0;
     std::uint64_t overflows_ = 0;

@@ -5,6 +5,14 @@
  * The simulator never stores data, only tags and per-line metadata
  * (validity, dirtiness, owner). The same structure backs the L1 data
  * caches, the shared L2 cache banks, and (via Tlb) the TLB entry arrays.
+ *
+ * Wide fully-associative arrays (the TLB entry arrays and the page-walk
+ * cache: one set, 16+ ways) additionally keep a FlatMap from key to
+ * entry, so the per-probe cost is a hash lookup instead of a linear
+ * scan over up to 256 ways. The index is pure acceleration: replacement
+ * decisions, victim choice, and statistics are identical with and
+ * without it (DESIGN.md §11). Small-way data caches keep the plain scan,
+ * which beats a hash at 4-16 ways per set.
  */
 
 #ifndef MOSAIC_CACHE_SET_ASSOC_CACHE_H
@@ -14,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -55,7 +64,9 @@ class SetAssocCache
                   ReplacementPolicy policy = ReplacementPolicy::Lru,
                   std::uint64_t seed = 1)
         : sets_(sets), ways_(ways), policy_(policy), rng_(seed),
-          entries_(sets * ways)
+          entries_(sets * ways),
+          indexed_(sets == 1 && ways >= kMinWaysForIndex),
+          index_(indexed_ ? ways : 0)
     {
         MOSAIC_ASSERT(sets >= 1 && ways >= 1, "degenerate cache geometry");
     }
@@ -91,29 +102,21 @@ class SetAssocCache
     insert(std::uint64_t key, bool dirty = false)
     {
         MOSAIC_ASSERT(!contains(key), "inserting a key that is present");
-        const std::size_t set = setIndex(key);
-        Entry *slot = nullptr;
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Entry &e = entryAt(set, w);
-            if (!e.valid) {
-                slot = &e;
-                break;
-            }
-        }
+        return insertAbsent(key, dirty);
+    }
 
-        std::optional<Victim> victim;
-        if (slot == nullptr) {
-            slot = &entryAt(set, victimWay(set));
-            victim = Victim{slot->key, slot->dirty};
-        }
-
-        ++tick_;
-        slot->valid = true;
-        slot->key = key;
-        slot->dirty = dirty;
-        slot->lastUse = tick_;
-        slot->insertedAt = tick_;
-        return victim;
+    /**
+     * Inserts @p key only when absent (the TLB fill idiom). One probe
+     * decides; the separate contains()+insert() pattern pays two.
+     * @return true when the key was inserted.
+     */
+    bool
+    insertIfAbsent(std::uint64_t key, bool dirty = false)
+    {
+        if (find(key) != nullptr)
+            return false;
+        insertAbsent(key, dirty);
+        return true;
     }
 
     /** Removes @p key if present. @return true if it was present. */
@@ -124,6 +127,8 @@ class SetAssocCache
         if (entry == nullptr)
             return false;
         entry->valid = false;
+        if (indexed_)
+            index_.erase(key);
         return true;
     }
 
@@ -136,6 +141,8 @@ class SetAssocCache
         for (Entry &e : entries_) {
             if (e.valid && pred(e.key)) {
                 e.valid = false;
+                if (indexed_)
+                    index_.erase(e.key);
                 ++count;
             }
         }
@@ -148,6 +155,8 @@ class SetAssocCache
     {
         for (Entry &e : entries_)
             e.valid = false;
+        if (indexed_)
+            index_.clear();
     }
 
     /** Number of valid entries. */
@@ -170,6 +179,9 @@ class SetAssocCache
     std::size_t ways() const { return ways_; }
 
   private:
+    /** Below this associativity a linear scan beats the hash probe. */
+    static constexpr std::size_t kMinWaysForIndex = 16;
+
     struct Entry
     {
         std::uint64_t key = 0;
@@ -189,6 +201,10 @@ class SetAssocCache
     Entry *
     find(std::uint64_t key)
     {
+        if (indexed_) {
+            const std::uint32_t *way = index_.find(key);
+            return way == nullptr ? nullptr : &entries_[*way];
+        }
         const std::size_t set = setIndex(key);
         for (std::size_t w = 0; w < ways_; ++w) {
             Entry &e = entryAt(set, w);
@@ -196,6 +212,42 @@ class SetAssocCache
                 return &e;
         }
         return nullptr;
+    }
+
+    /** Insertion body shared by insert()/insertIfAbsent(). @pre absent */
+    std::optional<Victim>
+    insertAbsent(std::uint64_t key, bool dirty)
+    {
+        const std::size_t set = indexed_ ? 0 : setIndex(key);
+        Entry *slot = nullptr;
+        std::size_t slotWay = 0;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry &e = entryAt(set, w);
+            if (!e.valid) {
+                slot = &e;
+                slotWay = w;
+                break;
+            }
+        }
+
+        std::optional<Victim> victim;
+        if (slot == nullptr) {
+            slotWay = victimWay(set);
+            slot = &entryAt(set, slotWay);
+            victim = Victim{slot->key, slot->dirty};
+            if (indexed_)
+                index_.erase(slot->key);
+        }
+
+        ++tick_;
+        slot->valid = true;
+        slot->key = key;
+        slot->dirty = dirty;
+        slot->lastUse = tick_;
+        slot->insertedAt = tick_;
+        if (indexed_)
+            index_.insert(key, static_cast<std::uint32_t>(slotWay));
+        return victim;
     }
 
     std::size_t
@@ -235,6 +287,8 @@ class SetAssocCache
     ReplacementPolicy policy_;
     Rng rng_;
     std::vector<Entry> entries_;
+    bool indexed_;
+    FlatMap<std::uint32_t> index_;  ///< key -> way (single-set arrays)
     std::uint64_t tick_ = 0;
 };
 

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Open-addressing hash map from 64-bit keys to small trivially-copyable
+ * values, tuned for the translation hot path.
+ *
+ * std::unordered_map allocates one node per entry and chases a pointer
+ * per probe; on the hottest lookups (page-table leaf index, TLB entry
+ * index, MSHR files) that cost dominates. FlatMap stores key, state and
+ * value together in one slot array (power-of-two capacity, linear
+ * probing), so a lookup is one multiply-shift hash and typically a
+ * single cache-line touch, with no allocation.
+ *
+ * Deletions leave tombstones; when full-plus-tombstone occupancy passes
+ * ~70% the table rehashes -- doubling if genuinely full, at the same
+ * size if mostly tombstones. All operations are deterministic: probe
+ * order depends only on the key and the insertion history, never on
+ * pointer values or iteration order (DESIGN.md §11).
+ */
+
+#ifndef MOSAIC_COMMON_FLAT_MAP_H
+#define MOSAIC_COMMON_FLAT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mosaic {
+
+template <typename V>
+class FlatMap
+{
+    static_assert(std::is_trivially_copyable_v<V> &&
+                      std::is_default_constructible_v<V>,
+                  "FlatMap is specialized for small POD-like values");
+
+  public:
+    explicit FlatMap(std::size_t expectedEntries = 8)
+    {
+        rehash(tableSizeFor(expectedEntries));
+    }
+
+    /** Value mapped to @p key, or nullptr when absent. */
+    const V *
+    find(std::uint64_t key) const
+    {
+        std::size_t idx = hashKey(key) >> shift_;
+        while (true) {
+            const Slot &slot = slots_[idx];
+            if (slot.state == kEmpty)
+                return nullptr;
+            if (slot.state == kFull && slot.key == key)
+                return &slot.value;
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    V *
+    find(std::uint64_t key)
+    {
+        return const_cast<V *>(
+            static_cast<const FlatMap *>(this)->find(key));
+    }
+
+    /**
+     * Inserts @p key -> @p value. @pre the key is absent (callers on the
+     * hot path have just probed; re-checking here would double the cost).
+     */
+    V &
+    insert(std::uint64_t key, V value)
+    {
+        if ((used_ + 1) * 10 >= (mask_ + 1) * 7) {
+            // Mostly tombstones rehashes in place; genuinely full doubles.
+            rehash(size_ * 10 >= (mask_ + 1) * 5 ? (mask_ + 1) * 2
+                                                 : mask_ + 1);
+        }
+        std::size_t idx = hashKey(key) >> shift_;
+        std::size_t target = kNpos;
+        while (true) {
+            const std::uint8_t s = slots_[idx].state;
+            if (s == kEmpty)
+                break;
+            if (s == kTomb && target == kNpos)
+                target = idx;
+            idx = (idx + 1) & mask_;
+        }
+        if (target == kNpos) {
+            target = idx;
+            ++used_;  // consumed an empty slot (tombstones already count)
+        }
+        Slot &slot = slots_[target];
+        slot.state = kFull;
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+        return slot.value;
+    }
+
+    /** Removes @p key. @return true when it was present. */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t idx = hashKey(key) >> shift_;
+        while (true) {
+            Slot &slot = slots_[idx];
+            if (slot.state == kEmpty)
+                return false;
+            if (slot.state == kFull && slot.key == key) {
+                slot.state = kTomb;
+                --size_;
+                return true;
+            }
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    /** Removes every entry, keeping the current capacity. */
+    void
+    clear()
+    {
+        for (Slot &slot : slots_)
+            slot.state = kEmpty;
+        size_ = 0;
+        used_ = 0;
+    }
+
+    /** Number of stored entries. */
+    std::size_t size() const { return size_; }
+
+    /** Current table capacity (slots), for tests. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+
+    /** Key, value, and state share a slot so one probe touches one
+     *  cache line (the parallel-arrays layout costs three). */
+    struct Slot
+    {
+        std::uint64_t key;
+        V value;
+        std::uint8_t state;
+    };
+
+    static constexpr std::size_t kNpos = ~std::size_t{0};
+
+    /**
+     * Fibonacci (multiply-shift) hashing: one multiply, and taking the
+     * HIGH bits via shift_ gives every key bit influence over the slot,
+     * so dense keys (VPNs, line numbers) spread instead of clustering.
+     */
+    static std::uint64_t
+    hashKey(std::uint64_t x)
+    {
+        return x * 0x9e3779b97f4a7c15ull;
+    }
+
+    static std::size_t
+    tableSizeFor(std::size_t entries)
+    {
+        // Smallest power of two holding @p entries below the load limit.
+        std::size_t cap = 8;
+        while (entries * 10 >= cap * 7)
+            cap *= 2;
+        return cap;
+    }
+
+    static unsigned
+    shiftFor(std::size_t capacity)
+    {
+        unsigned log2 = 0;
+        while ((std::size_t{1} << log2) < capacity)
+            ++log2;
+        return 64 - log2;
+    }
+
+    void
+    rehash(std::size_t newCapacity)
+    {
+        MOSAIC_ASSERT((newCapacity & (newCapacity - 1)) == 0,
+                      "FlatMap capacity must be a power of two");
+        std::vector<Slot> old = std::move(slots_);
+
+        slots_.assign(newCapacity, Slot{0, V{}, kEmpty});
+        mask_ = newCapacity - 1;
+        shift_ = shiftFor(newCapacity);
+        used_ = 0;
+        size_ = 0;
+        for (const Slot &slot : old) {
+            if (slot.state == kFull)
+                insert(slot.key, slot.value);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 64;
+    std::size_t size_ = 0;
+    std::size_t used_ = 0;  ///< full + tombstone slots
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_FLAT_MAP_H

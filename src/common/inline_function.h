@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only function type for hot-path
+ * continuations.
+ *
+ * Every simulated event, TLB fill, and page-walk completion is a
+ * continuation. std::function stores captures beyond its tiny
+ * small-buffer (16 bytes on libstdc++) on the heap, so the steady-state
+ * translation traffic used to pay one malloc/free pair per hop.
+ * InlineFunction fixes the buffer size per call edge (the engine knows
+ * its largest hot capture) so those continuations allocate nothing.
+ *
+ * Semantics (DESIGN.md §11, "Continuation ownership rules"):
+ *  - move-only: a continuation has exactly one owner at a time, which
+ *    is what the event queue's move-pop contract already assumed;
+ *  - moved-from means empty: operator bool() is false and invoking
+ *    panics, exactly like a std::function moved out of the queue's top;
+ *  - captures too large (or over-aligned, or throwing on move) fall
+ *    back to a single heap allocation -- correctness never depends on
+ *    the buffer size, only speed does.
+ */
+
+#ifndef MOSAIC_COMMON_INLINE_FUNCTION_H
+#define MOSAIC_COMMON_INLINE_FUNCTION_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.h"
+
+namespace mosaic {
+
+template <typename Signature, std::size_t InlineBytes>
+class InlineFunction;  // undefined; only the R(Args...) partial exists
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes>
+{
+  public:
+    /** Alignment served by the inline buffer; larger captures go to the
+     *  heap. 8 covers every capture in the simulator (pointers, Addr,
+     *  Cycles, doubles, std::function members) without padding waste. */
+    static constexpr std::size_t kAlign = alignof(void *);
+
+    static constexpr std::size_t kInlineBytes = InlineBytes;
+
+    static_assert(InlineBytes >= sizeof(void *),
+                  "buffer must hold at least the heap-fallback pointer");
+
+    /** True when a callable of type @p F is stored in the inline buffer
+     *  (exposed so tests can pin the capture-size boundary). */
+    template <typename F>
+    static constexpr bool
+    storesInline()
+    {
+        return fitsInline<std::decay_t<F>>;
+    }
+
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &kInlineOps<D>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                (D *)(new D(std::forward<F>(f)));
+            ops_ = &kHeapOps<D>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** True when a callable is held (moved-from instances are empty). */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Destroys the held callable, leaving this empty. */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** Const like std::function's: invoking never mutates the wrapper
+     *  itself, only (possibly) the held callable's captured state. */
+    R
+    operator()(Args... args) const
+    {
+        MOSAIC_ASSERT(ops_ != nullptr, "invoking an empty InlineFunction");
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
+    }
+
+  private:
+    /** Type-erased manual vtable: one static instance per callable type. */
+    struct Ops
+    {
+        R (*invoke)(void *storage, Args &&...args);
+        /** Move-constructs into @p dst from @p src and destroys @p src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    /** Inline storage also requires a noexcept move constructor: the
+     *  event queue's callback slab relocates continuations on growth,
+     *  which must not be able to fail halfway. */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= InlineBytes && alignof(F) <= kAlign &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    static R
+    inlineInvoke(void *storage, Args &&...args)
+    {
+        return (*static_cast<F *>(storage))(std::forward<Args>(args)...);
+    }
+
+    template <typename F>
+    static void
+    inlineRelocate(void *dst, void *src) noexcept
+    {
+        F *from = static_cast<F *>(src);
+        ::new (dst) F(std::move(*from));
+        from->~F();
+    }
+
+    template <typename F>
+    static void
+    inlineDestroy(void *storage) noexcept
+    {
+        static_cast<F *>(storage)->~F();
+    }
+
+    template <typename F>
+    static R
+    heapInvoke(void *storage, Args &&...args)
+    {
+        return (**static_cast<F **>(storage))(std::forward<Args>(args)...);
+    }
+
+    template <typename F>
+    static void
+    heapRelocate(void *dst, void *src) noexcept
+    {
+        // Only the owning pointer moves; the callable stays put.
+        ::new (dst) (F *)(*static_cast<F **>(src));
+    }
+
+    template <typename F>
+    static void
+    heapDestroy(void *storage) noexcept
+    {
+        delete *static_cast<F **>(storage);
+    }
+
+    template <typename F>
+    static constexpr Ops kInlineOps{&inlineInvoke<F>, &inlineRelocate<F>,
+                                    &inlineDestroy<F>};
+
+    template <typename F>
+    static constexpr Ops kHeapOps{&heapInvoke<F>, &heapRelocate<F>,
+                                  &heapDestroy<F>};
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        if (other.ops_ != nullptr) {
+            other.ops_->relocate(buf_, other.buf_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(kAlign) mutable unsigned char buf_[InlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+/**
+ * The engine-wide continuation type for void() completions: event-queue
+ * entries, MSHR waiters, cache and DRAM completion callbacks. 96 bytes
+ * covers the largest steady-state capture (a translation continuation --
+ * this, table pointer, address, and a 64-byte TranslateCallback) with
+ * room to spare; anything bigger still works via the heap fallback.
+ */
+using SimCallback = InlineFunction<void(), 96>;
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_INLINE_FUNCTION_H

@@ -69,12 +69,12 @@ DramModel::channelOf(Addr addr) const
 }
 
 void
-DramModel::access(Addr addr, bool isWrite, std::function<void()> onDone)
+DramModel::access(Addr addr, bool isWrite, SimCallback onDone)
 {
     const Decoded d = decode(addr);
     Channel &channel = channels_[d.channel];
-    channel.queue.push_back(
-        DramRequest{addr, isWrite, events_.now(), std::move(onDone)});
+    channel.queue.push_back(DramRequest{addr, isWrite, events_.now(),
+                                        d.bank, d.row, std::move(onDone)});
     ++inFlight_;
     if (isWrite)
         ++stats_.writes;
@@ -112,14 +112,14 @@ DramModel::tryDispatch(unsigned channelIdx)
         const std::size_t window =
             std::min(channel.queue.size(), config_.schedulerWindow);
         for (std::size_t i = 0; i < window; ++i) {
-            const Decoded d = decode(channel.queue[i].addr);
-            const Bank &bank = channel.banks[d.bank];
+            const DramRequest &cand = channel.queue[i];
+            const Bank &bank = channel.banks[cand.bank];
             if (bank.readyAt > now) {
                 earliest_ready = std::min(earliest_ready, bank.readyAt);
                 continue;
             }
             const bool hit =
-                bank.openRow == static_cast<std::int64_t>(d.row);
+                bank.openRow == static_cast<std::int64_t>(cand.row);
             if (hit) {
                 pick = i;
                 pick_is_hit = true;
@@ -141,8 +141,7 @@ DramModel::tryDispatch(unsigned channelIdx)
         channel.queue.erase(channel.queue.begin() +
                             static_cast<std::ptrdiff_t>(pick));
 
-        const Decoded d = decode(req.addr);
-        Bank &bank = channel.banks[d.bank];
+        Bank &bank = channel.banks[req.bank];
         const Cycles access_latency =
             pick_is_hit ? config_.rowHitCycles : config_.rowMissCycles;
         if (pick_is_hit)
@@ -158,7 +157,7 @@ DramModel::tryDispatch(unsigned channelIdx)
         const Cycles burst_start = std::max(data_ready, channel.busFreeAt);
         const Cycles done = burst_start + config_.burstCycles;
         channel.busFreeAt = done;
-        bank.openRow = static_cast<std::int64_t>(d.row);
+        bank.openRow = static_cast<std::int64_t>(req.row);
         bank.readyAt = now + (pick_is_hit ? config_.bankBusyHitCycles
                                           : config_.bankBusyMissCycles);
 
@@ -180,7 +179,7 @@ DramModel::bulkCopyCycles(Addr src, Addr dst, bool inDramCopy) const
 
 void
 DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
-                        std::function<void()> onDone)
+                        SimCallback onDone)
 {
     const unsigned src_channel = decode(src).channel;
     const unsigned dst_channel = decode(dst).channel;

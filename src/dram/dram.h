@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/stats.h"
 #include "common/stats_registry.h"
 #include "common/types.h"
@@ -68,7 +68,13 @@ struct DramRequest
     Addr addr = 0;
     bool isWrite = false;
     Cycles issued = 0;
-    std::function<void()> onDone;
+    /** Bank/row decoded once at enqueue: the FR-FCFS scan consults every
+     *  queued request each dispatch, and decode divides by runtime
+     *  config values, so re-deriving it there is the scheduler's single
+     *  largest cost. */
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    SimCallback onDone;
 };
 
 /**
@@ -102,7 +108,7 @@ class DramModel
               StatsRegistry *metrics = nullptr, Tracer *tracer = nullptr);
 
     /** Issues a line access to @p addr; @p onDone runs at completion. */
-    void access(Addr addr, bool isWrite, std::function<void()> onDone);
+    void access(Addr addr, bool isWrite, SimCallback onDone);
 
     /**
      * Copies one base page from @p src to @p dst.
@@ -114,7 +120,7 @@ class DramModel
      * within a channel), mirroring CAC's same-channel migration policy.
      */
     void bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
-                      std::function<void()> onDone);
+                      SimCallback onDone);
 
     /** Memory channel servicing @p addr (used by CAC's placement policy). */
     unsigned channelOf(Addr addr) const;

@@ -8,6 +8,20 @@
  * directly to the next event makes long stalls (e.g., PCIe far-fault
  * transfers lasting tens of microseconds) cheap to simulate.
  *
+ * Storage is split in two (DESIGN.md §11): the binary heap orders
+ * trivial 24-byte {when, seq, slot} records, while the callbacks live in
+ * a stable side slab indexed by slot. Heap sift operations therefore
+ * move three words instead of a fat callback object, and the callback
+ * type can afford a generous inline-capture buffer (SimCallback, 96
+ * bytes) without bloating every heap swap. Slots are recycled through a
+ * LIFO free list, so steady-state scheduling allocates nothing and slot
+ * reuse is deterministic.
+ *
+ * Move-pop contract: dispatch moves the callback out of its slab slot
+ * before invoking it, leaving the slot's InlineFunction empty (the
+ * moved-from state); the freed slot is reusable immediately, including
+ * by events the running callback schedules.
+ *
  * Thread-safety: an EventQueue is strictly single-threaded state. Every
  * simulation owns its own queue; concurrent simulations (SweepRunner)
  * each run on their own thread with their own EventQueue and never share
@@ -18,11 +32,11 @@
 #define MOSAIC_ENGINE_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/log.h"
 #include "common/types.h"
 
@@ -32,7 +46,7 @@ namespace mosaic {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SimCallback;
 
     /** Current simulation time in cycles. */
     Cycles now() const { return now_; }
@@ -47,13 +61,19 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
     /**
-     * Pre-sizes the underlying heap storage for @p expectedEvents
+     * Pre-sizes the heap and the callback slab for @p expectedEvents
      * concurrently-pending events. Purely a performance hint: the
      * simulation assembly knows roughly how many warps, walks, and
      * transfers can be in flight, and reserving up front avoids the
-     * doubling reallocations (and Event moves) during warm-up.
+     * doubling reallocations during warm-up.
      */
-    void reserve(std::size_t expectedEvents) { queue_.reserve(expectedEvents); }
+    void
+    reserve(std::size_t expectedEvents)
+    {
+        queue_.reserve(expectedEvents);
+        slab_.reserve(expectedEvents);
+        freeSlots_.reserve(expectedEvents);
+    }
 
     /** Current heap storage capacity (events), for tests/benchmarks. */
     std::size_t capacity() const { return queue_.capacity(); }
@@ -66,7 +86,18 @@ class EventQueue
     schedule(Cycles when, Callback fn)
     {
         MOSAIC_ASSERT(when >= now_, "scheduling event in the past");
-        queue_.push(Event{when, nextSeq_++, std::move(fn)});
+        std::uint32_t slot;
+        if (freeSlots_.empty()) {
+            // Growing: move the callback straight into the new slot
+            // instead of default-constructing and assigning over it.
+            slot = static_cast<std::uint32_t>(slab_.size());
+            slab_.push_back(std::move(fn));
+        } else {
+            slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            slab_[slot] = std::move(fn);
+        }
+        queue_.push(Event{when, nextSeq_++, slot});
     }
 
     /** Schedules @p fn to run @p delay cycles from now. */
@@ -96,9 +127,7 @@ class EventQueue
     void
     runUntil(Cycles limit)
     {
-        // Each pending event is inspected exactly once: the same top()
-        // reference serves both the time check and the move-out.
-        while (!queue_.empty() && queue_.mutableTop().when <= limit)
+        while (!queue_.empty() && queue_.top().when <= limit)
             dispatchTop();
         if (now_ < limit)
             now_ = limit;
@@ -117,7 +146,7 @@ class EventQueue
     {
         Cycles when;
         std::uint64_t seq;
-        Callback fn;
+        std::uint32_t slot;  ///< index of the callback in the slab
 
         bool
         operator>(const Event &other) const
@@ -128,37 +157,35 @@ class EventQueue
         }
     };
 
-    /**
-     * priority_queue with two protected-member escapes: a mutable view
-     * of the top element (so the hot path can move the callback out
-     * instead of copy-constructing a std::function -- a heap allocation
-     * per event for any capture beyond the small-buffer size), and
-     * reserve()/capacity() on the backing vector. Moving from the top
-     * before pop() is safe: the ordering fields (when, seq) are trivial
-     * and stay intact, so the sift-down during pop() still compares
-     * correctly; only the moved-from std::function is left empty, and it
-     * is destroyed by pop() without being invoked.
-     */
-    struct Heap : std::priority_queue<Event, std::vector<Event>, std::greater<>>
+    /** priority_queue with reserve()/capacity() on the backing vector. */
+    struct Heap
+        : std::priority_queue<Event, std::vector<Event>, std::greater<>>
     {
-        Event &mutableTop() { return c.front(); }
         void reserve(std::size_t n) { c.reserve(n); }
         std::size_t capacity() const { return c.capacity(); }
     };
+
 
     /** Pops and runs the top event. @pre !queue_.empty() */
     void
     dispatchTop()
     {
-        // The callback may schedule new events, so move it out before pop.
-        Event ev = std::move(queue_.mutableTop());
+        const Event ev = queue_.top();  // trivial 24-byte copy
         queue_.pop();
         now_ = ev.when;
         ++executed_;
-        ev.fn();
+        // Move the callback out and free its slot before invoking: the
+        // callback may schedule new events, which can then reuse the
+        // slot. The moved-from slab entry is empty per the InlineFunction
+        // contract and is simply overwritten on reuse.
+        Callback fn = std::move(slab_[ev.slot]);
+        freeSlots_.push_back(ev.slot);
+        fn();
     }
 
     Heap queue_;
+    std::vector<Callback> slab_;
+    std::vector<std::uint32_t> freeSlots_;
     Cycles now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

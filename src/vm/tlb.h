@@ -81,18 +81,14 @@ class Tlb
     void
     fillBase(AppId app, std::uint64_t baseVpn)
     {
-        const std::uint64_t k = key(app, baseVpn);
-        if (!base_.contains(k))
-            base_.insert(k);
+        base_.insertIfAbsent(key(app, baseVpn));
     }
 
     /** Installs a large-page translation (no-op if already present). */
     void
     fillLarge(AppId app, std::uint64_t largeVpn)
     {
-        const std::uint64_t k = key(app, largeVpn);
-        if (!large_.contains(k))
-            large_.insert(k);
+        large_.insertIfAbsent(key(app, largeVpn));
     }
 
     /**

@@ -1,7 +1,5 @@
 #include "vm/translation.h"
 
-#include <algorithm>
-
 namespace mosaic {
 
 namespace {
@@ -65,15 +63,14 @@ TranslationService::TranslationService(EventQueue &events,
             return l1StatsTotal().largeHits;
         });
         // Per-app breakdown: address spaces appear as they translate, so
-        // this is a dynamic labeled family (sorted for determinism).
+        // this is a dynamic labeled family (ascending ids; slots that
+        // exist only because a higher id forced a resize have zero
+        // requests and are skipped, matching the old map's key set).
         metrics->addProvider([this](StatsRegistry::Sink &sink) {
-            std::vector<AppId> ids;
-            ids.reserve(perApp_.size());
-            for (const auto &kv : perApp_)
-                ids.push_back(kv.first);
-            std::sort(ids.begin(), ids.end());
-            for (const AppId id : ids) {
-                const AppStats &s = perApp_.at(id);
+            for (std::size_t id = 0; id < perApp_.size(); ++id) {
+                const AppStats &s = perApp_[id].stats;
+                if (s.requests == 0)
+                    continue;
                 const MetricLabels labels = {
                     {"app", std::to_string(unsigned(id))}};
                 sink.counter("vm.translation.app.requests", labels,
@@ -105,7 +102,9 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
 {
     ++stats_.requests;
     const AppId app = pageTable.appId();
-    AppStats &app_stats = perApp_[app];
+    PerApp &per_app = perAppSlot(app);
+    per_app.table = &pageTable;  // learned once, used by shootdowns
+    AppStats &app_stats = per_app.stats;
     ++app_stats.requests;
 
     if (config_.idealTlb) {
@@ -194,7 +193,7 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
         const bool l2_large = l2_.lookupLarge(app, largePageNumber(va));
         if (l2_large || l2_.lookupBase(app, basePageNumber(va))) {
             ++stats_.l2Hits;
-            ++perApp_[app].l2Hits;
+            ++perApp_[app].stats.l2Hits;
             if (l2_large) {
                 l1_[sm].fillLarge(app, largePageNumber(va));
                 if (checker_ != nullptr)
@@ -215,7 +214,7 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
         }
 
         ++stats_.walksIssued;
-        ++perApp_[app].walks;
+        ++perApp_[app].stats.walks;
         walker_.requestWalk(pageTable, va,
                             [this, sm, &pageTable, va,
                              key](const Translation &result) {
@@ -260,6 +259,13 @@ TranslationService::shootdownLarge(AppId app, Addr vaLargeBase)
     for (Tlb &tlb : l1_)
         tlb.flushLarge(app, vpn);
     l2_.flushLarge(app, vpn);
+    // A splinter also rewrites the region's L3 PTE, so any page-walk
+    // cache must drop the stale upper-level line (the TLB flush alone
+    // would let the next walk short-circuit through old PTE bytes).
+    if (walker_.hasPageWalkCache() && app < perApp_.size() &&
+        perApp_[app].table != nullptr) {
+        walker_.invalidatePwcForSplinter(*perApp_[app].table, vaLargeBase);
+    }
     if (checker_ != nullptr)
         checker_->onTlbShootdownLarge(app, vpn);
 }

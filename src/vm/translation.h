@@ -14,12 +14,11 @@
 #define MOSAIC_VM_TRANSLATION_H
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/mshr.h"
 #include "check/check_sink.h"
+#include "common/inline_function.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 #include "vm/page_table.h"
@@ -53,7 +52,10 @@ struct TranslationConfig
 class TranslationService
 {
   public:
-    using TranslateCallback = std::function<void(const Translation &)>;
+    /** Translation-completion continuation. 56 inline bytes cover the
+     *  SM's retry closure (this, warp, va, retries, a std::function)
+     *  exactly; larger captures fall back to the heap, not UB. */
+    using TranslateCallback = InlineFunction<void(const Translation &), 56>;
 
     /** Cross-level statistics (Fig. 13's inputs). */
     struct Stats
@@ -130,14 +132,34 @@ class TranslationService
     AppStats
     appStats(AppId app) const
     {
-        const auto it = perApp_.find(app);
-        return it == perApp_.end() ? AppStats{} : it->second;
+        return app < perApp_.size() ? perApp_[app].stats : AppStats{};
     }
 
     /** True when configured as an ideal TLB. */
     bool ideal() const { return config_.idealTlb; }
 
   private:
+    /**
+     * Per-app slot: stats plus the app's page table, learned on first
+     * translate(). AppIds are small and dense, so a vector indexed by id
+     * replaces the unordered_map probe on every request; slots created
+     * only by resize (requests == 0) are skipped when reporting. The
+     * table pointer routes splinter shootdowns to the walker's PWC.
+     */
+    struct PerApp
+    {
+        AppStats stats;
+        const PageTable *table = nullptr;
+    };
+
+    PerApp &
+    perAppSlot(AppId app)
+    {
+        if (app >= perApp_.size())
+            perApp_.resize(static_cast<std::size_t>(app) + 1);
+        return perApp_[app];
+    }
+
     void missToL2(SmId sm, const PageTable &pageTable, Addr va);
     void fillFromWalk(SmId sm, const PageTable &pageTable, Addr va,
                       const Translation &result);
@@ -153,7 +175,7 @@ class TranslationService
     std::vector<MshrFile> mshrs_;  ///< per-SM, keyed by (app, base vpn)
     CheckSink *checker_ = nullptr;
     Stats stats_;
-    std::unordered_map<AppId, AppStats> perApp_;
+    std::vector<PerApp> perApp_;  ///< indexed by AppId
 };
 
 }  // namespace mosaic

@@ -34,59 +34,82 @@ PageTableWalker::PageTableWalker(EventQueue &events, CacheHierarchy &memory,
     }
 }
 
+PageTableWalker::Walk *
+PageTableWalker::acquireWalk()
+{
+    if (freeWalks_.empty()) {
+        pool_.push_back(std::make_unique<Walk>());
+        return pool_.back().get();
+    }
+    Walk *walk = freeWalks_.back();
+    freeWalks_.pop_back();
+    return walk;
+}
+
+void
+PageTableWalker::releaseWalk(Walk *walk)
+{
+    // onDone was moved out in finish(); the rest is overwritten on reuse.
+    freeWalks_.push_back(walk);
+}
+
 void
 PageTableWalker::requestWalk(const PageTable &pageTable, Addr va,
                              WalkCallback onDone)
 {
-    Walk walk{&pageTable, va, std::move(onDone), events_.now()};
+    Walk *walk = acquireWalk();
+    walk->pageTable = &pageTable;
+    walk->va = va;
+    walk->onDone = std::move(onDone);
+    walk->startedAt = events_.now();
+    walk->traceId = 0;
+    walk->wasQueued = false;
     if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
-        walk.traceId = traceId(TraceIdSpace::Walk, tracer_->nextId());
+        walk->traceId = traceId(TraceIdSpace::Walk, tracer_->nextId());
         tracer_->asyncBegin(
-            kTraceVm, TraceTrack::Vm, "walk", walk.traceId, walk.startedAt,
+            kTraceVm, TraceTrack::Vm, "walk", walk->traceId, walk->startedAt,
             {"va", va},
             {"app", static_cast<std::uint64_t>(pageTable.appId())});
     }
     if (active_ >= config_.maxConcurrentWalks) {
         ++stats_.queued;
-        walk.wasQueued = true;
-        queue_.push_back(std::move(walk));
+        walk->wasQueued = true;
+        queue_.push_back(walk);
         return;
     }
-    startWalk(std::move(walk));
+    startWalk(walk);
 }
 
 void
-PageTableWalker::startWalk(Walk walk)
+PageTableWalker::startWalk(Walk *walk)
 {
     ++active_;
     ++stats_.walks;
-    auto shared = std::make_shared<Walk>(std::move(walk));
-    if (shared->traceId != 0 && shared->wasQueued) {
+    if (walk->traceId != 0 && walk->wasQueued) {
         // The whole wait for a walker slot as one nested span.
         tracer_->asyncBegin(kTraceVm, TraceTrack::Vm, "walk.queued",
-                            shared->traceId, shared->startedAt);
+                            walk->traceId, walk->startedAt);
         tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "walk.queued",
-                          shared->traceId, events_.now());
+                          walk->traceId, events_.now());
     }
     // Snapshot the walk path and coalescing state at walk start; the
     // runtime never changes mappings under an in-flight access (CAC
     // stalls the GPU during compaction), so the snapshot stays valid.
-    const auto path = shared->pageTable->walkPath(shared->va);
-    const bool coalesced = shared->pageTable->isCoalesced(shared->va);
-    step(shared, path, 0, coalesced);
+    walk->path = walk->pageTable->walkPath(walk->va);
+    walk->coalesced = walk->pageTable->isCoalesced(walk->va);
+    walk->depth = 0;
+    step(walk);
 }
 
 void
-PageTableWalker::step(std::shared_ptr<Walk> walk,
-                      std::array<Addr, PageTable::kLevels> path,
-                      unsigned depth, bool coalesced)
+PageTableWalker::step(Walk *walk)
 {
-    if (depth >= PageTable::kLevels) {
+    if (walk->depth >= PageTable::kLevels) {
         finish(walk, false);
         return;
     }
 
-    const Addr pte_addr = path[depth];
+    const Addr pte_addr = walk->path[walk->depth];
     if (pte_addr == kInvalidAddr) {
         // The previous level's PTE was invalid: page fault.
         finish(walk, true);
@@ -97,24 +120,22 @@ PageTableWalker::step(std::shared_ptr<Walk> walk,
     // Upper levels (root..L3) may hit in the page-walk cache; leaf-level
     // PTEs always go to memory, as in CPU walkers.
     const bool pwc_eligible =
-        pwc_ != nullptr && depth < PageTable::kLevels - 1;
+        pwc_ != nullptr && walk->depth < PageTable::kLevels - 1;
     const std::uint64_t pte_line = pte_addr / kCacheLineSize;
     if (pwc_eligible && pwc_->access(pte_line)) {
         ++stats_.pwcHits;
-        events_.scheduleAfter(config_.pwcLatencyCycles,
-                              [this, walk, path, depth, coalesced] {
-            advanceAfterRead(walk, path, depth, coalesced);
+        events_.scheduleAfter(config_.pwcLatencyCycles, [this, walk] {
+            advanceAfterRead(walk);
         });
         return;
     }
     if (pwc_eligible)
         ++stats_.pwcMisses;
 
-    auto on_read = [this, walk, path, depth, coalesced, pwc_eligible,
-                    pte_line] {
-        if (pwc_eligible && !pwc_->contains(pte_line))
-            pwc_->insert(pte_line);
-        advanceAfterRead(walk, path, depth, coalesced);
+    auto on_read = [this, walk, pwc_eligible, pte_line] {
+        if (pwc_eligible)
+            pwc_->insertIfAbsent(pte_line);
+        advanceAfterRead(walk);
     };
     if (config_.pteInDram)
         memory_.accessDram(pte_addr, false, std::move(on_read));
@@ -123,28 +144,29 @@ PageTableWalker::step(std::shared_ptr<Walk> walk,
 }
 
 void
-PageTableWalker::advanceAfterRead(
-    std::shared_ptr<Walk> walk, std::array<Addr, PageTable::kLevels> path,
-    unsigned depth, bool coalesced)
+PageTableWalker::advanceAfterRead(Walk *walk)
 {
     if (walk->traceId != 0) {
         // Per-level latency attribution: one nested span per PTE read,
         // from issue to data return (PWC hits show as short spans).
-        tracer_->asyncBegin(kTraceVm, TraceTrack::Vm, walkLevelName(depth),
-                            walk->traceId, walk->levelStartedAt);
-        tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, walkLevelName(depth),
-                          walk->traceId, events_.now());
+        tracer_->asyncBegin(kTraceVm, TraceTrack::Vm,
+                            walkLevelName(walk->depth), walk->traceId,
+                            walk->levelStartedAt);
+        tracer_->asyncEnd(kTraceVm, TraceTrack::Vm,
+                          walkLevelName(walk->depth), walk->traceId,
+                          events_.now());
     }
     // On a coalesced region the L3 PTE (depth 2) has the large bit set;
     // the walker then reads only the first L4 PTE to obtain the large
     // frame number (paper Fig. 7). That read is the depth-3 access, after
     // which the walk completes with a large-page translation, exactly the
     // same number of accesses as a base walk but yielding 2MB reach.
-    step(std::move(walk), path, depth + 1, coalesced);
+    ++walk->depth;
+    step(walk);
 }
 
 void
-PageTableWalker::finish(const std::shared_ptr<Walk> &walk, bool faulted)
+PageTableWalker::finish(Walk *walk, bool faulted)
 {
     Translation result;
     if (!faulted)
@@ -160,14 +182,34 @@ PageTableWalker::finish(const std::shared_ptr<Walk> &walk, bool faulted)
                           {"large", result.size == PageSize::Large ? 1u : 0u});
     }
 
+    // Detach the continuation, then recycle the record before anything
+    // downstream runs: both the next queued walk and the continuation
+    // may start new walks, which can reuse this very slot. Ordering is
+    // load-bearing for determinism -- the next queued walk issues its
+    // first PTE read before the finished walk's continuation runs,
+    // exactly as the pre-pool walker did.
+    WalkCallback onDone = std::move(walk->onDone);
     --active_;
+    releaseWalk(walk);
     if (!queue_.empty()) {
-        Walk next = std::move(queue_.front());
+        Walk *next = queue_.front();
         queue_.pop_front();
-        startWalk(std::move(next));
+        startWalk(next);
     }
 
-    walk->onDone(result);
+    onDone(result);
+}
+
+void
+PageTableWalker::invalidatePwcForSplinter(const PageTable &pageTable,
+                                          Addr vaLargeBase)
+{
+    if (pwc_ == nullptr)
+        return;
+    const auto path = pageTable.walkPath(vaLargeBase);
+    const Addr l3_pte = path[PageTable::kLevels - 2];
+    if (l3_pte != kInvalidAddr)
+        pwc_->invalidate(l3_pte / kCacheLineSize);
 }
 
 }  // namespace mosaic

@@ -9,18 +9,26 @@
  * it extracts the large-page frame number (paper §4.3, Fig. 7b). An
  * optional page-walk cache can short-circuit upper-level accesses; the
  * baseline disables it in favor of a larger shared L2 TLB.
+ *
+ * Hot-path layout (DESIGN.md §11): walk state -- including the PTE path
+ * and current depth -- lives in pooled Walk records, so every per-level
+ * continuation captures only {walker, walk*} (16 bytes, always inline
+ * in SimCallback) instead of a shared_ptr plus the path array. A walk
+ * record is recycled the moment its walk finishes.
  */
 
 #ifndef MOSAIC_VM_WALKER_H
 #define MOSAIC_VM_WALKER_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
+#include <vector>
 
 #include "cache/hierarchy.h"
 #include "cache/set_assoc_cache.h"
+#include "common/inline_function.h"
 #include "common/stats.h"
 #include "common/stats_registry.h"
 #include "common/types.h"
@@ -52,7 +60,9 @@ struct WalkerConfig
 class PageTableWalker
 {
   public:
-    using WalkCallback = std::function<void(const Translation &)>;
+    /** Walk-completion continuation. 48 inline bytes cover the service's
+     *  {this, sm, table, va, key} capture without a heap fallback. */
+    using WalkCallback = InlineFunction<void(const Translation &), 48>;
 
     /** Walker statistics. */
     struct Stats
@@ -86,6 +96,18 @@ class PageTableWalker
     void requestWalk(const PageTable &pageTable, Addr va,
                      WalkCallback onDone);
 
+    /** True when a page-walk cache is attached. */
+    bool hasPageWalkCache() const { return pwc_ != nullptr; }
+
+    /**
+     * Drops the cached upper-level PTE line covering @p vaLargeBase's L3
+     * entry (a splinter rewrites that PTE's large bit, and a hardware
+     * shootdown would invalidate the stale line). No-op without a PWC.
+     * Timing-fidelity only: walk results always read the live table.
+     */
+    void invalidatePwcForSplinter(const PageTable &pageTable,
+                                  Addr vaLargeBase);
+
     /** Number of walks currently executing. */
     unsigned activeWalks() const { return active_; }
 
@@ -96,32 +118,36 @@ class PageTableWalker
     const Stats &stats() const { return stats_; }
 
   private:
+    /** One pooled walk record; per-level continuations point at it. */
     struct Walk
     {
-        const PageTable *pageTable;
-        Addr va;
+        const PageTable *pageTable = nullptr;
+        Addr va = 0;
         WalkCallback onDone;
         Cycles startedAt = 0;
         std::uint64_t traceId = 0;  ///< walk flow id (0: not traced)
         Cycles levelStartedAt = 0;  ///< current PTE read issue time
         bool wasQueued = false;
+        bool coalesced = false;
+        unsigned depth = 0;
+        std::array<Addr, PageTable::kLevels> path{};
     };
 
-    void startWalk(Walk walk);
-    void step(std::shared_ptr<Walk> walk,
-              std::array<Addr, PageTable::kLevels> path, unsigned depth,
-              bool coalesced);
-    void advanceAfterRead(std::shared_ptr<Walk> walk,
-                          std::array<Addr, PageTable::kLevels> path,
-                          unsigned depth, bool coalesced);
-    void finish(const std::shared_ptr<Walk> &walk, bool faulted);
+    Walk *acquireWalk();
+    void releaseWalk(Walk *walk);
+    void startWalk(Walk *walk);
+    void step(Walk *walk);
+    void advanceAfterRead(Walk *walk);
+    void finish(Walk *walk, bool faulted);
 
     EventQueue &events_;
     CacheHierarchy &memory_;
     WalkerConfig config_;
     Tracer *tracer_;
     unsigned active_ = 0;
-    std::deque<Walk> queue_;
+    std::deque<Walk *> queue_;
+    std::vector<std::unique_ptr<Walk>> pool_;
+    std::vector<Walk *> freeWalks_;
     std::unique_ptr<SetAssocCache> pwc_;
     Stats stats_;
 };

@@ -1,9 +1,16 @@
-/** @file Unit tests for common utilities: types, RNG, stats, tables. */
+/** @file Unit tests for common utilities: types, RNG, stats, tables,
+ *  and the translation hot path's InlineFunction / FlatMap. */
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <set>
+#include <utility>
 
+#include "common/flat_map.h"
+#include "common/inline_function.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -146,6 +153,203 @@ TEST(TextTableTest, FormatsNumbers)
 {
     EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
     EXPECT_EQ(TextTable::pct(0.5), "50.0%");
+}
+
+using TestFn = InlineFunction<int(), 16>;
+
+TEST(InlineFunctionTest, CaptureSizeBoundaryPicksInlineVsHeap)
+{
+    // Exactly at the inline budget: stays in the buffer.
+    std::array<std::uint8_t, 16> fits{};
+    fits[0] = 41;
+    auto small = [fits] { return int(fits[0]) + 1; };
+    EXPECT_TRUE(TestFn::storesInline<decltype(small)>());
+    TestFn f(std::move(small));
+    EXPECT_EQ(f(), 42);
+
+    // One byte over: falls back to the heap but behaves identically.
+    std::array<std::uint8_t, 17> big{};
+    big[16] = 6;
+    auto large = [big] { return int(big[16]) * 7; };
+    EXPECT_FALSE(TestFn::storesInline<decltype(large)>());
+    TestFn g(std::move(large));
+    EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunctionTest, OverAlignedCaptureFallsBackToHeap)
+{
+    // Small enough for the buffer, but over-aligned for it: the inline
+    // path would misalign the capture, so it must go to the heap.
+    using BigFn = InlineFunction<int(), 64>;
+    struct alignas(32) Wide
+    {
+        int v;
+    };
+    Wide w{42};
+    auto fn = [w] { return w.v; };
+    static_assert(sizeof(fn) <= BigFn::kInlineBytes);
+    static_assert(alignof(decltype(fn)) > BigFn::kAlign);
+    EXPECT_FALSE(BigFn::storesInline<decltype(fn)>());
+    BigFn f(fn);
+    EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunctionTest, MovedFromIsEmptyAndReusableLikeAQueueSlot)
+{
+    // The EventQueue's dispatch path moves the callback out of its slab
+    // slot and later overwrites the slot with a fresh callable; this
+    // pins the contract that pattern relies on.
+    TestFn a = [] { return 1; };
+    TestFn b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(b(), 1);
+
+    a = [] { return 2; };  // overwrite the moved-from slot
+    EXPECT_EQ(a(), 2);
+
+    b = std::move(a);  // move-assign over a live callable destroys it
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_EQ(b(), 2);
+}
+
+TEST(InlineFunctionTest, DestroysCapturedStateInlineAndOnHeap)
+{
+    // Non-const on purpose: capturing a const shared_ptr gives the
+    // lambda a const member, whose "move" is a copy.
+    auto held = std::make_shared<int>(7);
+
+    {
+        auto probe = [held] { return *held; };
+        EXPECT_TRUE(
+            (InlineFunction<int(), 32>::storesInline<decltype(probe)>()));
+        InlineFunction<int(), 32> inline_fn(std::move(probe));
+        EXPECT_EQ(held.use_count(), 2);
+        EXPECT_EQ(inline_fn(), 7);
+    }
+    EXPECT_EQ(held.use_count(), 1);
+
+    {
+        std::array<std::uint8_t, 64> pad{};
+        InlineFunction<int(), 32> heap_fn(
+            [held, pad] { return *held + pad[0]; });
+        EXPECT_EQ(held.use_count(), 2);
+        EXPECT_EQ(heap_fn(), 7);
+
+        // Relocation (the slab-growth path) must not duplicate or drop
+        // the captured state.
+        InlineFunction<int(), 32> moved = std::move(heap_fn);
+        EXPECT_EQ(held.use_count(), 2);
+        EXPECT_EQ(moved(), 7);
+    }
+    EXPECT_EQ(held.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, ResetReleasesStateAndEmptiesTheFunction)
+{
+    auto held = std::make_shared<int>(3);
+    InlineFunction<void(), 32> fn([held] {});
+    EXPECT_EQ(held.use_count(), 2);
+    fn.reset();
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_EQ(held.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, ForwardsArgumentsAndReturnsValues)
+{
+    InlineFunction<std::uint64_t(std::uint64_t, std::uint64_t), 16> add(
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(add(40, 2), 42u);
+}
+
+TEST(FlatMapTest, InsertFindErase)
+{
+    FlatMap<std::uint32_t> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(5), nullptr);
+
+    map.insert(5, 50);
+    map.insert(6, 60);
+    ASSERT_NE(map.find(5), nullptr);
+    EXPECT_EQ(*map.find(5), 50u);
+    EXPECT_EQ(*map.find(6), 60u);
+    EXPECT_EQ(map.size(), 2u);
+
+    EXPECT_TRUE(map.erase(5));
+    EXPECT_FALSE(map.erase(5));
+    EXPECT_EQ(map.find(5), nullptr);
+    EXPECT_EQ(*map.find(6), 60u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, GrowthRehashKeepsEveryEntryFindable)
+{
+    FlatMap<std::uint64_t> map;
+    constexpr std::uint64_t kEntries = 1000;
+    for (std::uint64_t i = 0; i < kEntries; ++i)
+        map.insert(i * 0x10001, i);
+    EXPECT_EQ(map.size(), kEntries);
+    for (std::uint64_t i = 0; i < kEntries; ++i) {
+        const std::uint64_t *v = map.find(i * 0x10001);
+        ASSERT_NE(v, nullptr) << "key " << i;
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(FlatMapTest, TombstoneChurnDoesNotGrowTheTable)
+{
+    // MSHR-style workload: every entry is erased soon after insertion.
+    // Tombstones must be purged by same-size rehashes, not answered
+    // with capacity doubling.
+    FlatMap<std::uint32_t> map(16);
+    const std::size_t cap = map.capacity();
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        map.insert(i, std::uint32_t(i));
+        EXPECT_TRUE(map.erase(i));
+    }
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatMapTest, ClearRetainsCapacity)
+{
+    FlatMap<std::uint32_t> map;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        map.insert(i, std::uint32_t(i));
+    const std::size_t cap = map.capacity();
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.find(1), nullptr);
+    map.insert(1, 11);
+    EXPECT_EQ(*map.find(1), 11u);
+}
+
+TEST(FlatMapTest, CollidingKeysProbeLinearly)
+{
+    // Craft keys that all hash to one home slot by inverting the
+    // multiply-shift hash (the constant is odd, hence invertible mod
+    // 2^64), then verify linear probing keeps every one reachable.
+    constexpr std::uint64_t kHashMul = 0x9e3779b97f4a7c15ull;
+    std::uint64_t inv = 1;
+    for (int i = 0; i < 6; ++i)
+        inv *= 2 - kHashMul * inv;  // Newton iteration: inv * mul == 1
+    ASSERT_EQ(inv * kHashMul, 1u);
+
+    FlatMap<std::uint32_t> map(8);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < 5; ++i)
+        keys.push_back(((3ull << 60) + i) * inv);  // hash = 3<<60 | i
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        map.insert(keys[i], std::uint32_t(i));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_NE(map.find(keys[i]), nullptr);
+        EXPECT_EQ(*map.find(keys[i]), i);
+    }
+    EXPECT_TRUE(map.erase(keys[2]));  // tombstone mid-chain
+    EXPECT_EQ(map.find(keys[2]), nullptr);
+    ASSERT_NE(map.find(keys[4]), nullptr);  // probes past the tombstone
+    EXPECT_EQ(*map.find(keys[4]), 4u);
 }
 
 }  // namespace

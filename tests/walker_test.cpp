@@ -152,6 +152,133 @@ TEST(WalkerTest, PageWalkCacheShortensRepeatWalks)
     EXPECT_GE(walker.stats().pwcHits, 3u);
 }
 
+TEST(WalkerTest, PwcCountsMissesOnColdUpperLevelsAndHitsOnRepeat)
+{
+    WalkRig rig;
+    WalkerConfig cfg;
+    cfg.usePageWalkCache = true;
+    auto walker = rig.makeWalker(cfg);
+    EXPECT_TRUE(walker.hasPageWalkCache());
+    // Two base pages under the same leaf node: the three upper-level PTE
+    // lines are identical between the two walks.
+    rig.pt.mapBasePage(0x10000, 0x20000);
+    rig.pt.mapBasePage(0x11000, 0x21000);
+
+    walker.requestWalk(rig.pt, 0x10000, [](const Translation &) {});
+    rig.ev.runAll();
+    // Cold PWC: the three eligible upper levels all miss; the leaf PTE
+    // is never PWC-eligible, so it contributes to neither counter.
+    EXPECT_EQ(walker.stats().pwcMisses, 3u);
+    EXPECT_EQ(walker.stats().pwcHits, 0u);
+
+    walker.requestWalk(rig.pt, 0x11000, [](const Translation &) {});
+    rig.ev.runAll();
+    EXPECT_EQ(walker.stats().pwcHits, 3u);
+    EXPECT_EQ(walker.stats().pwcMisses, 3u);
+}
+
+TEST(WalkerTest, PwcNeverShortCircuitsLeafLevel)
+{
+    WalkRig rig;
+    WalkerConfig cfg;
+    cfg.usePageWalkCache = true;
+    auto walker = rig.makeWalker(cfg);
+    rig.pt.mapBasePage(0x10000, 0x20000);
+
+    walker.requestWalk(rig.pt, 0x10000, [](const Translation &) {});
+    rig.ev.runAll();
+    const std::uint64_t reads_after_first = rig.dram.stats().reads;
+
+    // Walking the exact same VA again: upper levels short-circuit via
+    // the PWC, but the leaf PTE must still be read from memory.
+    walker.requestWalk(rig.pt, 0x10000, [](const Translation &) {});
+    rig.ev.runAll();
+    EXPECT_EQ(rig.dram.stats().reads - reads_after_first, 1u);
+    EXPECT_EQ(walker.stats().pwcHits, 3u);
+}
+
+TEST(WalkerTest, CoalescedWalkReadsFourLevelsAndSharesUpperPwcLines)
+{
+    WalkRig rig;
+    WalkerConfig cfg;
+    cfg.usePageWalkCache = true;
+    auto walker = rig.makeWalker(cfg);
+    const Addr va = 9ull << kLargePageBits;
+    const Addr pa = 11ull << kLargePageBits;
+    for (std::uint64_t i = 0; i < kBasePagesPerLargePage; ++i)
+        rig.pt.mapBasePage(va + i * kBasePageSize, pa + i * kBasePageSize);
+    rig.pt.coalesce(va);
+
+    // A coalesced walk reads the same four levels as a base walk: three
+    // upper PTEs (the L3 one carrying the large bit) plus one L4 PTE
+    // for the frame number (paper Fig. 7) -- coalescing changes what
+    // the bits mean, not how many accesses the walk makes.
+    Translation first;
+    walker.requestWalk(rig.pt, va + 17 * kBasePageSize,
+                       [&](const Translation &t) { first = t; });
+    rig.ev.runAll();
+    EXPECT_EQ(rig.dram.stats().reads, 4u);
+    ASSERT_TRUE(first.valid);
+    EXPECT_EQ(first.size, PageSize::Large);
+
+    // Another page of the same region: upper levels (including the L3
+    // large-bit PTE) hit the PWC, so only its own L4 PTE is read.
+    Translation second;
+    walker.requestWalk(rig.pt, va + 200 * kBasePageSize,
+                       [&](const Translation &t) { second = t; });
+    rig.ev.runAll();
+    EXPECT_EQ(rig.dram.stats().reads, 5u);
+    EXPECT_EQ(walker.stats().pwcHits, 3u);
+    ASSERT_TRUE(second.valid);
+    EXPECT_EQ(second.size, PageSize::Large);
+    EXPECT_EQ(walker.stats().largeResults, 2u);
+}
+
+TEST(WalkerTest, SplinterInvalidatesExactlyTheL3PwcLine)
+{
+    WalkRig rig;
+    WalkerConfig cfg;
+    cfg.usePageWalkCache = true;
+    auto walker = rig.makeWalker(cfg);
+    const Addr va = 5ull << kLargePageBits;
+    const Addr pa = 7ull << kLargePageBits;
+    for (std::uint64_t i = 0; i < kBasePagesPerLargePage; ++i)
+        rig.pt.mapBasePage(va + i * kBasePageSize, pa + i * kBasePageSize);
+    rig.pt.coalesce(va);
+
+    walker.requestWalk(rig.pt, va, [](const Translation &) {});
+    rig.ev.runAll();
+    ASSERT_EQ(walker.stats().pwcMisses, 3u);
+
+    // A splinter rewrites the region's L3 PTE; the stale PWC line must
+    // go, or the next walk would short-circuit through old PTE bytes.
+    rig.pt.splinter(va);
+    walker.invalidatePwcForSplinter(rig.pt, va);
+
+    Translation after;
+    walker.requestWalk(rig.pt, va, [&](const Translation &t) { after = t; });
+    rig.ev.runAll();
+    // Root and L2 lines survive (2 hits); the invalidated L3 line
+    // misses and re-reads memory, as does the always-uncached leaf.
+    EXPECT_EQ(walker.stats().pwcHits, 2u);
+    EXPECT_EQ(walker.stats().pwcMisses, 4u);
+    EXPECT_EQ(rig.dram.stats().reads, 6u);
+    ASSERT_TRUE(after.valid);
+    EXPECT_EQ(after.size, PageSize::Base);
+}
+
+TEST(WalkerTest, NoPwcByDefault)
+{
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    EXPECT_FALSE(walker.hasPageWalkCache());
+    rig.pt.mapBasePage(0x4000, 0x8000);
+    walker.requestWalk(rig.pt, 0x4000, [](const Translation &) {});
+    rig.ev.runAll();
+    EXPECT_EQ(walker.stats().pwcHits, 0u);
+    EXPECT_EQ(walker.stats().pwcMisses, 0u);
+}
+
 TEST(WalkerTest, LatencyHistogramPopulated)
 {
     WalkRig rig;

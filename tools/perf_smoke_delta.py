@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""CI perf smoke: sanity-check benchmark JSON and print deltas.
+
+Usage: perf_smoke_delta.py BENCH_hotpath.json NAME=RESULT.json [NAME=RESULT.json ...]
+
+Each RESULT.json is a google-benchmark --benchmark_format=json output;
+NAME selects the matching section of BENCH_hotpath.json (the committed
+reference numbers). The script fails if a result file is not valid JSON,
+has no benchmarks, or reports a non-positive items_per_second -- i.e. the
+bench did not actually run. It never fails on slow numbers: CI machines
+vary too much for a hard threshold, so deltas are informational.
+"""
+
+import json
+import sys
+
+
+def load_items(path):
+    with open(path) as f:
+        data = json.load(f)
+    benches = data.get("benchmarks", [])
+    items = {
+        b["name"]: b["items_per_second"]
+        for b in benches
+        if "items_per_second" in b and not b["name"].endswith(("_mean", "_median", "_stddev", "_cv"))
+    }
+    if not items:
+        sys.exit(f"{path}: no benchmarks with items_per_second -- bench did not run?")
+    for name, rate in items.items():
+        if not rate > 0:
+            sys.exit(f"{path}: {name} reports items_per_second={rate}")
+    return items
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    with open(argv[1]) as f:
+        reference = json.load(f)
+
+    for spec in argv[2:]:
+        name, _, path = spec.partition("=")
+        items = load_items(path)
+        ref = reference.get(name, {})
+        print(f"== {name} ({len(items)} benchmarks) vs committed reference ==")
+        for bench, rate in items.items():
+            committed = ref.get(bench, {}).get("post_items_per_second")
+            if committed:
+                delta = (rate / committed - 1) * 100
+                print(f"  {bench}: {rate:.3e} items/s ({delta:+.1f}% vs reference {committed:.3e})")
+            else:
+                print(f"  {bench}: {rate:.3e} items/s (no committed reference)")
+    print("perf smoke OK (deltas are informational; no threshold gate)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
