@@ -6,15 +6,23 @@ namespace mosaic {
 
 CacheHierarchy::CacheHierarchy(EventQueue &events, DramModel &dram,
                                const CacheHierarchyConfig &config,
-                               StatsRegistry *metrics)
-    : events_(events), dram_(dram), config_(config)
+                               StatsRegistry *metrics, LaneRouter *router)
+    : events_(events), dram_(dram), config_(config), router_(router),
+      smStats_(config.numSms)
 {
     if (metrics != nullptr) {
-        metrics->bindCounter("cache.l1.accesses", stats_.l1Accesses);
-        metrics->bindCounter("cache.l1.hits", stats_.l1Hits);
-        metrics->bindCounter("cache.l2.accesses", stats_.l2Accesses);
-        metrics->bindCounter("cache.l2.hits", stats_.l2Hits);
-        metrics->bindCounter("cache.writebacks", stats_.writebacks);
+        // SM-side counters live in per-SM slices (see SmStats) and are
+        // summed on demand, so the bindings are functions, not refs.
+        metrics->bindCounterFn("cache.l1.accesses",
+                               [this] { return stats().l1Accesses; });
+        metrics->bindCounterFn("cache.l1.hits",
+                               [this] { return stats().l1Hits; });
+        metrics->bindCounterFn("cache.l2.accesses",
+                               [this] { return stats().l2Accesses; });
+        metrics->bindCounterFn("cache.l2.hits",
+                               [this] { return stats().l2Hits; });
+        metrics->bindCounterFn("cache.writebacks",
+                               [this] { return stats().writebacks; });
     }
     const std::size_t l1_lines = config_.l1Bytes / kCacheLineSize;
     const std::size_t l1_sets = std::max<std::size_t>(
@@ -45,11 +53,12 @@ CacheHierarchy::access(SmId sm, Addr paddr, bool isWrite, Callback onDone)
     const std::uint64_t line = lineOf(paddr);
     SetAssocCache &l1 = l1Tags_[sm];
     MshrFile &mshr = l1Mshrs_[sm];
+    EventQueue &lane = router_ != nullptr ? router_->laneQueue(sm) : events_;
 
-    ++stats_.l1Accesses;
+    ++smStats_[sm].l1Accesses;
     if (l1.access(line, isWrite)) {
-        ++stats_.l1Hits;
-        events_.scheduleAfter(config_.l1LatencyCycles, std::move(onDone));
+        ++smStats_[sm].l1Hits;
+        lane.scheduleAfter(config_.l1LatencyCycles, std::move(onDone));
         return;
     }
 
@@ -59,26 +68,67 @@ CacheHierarchy::access(SmId sm, Addr paddr, bool isWrite, Callback onDone)
 
     // Forward to the shared L2 across the interconnect; on fill, install
     // the line in the L1 and release every merged waiter.
+    if (router_ != nullptr) {
+        // Both interconnect hops cross lanes at their natural cycles:
+        // the miss lands on the hub at lane-now + hop, and the response
+        // lands back on the lane at hub-now + hop, which is always in a
+        // later window (the hop is >= the lookahead window).
+        router_->toHub(sm, lane.now() + config_.interconnectCycles,
+                       [this, sm, line, isWrite] {
+            accessL2Line(line, isWrite, [this, sm, line, isWrite] {
+                router_->toSm(sm, events_.now() + config_.interconnectCycles,
+                              [this, sm, line, isWrite] {
+                    installL1Fill(sm, line, isWrite);
+                });
+            });
+        });
+        return;
+    }
     events_.scheduleAfter(config_.interconnectCycles, [this, sm, line,
                                                        isWrite] {
         accessL2Line(line, isWrite, [this, sm, line, isWrite] {
             events_.scheduleAfter(config_.interconnectCycles, [this, sm,
                                                                line,
                                                                isWrite] {
-                SetAssocCache &l1_tags = l1Tags_[sm];
-                if (!l1_tags.contains(line)) {
-                    // Write-allocate: a write miss installs dirty.
-                    auto victim = l1_tags.insert(line, isWrite);
-                    if (victim && victim->dirty) {
-                        ++stats_.writebacks;
-                        // Write back through the L2 (fire and forget).
-                        accessL2Line(victim->key, true, [] {});
-                    }
-                }
-                l1Mshrs_[sm].fill(line);
+                installL1Fill(sm, line, isWrite);
             });
         });
     });
+}
+
+void
+CacheHierarchy::installL1Fill(SmId sm, std::uint64_t line, bool isWrite)
+{
+    SetAssocCache &l1_tags = l1Tags_[sm];
+    if (!l1_tags.contains(line)) {
+        // Write-allocate: a write miss installs dirty.
+        auto victim = l1_tags.insert(line, isWrite);
+        if (victim && victim->dirty) {
+            ++smStats_[sm].writebacks;
+            // Write back through the L2 (fire and forget). The L2 is
+            // hub-side, so the sharded path crosses lanes.
+            if (router_ != nullptr) {
+                router_->callHub(sm, [this, key = victim->key] {
+                    accessL2Line(key, true, [] {});
+                });
+            } else {
+                accessL2Line(victim->key, true, [] {});
+            }
+        }
+    }
+    l1Mshrs_[sm].fill(line);
+}
+
+CacheHierarchy::Stats
+CacheHierarchy::stats() const
+{
+    Stats total = stats_;  // shared side: l2Accesses/l2Hits/L2 victims
+    for (const SmStats &s : smStats_) {
+        total.l1Accesses += s.l1Accesses;
+        total.l1Hits += s.l1Hits;
+        total.writebacks += s.writebacks;
+    }
+    return total;
 }
 
 void

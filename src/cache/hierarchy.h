@@ -25,6 +25,7 @@
 #include "common/types.h"
 #include "dram/dram.h"
 #include "engine/event_queue.h"
+#include "engine/lane_router.h"
 
 namespace mosaic {
 
@@ -73,10 +74,17 @@ class CacheHierarchy
     /**
      * @param metrics when non-null, hit/miss counters register under
      *                "cache.*" at construction (DESIGN.md §8).
+     * @param router  when non-null, the hierarchy runs under the sharded
+     *                engine: access() executes on the requesting SM's
+     *                lane (L1 tags + L1 MSHRs are lane-local) and every
+     *                L1<->L2 interconnect hop crosses lanes through the
+     *                router at its natural cycle. Null (the default)
+     *                keeps the classic serial behavior byte-identical.
      */
     CacheHierarchy(EventQueue &events, DramModel &dram,
                    const CacheHierarchyConfig &config,
-                   StatsRegistry *metrics = nullptr);
+                   StatsRegistry *metrics = nullptr,
+                   LaneRouter *router = nullptr);
 
     /** SM data access: L1 -> L2 -> DRAM. */
     void access(SmId sm, Addr paddr, bool isWrite, Callback onDone);
@@ -87,8 +95,8 @@ class CacheHierarchy
     /** Uncached access that goes straight to DRAM (walker PTE reads). */
     void accessDram(Addr paddr, bool isWrite, Callback onDone);
 
-    /** Statistics. */
-    const Stats &stats() const { return stats_; }
+    /** Statistics, summed over the shared side and every SM slice. */
+    Stats stats() const;
 
     /** Configuration. */
     const CacheHierarchyConfig &config() const { return config_; }
@@ -103,6 +111,15 @@ class CacheHierarchy
         explicit L2Bank(std::size_t mshrs) : mshr(mshrs) {}
     };
 
+    /** SM-side counters, one slice per SM so concurrent lanes never
+     *  share a cache line; totals are summed on demand. */
+    struct alignas(64) SmStats
+    {
+        std::uint64_t l1Accesses = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t writebacks = 0;  ///< dirty L1 victims
+    };
+
     std::uint64_t lineOf(Addr paddr) const { return paddr / kCacheLineSize; }
     unsigned bankOf(std::uint64_t line) const { return line % config_.l2Banks; }
 
@@ -112,14 +129,19 @@ class CacheHierarchy
      */
     void accessL2Line(std::uint64_t line, bool isWrite, Callback onDone);
 
+    /** Installs a filled line in @p sm's L1 and wakes merged waiters. */
+    void installL1Fill(SmId sm, std::uint64_t line, bool isWrite);
+
     EventQueue &events_;
     DramModel &dram_;
     CacheHierarchyConfig config_;
+    LaneRouter *router_;
 
     std::vector<SetAssocCache> l1Tags_;
     std::vector<MshrFile> l1Mshrs_;
     std::vector<L2Bank> l2Banks_;
-    Stats stats_;
+    Stats stats_;               ///< shared side: l2Accesses/l2Hits/L2 victims
+    std::vector<SmStats> smStats_;
 };
 
 }  // namespace mosaic

@@ -60,6 +60,20 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Sentinel for nextEventAt() when the queue is empty. */
+    static constexpr Cycles kNoEvent = ~Cycles{0};
+
+    /**
+     * Timestamp of the earliest pending event, or kNoEvent when empty.
+     * The sharded engine's epoch scheduler uses this to skip windows in
+     * which no lane has work (long PCIe transfers, DRAM stalls).
+     */
+    Cycles
+    nextEventAt() const
+    {
+        return queue_.empty() ? kNoEvent : queue_.top().when;
+    }
+
     /**
      * Pre-sizes the heap and the callback slab for @p expectedEvents
      * concurrently-pending events. Purely a performance hint: the

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cross-lane event routing interface for the sharded engine.
+ *
+ * The sharded engine (DESIGN.md §12) partitions a simulation into one
+ * event-queue *lane* per SM plus a single *hub* lane that owns every
+ * shared component (L2 TLB + walker, L2 cache banks, DRAM, PCIe bus,
+ * demand pager back-end, memory managers, page tables, runner
+ * bookkeeping). SM lanes tick concurrently inside a conservative
+ * lookahead window; the hub lane then runs the same window serially.
+ * Any event whose producer and consumer live on different lanes must
+ * cross through this router so the exchange can order it canonically.
+ *
+ * Components hold a `LaneRouter *` that is null in the classic serial
+ * engine. Null means "take the legacy inline path" — a predictable
+ * branch, no virtual call, byte-identical behavior to the pre-sharding
+ * engine. Only sharded runs pay for routing.
+ *
+ * Delivery semantics (see ShardedEngine for the ordering contract):
+ *  - toHub(src, when, fn):  schedule fn on the hub queue at absolute
+ *    cycle `when` (>= the SM lane's current window). Runs at exactly
+ *    `when` because the hub executes its window after all SM lanes.
+ *  - callHub(src, fn):      hub-side work with no further timing of its
+ *    own (stat pokes, termination bookkeeping). Runs during the hub
+ *    phase of the current window, ordered by (cycle, lane, sequence).
+ *  - toSm(sm, when, fn):    schedule fn on an SM lane at absolute cycle
+ *    `when`, which must land in a *future* window (when >= windowEnd).
+ *    Cross-lane latencies >= the window size guarantee this.
+ *  - callSm(sm, fn):        SM-side completion whose legacy counterpart
+ *    was a synchronous call from hub code (L1 TLB fill on an L2 hit,
+ *    MSHR wakeups, pager wake, SM start). Deferred to the start of the
+ *    next window — a bounded, deterministic timing drift of at most one
+ *    window, independent of worker count.
+ */
+
+#ifndef MOSAIC_ENGINE_LANE_ROUTER_H
+#define MOSAIC_ENGINE_LANE_ROUTER_H
+
+#include "common/types.h"
+#include "engine/event_queue.h"
+
+namespace mosaic {
+
+/** Routes events between SM lanes and the hub lane. */
+class LaneRouter
+{
+  public:
+    virtual ~LaneRouter() = default;
+
+    /** Event queue owned by SM lane @p sm. */
+    virtual EventQueue &laneQueue(SmId sm) = 0;
+
+    /** Event queue owned by the hub lane (shared components). */
+    virtual EventQueue &hubQueue() = 0;
+
+    /** SM lane -> hub, timed: runs at absolute cycle @p when. */
+    virtual void toHub(SmId srcSm, Cycles when, SimCallback fn) = 0;
+
+    /** SM lane -> hub, untimed: runs during this window's hub phase. */
+    virtual void callHub(SmId srcSm, SimCallback fn) = 0;
+
+    /** Hub -> SM lane, timed: @p when must be >= the next window start. */
+    virtual void toSm(SmId sm, Cycles when, SimCallback fn) = 0;
+
+    /** Hub -> SM lane, untimed: runs at the start of the next window. */
+    virtual void callSm(SmId sm, SimCallback fn) = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_ENGINE_LANE_ROUTER_H

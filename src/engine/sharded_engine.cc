@@ -1,0 +1,209 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace mosaic {
+
+ShardedEngine::ShardedEngine(unsigned numSms, unsigned workers)
+    : lanes_(numSms)
+{
+    MOSAIC_ASSERT(numSms > 0, "sharded engine needs at least one SM lane");
+    unsigned n = std::max(1u, std::min(workers, numSms));
+    threads_.reserve(n - 1);
+    for (unsigned i = 0; i + 1 < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ShardedEngine::toHub(SmId srcSm, Cycles when, SimCallback fn)
+{
+    Lane &lane = lanes_[srcSm];
+    MOSAIC_ASSERT(when >= lane.queue.now(), "toHub message in the past");
+    lane.outbox.push_back(OutMsg{when, std::move(fn)});
+}
+
+void
+ShardedEngine::callHub(SmId srcSm, SimCallback fn)
+{
+    Lane &lane = lanes_[srcSm];
+    lane.outbox.push_back(OutMsg{lane.queue.now(), std::move(fn)});
+}
+
+void
+ShardedEngine::toSm(SmId sm, Cycles when, SimCallback fn)
+{
+    // Only valid during the hub phase; delivery checks the window bound.
+    hubOutbox_.push_back(HubMsg{sm, false, when, std::move(fn)});
+}
+
+void
+ShardedEngine::callSm(SmId sm, SimCallback fn)
+{
+    hubOutbox_.push_back(HubMsg{sm, true, 0, std::move(fn)});
+}
+
+void
+ShardedEngine::addBarrierHook(std::function<void()> hook)
+{
+    barrierHooks_.push_back(std::move(hook));
+}
+
+bool
+ShardedEngine::anyWork() const
+{
+    if (!hub_.empty())
+        return true;
+    for (const Lane &lane : lanes_)
+        if (!lane.queue.empty())
+            return true;
+    return false;
+}
+
+void
+ShardedEngine::run(Cycles maxCycles, const std::function<bool()> &finished)
+{
+    while (!finished() && windowStart_ < maxCycles && anyWork())
+        runEpoch();
+}
+
+void
+ShardedEngine::drain()
+{
+    while (anyWork())
+        runEpoch();
+}
+
+void
+ShardedEngine::runEpoch()
+{
+    const Cycles windowEnd = windowStart_ + kWindowCycles;
+
+    // 1. SM phase: lanes run [windowStart_, windowEnd) concurrently.
+    smPhase(windowEnd - 1);
+
+    // 2. Barrier hooks (checker flushes, epoch sweeps).
+    for (auto &hook : barrierHooks_)
+        hook();
+
+    // 3. Exchange: merge outboxes into the hub queue in canonical
+    //    (cycle, source lane, source sequence) order. The hub queue's
+    //    own (when, seq) tie-break then preserves exactly this order,
+    //    whatever thread produced each message.
+    mergeScratch_.clear();
+    for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
+        const auto &outbox = lanes_[l].outbox;
+        for (std::uint32_t i = 0; i < outbox.size(); ++i)
+            mergeScratch_.push_back(MergeKey{outbox[i].when, l, i});
+    }
+    std::sort(mergeScratch_.begin(), mergeScratch_.end(),
+              [](const MergeKey &a, const MergeKey &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.lane != b.lane)
+                      return a.lane < b.lane;
+                  return a.idx < b.idx;
+              });
+    for (const MergeKey &key : mergeScratch_)
+        hub_.schedule(key.when, std::move(lanes_[key.lane].outbox[key.idx].fn));
+    for (Lane &lane : lanes_)
+        lane.outbox.clear();
+
+    // 4. Hub phase: shared components run the same window serially.
+    hub_.runUntil(windowEnd - 1);
+
+    // 5. Delivery: hub -> SM messages, in hub execution order (which is
+    //    deterministic because the hub phase is serial).
+    for (HubMsg &msg : hubOutbox_) {
+        if (msg.deferred) {
+            lanes_[msg.sm].queue.schedule(windowEnd, std::move(msg.fn));
+        } else {
+            MOSAIC_ASSERT(msg.when >= windowEnd,
+                          "hub->SM message violates the lookahead window");
+            lanes_[msg.sm].queue.schedule(msg.when, std::move(msg.fn));
+        }
+    }
+    hubOutbox_.clear();
+
+    // 6. Advance, skipping whole windows with no pending events. The
+    //    jump depends only on queue contents, so it is identical for
+    //    every worker count.
+    Cycles next = hub_.nextEventAt();
+    for (const Lane &lane : lanes_)
+        next = std::min(next, lane.queue.nextEventAt());
+    windowStart_ = windowEnd;
+    if (next != EventQueue::kNoEvent && next > windowEnd)
+        windowStart_ = std::max(windowEnd, roundDown(next, kWindowCycles));
+    ++epochs_;
+}
+
+void
+ShardedEngine::smPhase(Cycles limit)
+{
+    if (threads_.empty()) {
+        laneCursor_.store(0, std::memory_order_relaxed);
+        runLanes(limit);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        laneCursor_.store(0, std::memory_order_relaxed);
+        laneLimit_ = limit;
+        pendingWorkers_ = static_cast<unsigned>(threads_.size());
+        ++epochGen_;
+    }
+    cv_.notify_all();
+    runLanes(limit);
+    std::unique_lock<std::mutex> lk(m_);
+    cvDone_.wait(lk, [this] { return pendingWorkers_ == 0; });
+}
+
+void
+ShardedEngine::runLanes(Cycles limit)
+{
+    const unsigned n = static_cast<unsigned>(lanes_.size());
+    for (;;) {
+        unsigned i = laneCursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            return;
+        lanes_[i].queue.runUntil(limit);
+    }
+}
+
+void
+ShardedEngine::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Cycles limit;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_.wait(lk, [&] { return epochGen_ != seen || stop_; });
+            if (stop_)
+                return;
+            seen = epochGen_;
+            limit = laneLimit_;
+        }
+        runLanes(limit);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (--pendingWorkers_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+}  // namespace mosaic

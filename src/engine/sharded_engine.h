@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Sharded event engine: deterministic intra-simulation parallelism.
+ *
+ * One simulation is partitioned into `numSms` SM lanes plus one hub
+ * lane (DESIGN.md §12). Each lane owns a private EventQueue. Time
+ * advances in fixed conservative windows of kWindowCycles:
+ *
+ *   1. SM phase    — all SM lanes run [T, T+W) concurrently on a worker
+ *                    pool. Cross-lane sends are appended to per-lane
+ *                    outboxes, never delivered directly.
+ *   2. barrier     — hooks run (deferred checker notifications, epoch
+ *                    invariant sweeps).
+ *   3. exchange    — SM->hub messages merge into the hub queue in
+ *                    canonical (cycle, source lane, source sequence)
+ *                    order, which is independent of worker scheduling.
+ *   4. hub phase   — the hub lane runs [T, T+W) serially (L2 TLB,
+ *                    walker, L2 cache, DRAM, PCIe, pager, managers).
+ *   5. delivery    — hub->SM messages are scheduled onto their target
+ *                    lanes: timed sends at their natural cycle (always
+ *                    >= T+W because every cross-boundary latency is
+ *                    >= W), deferred calls at exactly T+W.
+ *   6. advance     — T jumps to max(T+W, floor(earliest pending event
+ *                    / W) * W), so idle stretches (PCIe transfers,
+ *                    drained queues) cost nothing. The jump is a pure
+ *                    function of queue state, hence deterministic.
+ *
+ * The window size W equals the minimum latency of any lane-crossing
+ * interaction (the SM<->L2 interconnect hop, 8 cycles; the L2 TLB probe
+ * path is strictly longer), so an event produced in window k can never
+ * need to run in window k on another lane: one-window lookahead is
+ * always safe.
+ *
+ * Determinism: every per-lane computation depends only on that lane's
+ * queue, and every cross-lane transfer is ordered canonically at a
+ * barrier. The worker count N therefore changes wall-clock time only;
+ * results for N in {1, 2, 4, 8, ...} are byte-identical.
+ *
+ * Thread-safety: lanes hand between threads exclusively through the
+ * epoch mutex (publish epoch -> workers run disjoint lanes -> ack under
+ * the same mutex), so every lane access is ordered by a lock
+ * acquisition chain and the engine is clean under TSan. The hub phase
+ * and all barrier hooks run on the coordinating thread while workers
+ * are parked, so hub code may touch SM-side state directly (TLB
+ * shootdowns, stallAll) without data races.
+ */
+
+#ifndef MOSAIC_ENGINE_SHARDED_ENGINE_H
+#define MOSAIC_ENGINE_SHARDED_ENGINE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/event_queue.h"
+#include "engine/lane_router.h"
+
+namespace mosaic {
+
+/** Epoch-synchronized multi-lane event engine. */
+class ShardedEngine final : public LaneRouter
+{
+  public:
+    /**
+     * Conservative lookahead window, in cycles. Must not exceed the
+     * minimum cross-lane latency (the 8-cycle SM<->L2 interconnect
+     * hop; see CacheHierarchy::Config::interconnectCycles and the L1
+     * TLB miss latency in TlbConfig).
+     */
+    static constexpr Cycles kWindowCycles = 8;
+
+    /**
+     * @param numSms   number of SM lanes (lane i serves SM id i).
+     * @param workers  worker threads to use, including the calling
+     *                 thread; clamped to [1, numSms]. Does not affect
+     *                 results, only wall-clock time.
+     */
+    ShardedEngine(unsigned numSms, unsigned workers);
+    ~ShardedEngine() override;
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    // LaneRouter interface -------------------------------------------------
+    EventQueue &laneQueue(SmId sm) override { return lanes_[sm].queue; }
+    EventQueue &hubQueue() override { return hub_; }
+    void toHub(SmId srcSm, Cycles when, SimCallback fn) override;
+    void callHub(SmId srcSm, SimCallback fn) override;
+    void toSm(SmId sm, Cycles when, SimCallback fn) override;
+    void callSm(SmId sm, SimCallback fn) override;
+
+    /** Number of SM lanes (excluding the hub lane). */
+    unsigned numLanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+    /** Worker threads in use, including the coordinating thread. */
+    unsigned workers() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+    /** Start cycle of the current window. */
+    Cycles windowStart() const { return windowStart_; }
+
+    /** Number of epochs (windows) executed so far. */
+    std::uint64_t epochs() const { return epochs_; }
+
+    /**
+     * Registers @p hook to run at every epoch barrier, on the
+     * coordinating thread, after the SM phase and before the exchange.
+     * Hooks run in registration order.
+     */
+    void addBarrierHook(std::function<void()> hook);
+
+    /**
+     * Runs epochs until @p finished returns true, the current window
+     * start reaches @p maxCycles, or no events remain anywhere (the
+     * sharded analogue of the serial engine's drained-queue exit).
+     */
+    void run(Cycles maxCycles, const std::function<bool()> &finished);
+
+    /** Runs epochs until every lane and the hub are empty (tests/fuzz). */
+    void drain();
+
+  private:
+    /** A cross-lane message captured in a per-lane outbox. */
+    struct OutMsg
+    {
+        Cycles when;
+        SimCallback fn;
+    };
+
+    /** Hub -> SM message captured during the hub phase. */
+    struct HubMsg
+    {
+        SmId sm;
+        bool deferred;  ///< true: run at next window start, ignore when
+        Cycles when;
+        SimCallback fn;
+    };
+
+    /** One SM lane. Cache-line aligned: lanes are touched in parallel. */
+    struct alignas(64) Lane
+    {
+        EventQueue queue;
+        std::vector<OutMsg> outbox;
+    };
+
+    /** Merge key for the canonical SM->hub exchange order. */
+    struct MergeKey
+    {
+        Cycles when;
+        std::uint32_t lane;
+        std::uint32_t idx;
+    };
+
+    void runEpoch();
+    void smPhase(Cycles limit);
+    void runLanes(Cycles limit);
+    void workerLoop();
+    bool anyWork() const;
+
+    std::vector<Lane> lanes_;
+    EventQueue hub_;
+    std::vector<HubMsg> hubOutbox_;
+    std::vector<MergeKey> mergeScratch_;
+    std::vector<std::function<void()>> barrierHooks_;
+    Cycles windowStart_ = 0;
+    std::uint64_t epochs_ = 0;
+
+    // Worker pool. All lane handoffs go through m_ (see file comment).
+    std::vector<std::thread> threads_;
+    std::mutex m_;
+    std::condition_variable cv_;      ///< coordinator -> workers: new epoch
+    std::condition_variable cvDone_;  ///< workers -> coordinator: lanes done
+    std::atomic<unsigned> laneCursor_{0};
+    Cycles laneLimit_ = 0;
+    std::uint64_t epochGen_ = 0;
+    unsigned pendingWorkers_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_ENGINE_SHARDED_ENGINE_H

@@ -94,6 +94,18 @@ struct SimConfig
     Cycles maxCycles = 4'000'000'000ull;
 
     /**
+     * Sharded engine worker count (DESIGN.md §12). 0 (default) runs the
+     * classic serial engine. Any value >= 1 runs the epoch-synchronized
+     * sharded engine: one event-queue lane per SM plus a hub lane for
+     * shared components, executed by this many worker threads. Results
+     * are byte-identical for every value >= 1 (the lane structure is
+     * fixed; workers only change wall-clock time), so determinism tests
+     * compare N=1 against N in {2,4,8}. Overridable at runtime with
+     * MOSAIC_SIM_SHARDS and `mosaic_sim --shards`.
+     */
+    unsigned engineShards = 0;
+
+    /**
      * Metrics time-series sampling interval in cycles; 0 (default)
      * disables sampling. When enabled, runSimulation() captures a full
      * registry snapshot every interval into SimResult::metricsSamples,
@@ -172,6 +184,15 @@ struct SimConfig
     {
         SimConfig c = *this;
         c.metricsSamplePeriod = cycles;
+        return c;
+    }
+
+    /** Runs the sharded engine with @p n worker threads (0 = serial). */
+    SimConfig
+    withEngineShards(unsigned n) const
+    {
+        SimConfig c = *this;
+        c.engineShards = n;
         return c;
     }
 

@@ -1,5 +1,6 @@
 #include "runner/simulation.h"
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -7,6 +8,7 @@
 #include "cache/hierarchy.h"
 #include "check/invariant_checker.h"
 #include "engine/event_queue.h"
+#include "engine/sharded_engine.h"
 #include "iobus/demand_paging.h"
 #include "mm/gpu_mmu_manager.h"
 #include "mm/large_only_manager.h"
@@ -34,6 +36,24 @@ struct AppCtx
     /** Bump pointer for fresh virtual regions under allocation churn. */
     Addr nextChurnVa = 0;
 };
+
+/**
+ * Effective sharded-engine worker count: the config field wins; the
+ * MOSAIC_SIM_SHARDS environment variable is the no-recompile override
+ * for configs that leave it at 0. 0 = classic serial engine.
+ */
+unsigned
+resolveEngineShards(const SimConfig &config)
+{
+    if (config.engineShards > 0)
+        return config.engineShards;
+    if (const char *env = std::getenv("MOSAIC_SIM_SHARDS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    return 0;
+}
 
 std::unique_ptr<MemoryManager>
 makeManager(const SimConfig &config, Addr poolBase, std::uint64_t poolBytes)
@@ -144,25 +164,51 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // registry (shared_ptr only so SimResult can carry it out). Every
     // component takes a plain pointer; null means no tracing.
     std::shared_ptr<Tracer> tracer;
+    unsigned shards = resolveEngineShards(config);
+    if (shards > 0 && config.trace.enabled) {
+        MOSAIC_WARN_AT(0, "event tracing is not supported under the "
+                          "sharded engine; falling back to the serial "
+                          "engine for this run");
+        shards = 0;
+    }
     if (config.trace.enabled)
         tracer = std::make_shared<Tracer>(config.trace);
     Tracer *const tr = tracer.get();
-    EventQueue events;
+
+    // Engine selection (DESIGN.md §12): shards == 0 runs the classic
+    // single-queue serial engine, byte-identical to every release before
+    // sharding existed. shards >= 1 runs the epoch-synchronized sharded
+    // engine -- one lane per SM plus a hub lane for shared components --
+    // whose results are byte-identical across worker counts (the lane
+    // structure is fixed; N only changes wall-clock time).
+    std::unique_ptr<ShardedEngine> engine;
+    if (shards > 0)
+        engine = std::make_unique<ShardedEngine>(config.gpu.numSms, shards);
+    LaneRouter *const router = engine.get();
+    EventQueue serial_events;
+    EventQueue &events = engine != nullptr ? engine->hubQueue()
+                                           : serial_events;
     // Capacity hint: roughly one in-flight event per warp plus headroom
     // for walks, DRAM transactions, and paging transfers. Avoids the
     // heap's doubling reallocations during warm-up.
     events.reserve(static_cast<std::size_t>(config.gpu.numSms) *
                        config.gpu.sm.warpsPerSm * 2 +
                    1024);
+    if (engine != nullptr) {
+        for (unsigned i = 0; i < config.gpu.numSms; ++i)
+            engine->laneQueue(static_cast<SmId>(i))
+                .reserve(config.gpu.sm.warpsPerSm * 2 + 64);
+    }
     DramModel dram(events, config.dram, &registry, tr);
 
     CacheHierarchyConfig cache_cfg = config.caches;
     cache_cfg.numSms = config.gpu.numSms;
-    CacheHierarchy caches(events, dram, cache_cfg, &registry);
+    CacheHierarchy caches(events, dram, cache_cfg, &registry, router);
 
     PageTableWalker walker(events, caches, config.walker, &registry, tr);
     TranslationService translation(events, walker, config.gpu.numSms,
-                                   config.translation, &registry, tr);
+                                   config.translation, &registry, tr,
+                                   router);
     PcieBus pcie(events, config.pcie, &registry, tr);
 
     // Physical layout: frames from address 0; page-table nodes in a
@@ -231,6 +277,10 @@ runSimulation(const Workload &workload, const SimConfig &config)
         if (checker != nullptr)
             checker->observePageTable(*ctx->pageTable);
         manager->registerApp(static_cast<AppId>(i), *ctx->pageTable);
+        // Pre-register the address space with the translation service so
+        // nothing grows per-app containers from concurrent SM lanes (a
+        // no-op for behavior in serial mode).
+        translation.registerApp(static_cast<AppId>(i), *ctx->pageTable);
         apps.push_back(std::move(ctx));
     }
     for (auto &ctx : apps) {
@@ -239,13 +289,19 @@ runSimulation(const Workload &workload, const SimConfig &config)
                                    buf.bytes);
     }
 
-    DemandPager pager(events, pcie, *manager, &registry, tr);
+    DemandPager pager(events, pcie, *manager, &registry, tr, {}, router);
 
     // Carve the SMs into equal per-application partitions and populate
     // each SM with this application's warps.
     const auto shares = Gpu::partitionSms(
         config.gpu.numSms, static_cast<unsigned>(apps.size()));
     bool all_finished = false;
+    // Simulated time at which the last application finished. In serial
+    // mode the event loop stops on the finishing event, so this equals
+    // events.now() at loop exit; in sharded mode the engine runs out the
+    // rest of the window (harmlessly -- finished apps generate no
+    // traffic), so the harvest must use this instead of queue time.
+    Cycles end_cycle = 0;
     std::uint64_t peak_allocated = 0;
     std::uint64_t peak_holes = 0;
     unsigned apps_remaining = static_cast<unsigned>(apps.size());
@@ -258,9 +314,9 @@ runSimulation(const Workload &workload, const SimConfig &config)
 
         for (unsigned local = 0; local < app.smCount; ++local) {
             AppCtx *app_ptr = &app;
-            auto on_done = [app_ptr, manager = manager.get(),
-                            &peak_allocated, &peak_holes, &apps_remaining,
-                            &all_finished, &events] {
+            auto finish = [app_ptr, manager = manager.get(),
+                           &peak_allocated, &peak_holes, &apps_remaining,
+                           &all_finished, &end_cycle, &events] {
                 if (++app_ptr->smsDone < app_ptr->smCount)
                     return;
                 app_ptr->finished = true;
@@ -276,12 +332,29 @@ runSimulation(const Workload &workload, const SimConfig &config)
                     manager->releaseRegion(app_ptr->pageTable->appId(),
                                            buf.va, buf.bytes);
                 }
-                if (--apps_remaining == 0)
+                if (--apps_remaining == 0) {
                     all_finished = true;
+                    end_cycle = events.now();
+                }
             };
+            // The completion bookkeeping releases regions through the
+            // manager (hub state), so a sharded run routes it to the
+            // hub lane; serially it runs inline as before.
+            std::function<void()> on_done;
+            if (router != nullptr) {
+                const auto src = static_cast<SmId>(gpu.numSms());
+                on_done = [router, src, finish] {
+                    router->callHub(src, [finish] { finish(); });
+                };
+            } else {
+                on_done = finish;
+            }
             const SmId sm_id = gpu.createSm(
                 *app.pageTable, translation, caches,
-                config.demandPaging ? &pager : nullptr, std::move(on_done));
+                config.demandPaging ? &pager : nullptr, std::move(on_done),
+                engine != nullptr
+                    ? &engine->laneQueue(static_cast<SmId>(gpu.numSms()))
+                    : nullptr);
             app.sms.push_back(sm_id);
 
             for (unsigned w = 0; w < warps_per_sm; ++w) {
@@ -306,11 +379,22 @@ runSimulation(const Workload &workload, const SimConfig &config)
             for (const auto &buf : ctx->layout->buffers()) {
                 pager.prefetchRegion(
                     *ctx->pageTable, buf.va, buf.bytes,
-                    config.chargePrefetchBus, [app_ptr, &gpu, &events] {
+                    config.chargePrefetchBus,
+                    [app_ptr, &gpu, &events, router] {
                         if (--app_ptr->prefetchesPending > 0)
                             return;
-                        for (const SmId sm : app_ptr->sms)
-                            gpu.sm(sm).start(events.now());
+                        // Prefetch completion is hub-side; SM starts
+                        // must land on each SM's own lane.
+                        for (const SmId sm : app_ptr->sms) {
+                            if (router != nullptr) {
+                                router->callSm(sm, [&gpu, sm, router] {
+                                    gpu.sm(sm).start(
+                                        router->laneQueue(sm).now());
+                                });
+                            } else {
+                                gpu.sm(sm).start(events.now());
+                            }
+                        }
                     });
             }
         }
@@ -376,7 +460,11 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // Runner-owned metrics: values that only the harness can see (peak
     // trackers, demand totals). Everything else registered itself at
     // component construction.
-    registry.bindCounterFn("sim.cycles", [&events] { return events.now(); });
+    registry.bindCounterFn("sim.cycles",
+                           [&events, &all_finished, &end_cycle] {
+                               return all_finished ? end_cycle
+                                                   : events.now();
+                           });
     registry.bindCounterFn("mm.peakAllocatedBytes",
                            [&peak_allocated, m = manager.get()] {
                                return std::max(peak_allocated,
@@ -441,8 +529,25 @@ runSimulation(const Workload &workload, const SimConfig &config)
                              });
     }
 
-    if (tr != nullptr && tr->on(kTraceEngine) &&
-        config.trace.engineSampleEvery > 0) {
+    if (engine != nullptr) {
+        // Epoch barrier hooks, in order: replay SM-lane checker
+        // notifications (so the shadow sees fills before any sweep),
+        // then a periodic full invariant sweep at epoch boundaries.
+        engine->addBarrierHook(
+            [&translation] { translation.flushDeferredCheckHooks(); });
+        if (checker != nullptr) {
+            engine->addBarrierHook([eng = engine.get(),
+                                    chk = checker.get()] {
+                if (eng->epochs() % 4096 == 0)
+                    chk->verifyAll();
+            });
+        }
+        engine->run(config.maxCycles,
+                    [&all_finished] { return all_finished; });
+        if (!all_finished && engine->windowStart() < config.maxCycles)
+            MOSAIC_PANIC("simulation deadlocked: no events pending");
+    } else if (tr != nullptr && tr->on(kTraceEngine) &&
+               config.trace.engineSampleEvery > 0) {
         // Sampled engine-dispatch instants: one marker every N executed
         // events keeps the ring from flooding at full dispatch rate.
         const std::uint64_t every = config.trace.engineSampleEvery;
@@ -482,12 +587,15 @@ runSimulation(const Workload &workload, const SimConfig &config)
     SimResult result;
     result.configLabel = config.label;
     result.workloadName = workload.name;
-    result.totalCycles = events.now();
+    // Harvest at the instant the last app finished (== events.now() at
+    // serial loop exit; see end_cycle above for the sharded case).
+    const Cycles snap_now = all_finished ? end_cycle : events.now();
+    result.totalCycles = snap_now;
     for (auto &ctx : apps) {
         AppResult app;
         app.name = ctx->params.name;
         app.smCount = ctx->smCount;
-        app.finishCycle = ctx->finished ? ctx->finishAt : events.now();
+        app.finishCycle = ctx->finished ? ctx->finishAt : snap_now;
         for (const SmId sm : ctx->sms) {
             app.instructions += gpu.sm(sm).stats().instructions;
             app.farFaultStalls += gpu.sm(sm).stats().farFaultStalls;
@@ -501,7 +609,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
         result.apps.push_back(std::move(app));
     }
 
-    result.metrics = registry.snapshot(events.now());
+    result.metrics = registry.snapshot(snap_now);
     result.metricsSamples = std::move(samples);
     result.trace = std::move(tracer);
     deriveLegacyScalars(result);
@@ -534,7 +642,8 @@ aloneIpcs(const Workload &workload, const SimConfig &sharedConfig)
             std::to_string(app.workingSetBytes()) + "#w" +
             std::to_string(sharedConfig.gpu.sm.warpsPerSm) + "#io" +
             std::to_string(sharedConfig.pcie.bytesPerCycle) + "#p" +
-            std::to_string(sharedConfig.demandPaging ? 1 : 0);
+            std::to_string(sharedConfig.demandPaging ? 1 : 0) + "#sh" +
+            std::to_string(resolveEngineShards(sharedConfig) > 0 ? 1 : 0);
         {
             std::lock_guard<std::mutex> lock(cache_mutex);
             const auto it = cache.find(key);
@@ -557,6 +666,11 @@ aloneIpcs(const Workload &workload, const SimConfig &sharedConfig)
         alone_cfg.demandPaging = sharedConfig.demandPaging;
         alone_cfg.chargePrefetchBus = sharedConfig.chargePrefetchBus;
         alone_cfg.seed = sharedConfig.seed;
+        // The denominator must use the same engine (serial vs sharded)
+        // as the shared run: the sharded engine's bounded completion
+        // drift makes it a distinct timing model, and the memo key
+        // above separates the two populations accordingly.
+        alone_cfg.engineShards = sharedConfig.engineShards;
         Workload alone_wl;
         alone_wl.name = app.name + "-alone";
         alone_wl.apps.push_back(app);

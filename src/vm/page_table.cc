@@ -31,27 +31,17 @@ PageTable::levelIndex(Addr va, unsigned depth)
     return static_cast<unsigned>((va >> shift) & (kFanout - 1));
 }
 
-const PageTable::LeafInfo *
-PageTable::lookupLeaf(Addr va) const
-{
-    // The leaf index is complete: every leaf node registers itself in
-    // ensureLeafNode(), so an index miss means the leaf does not exist.
-    const std::uint64_t key = largePageNumber(va);
-    if (key == memoKey_)
-        return memoInfo_;
-    const LeafInfo *info = leafIndex_.find(key);
-    if (info == nullptr)
-        return nullptr;
-    memoInfo_ = info;
-    memoKey_ = key;
-    return info;
-}
-
 PageTable::Node *
 PageTable::findLeafNode(Addr va) const
 {
-    const LeafInfo *info = lookupLeaf(va);
-    return info == nullptr ? nullptr : info->leaf;
+    const Node *node = root_.get();
+    for (unsigned depth = 0; depth < kLevels - 1; ++depth) {
+        const Node *child = node->children[levelIndex(va, depth)].get();
+        if (child == nullptr)
+            return nullptr;
+        node = child;
+    }
+    return const_cast<Node *>(node);
 }
 
 PageTable::Node *
@@ -70,12 +60,7 @@ PageTable::findL3Node(Addr va) const
 PageTable::Node &
 PageTable::ensureLeafNode(Addr va)
 {
-    if (const LeafInfo *hit = lookupLeaf(va))
-        return *hit->leaf;
-
     Node *node = root_.get();
-    LeafInfo info;
-    info.nodeAddr[0] = node->physAddr;
     for (unsigned depth = 0; depth < kLevels - 1; ++depth) {
         auto &slot = node->children[levelIndex(va, depth)];
         if (!slot) {
@@ -95,17 +80,7 @@ PageTable::ensureLeafNode(Addr va)
             }
         }
         node = slot.get();
-        info.nodeAddr[depth + 1] = node->physAddr;
-        if (depth + 1 == 2)
-            info.l3 = node;
     }
-    info.leaf = node;
-    info.l3Slot = levelIndex(va, 2);
-    // insert() may rehash, moving every entry: the returned reference is
-    // the only still-valid pointer, so the memo must be refreshed here.
-    const LeafInfo &stored = leafIndex_.insert(largePageNumber(va), info);
-    memoInfo_ = &stored;
-    memoKey_ = largePageNumber(va);
     return *node;
 }
 
@@ -188,24 +163,30 @@ PageTable::isMapped(Addr va) const
 Translation
 PageTable::translate(Addr va) const
 {
-    // Single-probe fast path: one hash lookup yields the leaf, the L3
-    // large bit, and (for coalesced regions) everything the walker's
-    // result needs -- no per-level pointer chase, no second descent for
-    // isCoalesced().
-    const LeafInfo *info = lookupLeaf(va);
-    if (info == nullptr)
-        return Translation{};
+    // One descent yields the leaf *and* the L3 large bit (captured in
+    // passing at depth 2) -- no second descent for isCoalesced(), and no
+    // mutable memo state, so concurrent readers need no synchronization.
+    const Node *node = root_.get();
+    const Node *l3 = nullptr;
+    for (unsigned depth = 0; depth < kLevels - 1; ++depth) {
+        const Node *child = node->children[levelIndex(va, depth)].get();
+        if (child == nullptr)
+            return Translation{};
+        node = child;
+        if (depth == 1)
+            l3 = node;
+    }
     const unsigned idx = levelIndex(va, kLevels - 1);
-    const Addr page = info->leaf->leafPhys[idx];
+    const Addr page = node->leafPhys[idx];
     if (page == kInvalidAddr)
         return Translation{};
 
     Translation result;
     result.valid = true;
-    result.resident = info->leaf->leafResident[idx];
+    result.resident = node->leafResident[idx];
     result.physAddr = page + (va & (kBasePageSize - 1));
-    result.size = info->l3->childLarge[info->l3Slot] ? PageSize::Large
-                                                     : PageSize::Base;
+    result.size = l3->childLarge[levelIndex(va, 2)] ? PageSize::Large
+                                                    : PageSize::Base;
     return result;
 }
 
@@ -214,10 +195,9 @@ PageTable::coalesce(Addr vaLargeBase)
 {
     MOSAIC_ASSERT(isLargePageAligned(vaLargeBase),
                   "coalesce target not large-page aligned");
-    const LeafInfo *info = leafIndex_.find(largePageNumber(vaLargeBase));
-    MOSAIC_ASSERT(info != nullptr, "coalesce of unmapped region");
-    Node *l3 = info->l3;
-    Node *leaf = info->leaf;
+    Node *l3 = findL3Node(vaLargeBase);
+    Node *leaf = findLeafNode(vaLargeBase);
+    MOSAIC_ASSERT(leaf != nullptr, "coalesce of unmapped region");
 
     // Precondition check: all 512 base pages mapped, contiguous, and
     // frame-aligned. This is the invariant CoCoA establishes; violating
@@ -231,7 +211,7 @@ PageTable::coalesce(Addr vaLargeBase)
                       "coalesce: base pages not contiguous in frame");
     }
 
-    l3->childLarge[info->l3Slot] = true;
+    l3->childLarge[levelIndex(vaLargeBase, 2)] = true;
     for (unsigned i = 0; i < kFanout; ++i)
         leaf->leafDisabled[i] = true;
     if (observer_ != nullptr)
@@ -243,11 +223,10 @@ PageTable::splinter(Addr vaLargeBase)
 {
     MOSAIC_ASSERT(isLargePageAligned(vaLargeBase),
                   "splinter target not large-page aligned");
-    const LeafInfo *info = leafIndex_.find(largePageNumber(vaLargeBase));
-    MOSAIC_ASSERT(info != nullptr, "splinter of unmapped region");
-    Node *l3 = info->l3;
-    Node *leaf = info->leaf;
-    l3->childLarge[info->l3Slot] = false;
+    Node *l3 = findL3Node(vaLargeBase);
+    Node *leaf = findLeafNode(vaLargeBase);
+    MOSAIC_ASSERT(leaf != nullptr, "splinter of unmapped region");
+    l3->childLarge[levelIndex(vaLargeBase, 2)] = false;
     for (unsigned i = 0; i < kFanout; ++i)
         leaf->leafDisabled[i] = false;
     if (observer_ != nullptr)
@@ -257,11 +236,6 @@ PageTable::splinter(Addr vaLargeBase)
 bool
 PageTable::isCoalesced(Addr va) const
 {
-    if (const LeafInfo *info = lookupLeaf(va))
-        return info->l3->childLarge[info->l3Slot];
-    // Index miss: the leaf does not exist, but a sibling region may have
-    // created the L3 node. A region without a leaf cannot be coalesced
-    // (coalesce() requires all 512 pages mapped), so this resolves false.
     const Node *l3 = findL3Node(va);
     if (l3 == nullptr || l3->childLarge.empty())
         return false;
@@ -271,15 +245,9 @@ PageTable::isCoalesced(Addr va) const
 std::array<Addr, PageTable::kLevels>
 PageTable::walkPath(Addr va) const
 {
+    // Descend until a level is absent; remaining levels stay invalid so
+    // the walker faults at the first missing node.
     std::array<Addr, kLevels> path;
-    if (const LeafInfo *info = lookupLeaf(va)) {
-        // All four node bases are cached; the PTE addresses are pure
-        // arithmetic from there.
-        for (unsigned depth = 0; depth < kLevels; ++depth)
-            path[depth] = info->nodeAddr[depth] + levelIndex(va, depth) * 8;
-        return path;
-    }
-    // Partial chain (walks into unmapped regions): descend until absent.
     path.fill(kInvalidAddr);
     const Node *node = root_.get();
     for (unsigned depth = 0; depth < kLevels; ++depth) {

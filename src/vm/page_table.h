@@ -23,7 +23,6 @@
 #include <memory>
 #include <vector>
 
-#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace mosaic {
@@ -98,6 +97,14 @@ class RegionPtNodeAllocator : public PtNodeAllocator
  * The table is both functional (translate()) and structural: each level's
  * PTE has a physical address (walkPath()) that the timing walker reads
  * through the memory hierarchy.
+ *
+ * All functional reads (translate(), walkPath(), isMapped(), ...) are
+ * pure tree descents over const state -- no caches, no mutable memo
+ * members. Concurrent readers are therefore safe whenever no mutator
+ * runs, which is exactly the sharded engine's phase contract: SM lanes
+ * translate in parallel during the SM phase while every mutation
+ * (mapping, coalescing, compaction) is confined to the hub phase
+ * (DESIGN.md §12).
  */
 class PageTable
 {
@@ -187,59 +194,22 @@ class PageTable
         std::vector<bool> leafResident;
     };
 
-    /**
-     * Flat-index record for one 2MB region whose leaf node exists: the
-     * leaf, its L3 parent (large-bit home), and each level's node base
-     * address, so translate()/walkPath()/isCoalesced() run as a single
-     * hash probe instead of a four-level pointer chase. Nodes are never
-     * freed, so the cached pointers stay valid for the table's lifetime;
-     * ensureLeafNode() is the only writer (DESIGN.md §11).
-     */
-    // No member initializers: a nested class's NSDMIs are only parsed
-    // once the outermost enclosing class is complete, which would make
-    // this type not-yet-default-constructible at the leafIndex_ member
-    // declaration below. Every field is assigned before insertion.
-    struct LeafInfo
-    {
-        Node *leaf;
-        Node *l3;
-        std::uint32_t l3Slot;
-        std::array<Addr, kLevels> nodeAddr;
-    };
-
     /** 9-bit index of @p va at radix depth @p depth (0 = root). */
     static unsigned levelIndex(Addr va, unsigned depth);
-
-    /**
-     * Leaf-index lookup with a one-entry memo for the last 2MB region.
-     * Translation traffic is spatially local, so most probes repeat the
-     * previous key; the memo turns those into a single compare. It
-     * caches a pointer into leafIndex_: entries are never erased and
-     * their fields never change after insertion, so the pointer only
-     * goes stale on an insert-triggered rehash -- ensureLeafNode()
-     * refreshes the memo on every insert.
-     */
-    const LeafInfo *lookupLeaf(Addr va) const;
 
     /** Leaf node covering @p va, or nullptr if absent. */
     Node *findLeafNode(Addr va) const;
 
-    /** Depth-2 (L3) node covering @p va, or nullptr if absent (used on
-     *  index misses: an L3 can exist before its leaf does). */
+    /** Depth-2 (L3) node covering @p va, or nullptr if absent (an L3
+     *  can exist before its leaf does). */
     Node *findL3Node(Addr va) const;
 
-    /** Creates interior nodes down to the leaf covering @p va and
-     *  registers the region in the leaf index. */
+    /** Creates interior nodes down to the leaf covering @p va. */
     Node &ensureLeafNode(Addr va);
 
     AppId app_;
     PtNodeAllocator &nodeAllocator_;
     std::unique_ptr<Node> root_;
-    FlatMap<LeafInfo> leafIndex_;  ///< large VPN -> LeafInfo
-    /** One-entry lookup memo (see lookupLeaf). ~0 is unreachable as a
-     *  large VPN (48-bit VAs), so it doubles as the empty sentinel. */
-    mutable std::uint64_t memoKey_ = ~std::uint64_t{0};
-    mutable const LeafInfo *memoInfo_ = nullptr;
     std::uint64_t mappedPages_ = 0;
     PageTableObserver *observer_ = nullptr;
 };

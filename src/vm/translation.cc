@@ -1,5 +1,7 @@
 #include "vm/translation.h"
 
+#include <algorithm>
+
 namespace mosaic {
 
 namespace {
@@ -29,10 +31,13 @@ TranslationService::TranslationService(EventQueue &events,
                                        PageTableWalker &walker,
                                        unsigned numSms,
                                        const TranslationConfig &config,
-                                       StatsRegistry *metrics, Tracer *tracer)
+                                       StatsRegistry *metrics, Tracer *tracer,
+                                       LaneRouter *router)
     : events_(events), walker_(walker), config_(config), tracer_(tracer),
-      l2_(config.l2)
+      router_(router), l2_(config.l2), slices_(numSms)
 {
+    MOSAIC_ASSERT(tracer_ == nullptr || router_ == nullptr,
+                  "tracing is not supported under the sharded engine");
     l1_.reserve(numSms);
     mshrs_.reserve(numSms);
     for (unsigned i = 0; i < numSms; ++i) {
@@ -40,13 +45,20 @@ TranslationService::TranslationService(EventQueue &events,
         mshrs_.emplace_back(0);
     }
     if (metrics != nullptr) {
-        metrics->bindCounter("vm.translation.requests", stats_.requests);
-        metrics->bindCounter("vm.translation.l1Hits", stats_.l1Hits);
-        metrics->bindCounter("vm.translation.l2Hits", stats_.l2Hits);
-        metrics->bindCounter("vm.translation.walksIssued",
-                             stats_.walksIssued);
-        metrics->bindCounter("vm.translation.mshrMerges", stats_.mshrMerges);
-        metrics->bindCounter("vm.translation.faults", stats_.faults);
+        // Service counters are split across SM slices (so concurrent
+        // lanes never share a cache line) and summed on demand.
+        metrics->bindCounterFn("vm.translation.requests",
+                               [this] { return stats().requests; });
+        metrics->bindCounterFn("vm.translation.l1Hits",
+                               [this] { return stats().l1Hits; });
+        metrics->bindCounterFn("vm.translation.l2Hits",
+                               [this] { return stats().l2Hits; });
+        metrics->bindCounterFn("vm.translation.walksIssued",
+                               [this] { return stats().walksIssued; });
+        metrics->bindCounterFn("vm.translation.mshrMerges",
+                               [this] { return stats().mshrMerges; });
+        metrics->bindCounterFn("vm.translation.faults",
+                               [this] { return stats().faults; });
         // The shared L2 TLB has a stable address; the per-SM L1s are
         // summed through l1StatsTotal() so the paths stay size-agnostic.
         l2_.registerMetrics(*metrics, "vm.tlb.l2");
@@ -67,8 +79,11 @@ TranslationService::TranslationService(EventQueue &events,
         // exist only because a higher id forced a resize have zero
         // requests and are skipped, matching the old map's key set).
         metrics->addProvider([this](StatsRegistry::Sink &sink) {
-            for (std::size_t id = 0; id < perApp_.size(); ++id) {
-                const AppStats &s = perApp_[id].stats;
+            std::size_t apps = perApp_.size();
+            for (const SmSlice &slice : slices_)
+                apps = std::max(apps, slice.app.size());
+            for (std::size_t id = 0; id < apps; ++id) {
+                const AppStats s = appStats(static_cast<AppId>(id));
                 if (s.requests == 0)
                     continue;
                 const MetricLabels labels = {
@@ -96,27 +111,90 @@ TranslationService::l1StatsTotal() const
     return total;
 }
 
+TranslationService::Stats
+TranslationService::stats() const
+{
+    Stats total = stats_;  // hub-side l2Hits / walksIssued
+    for (const SmSlice &slice : slices_) {
+        total.requests += slice.stats.requests;
+        total.l1Hits += slice.stats.l1Hits;
+        total.mshrMerges += slice.stats.mshrMerges;
+        total.faults += slice.stats.faults;
+    }
+    return total;
+}
+
+TranslationService::AppStats
+TranslationService::appStats(AppId app) const
+{
+    AppStats total;
+    if (app < perApp_.size()) {
+        total.l2Hits = perApp_[app].stats.l2Hits;
+        total.walks = perApp_[app].stats.walks;
+    }
+    for (const SmSlice &slice : slices_) {
+        if (app < slice.app.size()) {
+            total.requests += slice.app[app].requests;
+            total.l1Hits += slice.app[app].l1Hits;
+        }
+    }
+    return total;
+}
+
+void
+TranslationService::registerApp(AppId app, const PageTable &table)
+{
+    perAppSlot(app).table = &table;
+    for (SmSlice &slice : slices_)
+        if (app >= slice.app.size())
+            slice.app.resize(static_cast<std::size_t>(app) + 1);
+}
+
+void
+TranslationService::flushDeferredCheckHooks()
+{
+    for (SmSlice &slice : slices_) {
+        for (const DeferredHook &hook : slice.pendingHooks) {
+            if (checker_ == nullptr)
+                continue;
+            if (hook.large)
+                checker_->onTlbFillLarge(hook.app, hook.vpn);
+            else
+                checker_->onTlbFillBase(hook.app, hook.vpn);
+        }
+        slice.pendingHooks.clear();
+    }
+}
+
 void
 TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
                               TranslateCallback onDone)
 {
-    ++stats_.requests;
+    // Runs on the requesting SM's lane under the sharded engine, so
+    // everything it touches is slice-local (slices_[sm], l1_[sm],
+    // mshrs_[sm]); the hub-owned perApp_ table pointer is learned here
+    // only in serial mode (sharded assemblies pre-register apps).
+    SmSlice &slice = slices_[sm];
     const AppId app = pageTable.appId();
-    PerApp &per_app = perAppSlot(app);
-    per_app.table = &pageTable;  // learned once, used by shootdowns
-    AppStats &app_stats = per_app.stats;
+    if (app >= slice.app.size())
+        slice.app.resize(static_cast<std::size_t>(app) + 1);
+    ++slice.stats.requests;
+    AppStats &app_stats = slice.app[app];
     ++app_stats.requests;
+    if (router_ == nullptr)
+        perAppSlot(app).table = &pageTable;  // used by shootdowns
+    EventQueue &lane = router_ != nullptr ? router_->laneQueue(sm) : events_;
 
     if (config_.idealTlb) {
         // Every request hits in the L1 TLB; unbacked pages still fault.
-        ++stats_.l1Hits;
+        ++slice.stats.l1Hits;
         ++app_stats.l1Hits;
-        events_.scheduleAfter(config_.l1.latencyCycles,
-                              [this, &pageTable, va,
-                               cb = std::move(onDone)] {
+        lane.scheduleAfter(config_.l1.latencyCycles,
+                           [this, sm, &pageTable, va,
+                            cb = std::move(onDone)] {
             const Translation t = pageTable.translate(va);
             if (!t.valid)
-                ++stats_.faults;
+                ++slices_[sm].stats.faults;
             cb(t);
         });
         return;
@@ -128,14 +206,14 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
     const bool l1_hit = l1.lookupLarge(app, largePageNumber(va)) ||
                         l1.lookupBase(app, basePageNumber(va));
     if (l1_hit) {
-        ++stats_.l1Hits;
+        ++slice.stats.l1Hits;
         ++app_stats.l1Hits;
-        events_.scheduleAfter(config_.l1.latencyCycles,
-                              [this, &pageTable, va,
-                               cb = std::move(onDone)] {
+        lane.scheduleAfter(config_.l1.latencyCycles,
+                           [this, sm, &pageTable, va,
+                            cb = std::move(onDone)] {
             const Translation t = pageTable.translate(va);
             if (!t.valid)
-                ++stats_.faults;
+                ++slices_[sm].stats.faults;
             cb(t);
         });
         return;
@@ -145,14 +223,14 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
     // into a single L2/walk sequence.
     const std::uint64_t key = missKey(app, va);
     const auto outcome = mshrs_[sm].registerMiss(
-        key, [this, &pageTable, va, cb = std::move(onDone)] {
+        key, [this, sm, &pageTable, va, cb = std::move(onDone)] {
             const Translation t = pageTable.translate(va);
             if (!t.valid)
-                ++stats_.faults;
+                ++slices_[sm].stats.faults;
             cb(t);
         });
     if (outcome != MshrFile::Outcome::NewMiss) {
-        ++stats_.mshrMerges;
+        ++slice.stats.mshrMerges;
         return;
     }
     if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
@@ -162,6 +240,15 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
                             {"vpn", basePageNumber(va)});
     }
 
+    if (router_ != nullptr) {
+        // The L2 TLB lives on the hub lane; the probe crosses at its
+        // natural cycle (the hub runs this window after the SM phase).
+        router_->toHub(sm, lane.now() + config_.l1.latencyCycles,
+                       [this, sm, &pageTable, va] {
+            missToL2(sm, pageTable, va);
+        });
+        return;
+    }
     events_.scheduleAfter(config_.l1.latencyCycles,
                           [this, sm, &pageTable, va] {
         missToL2(sm, pageTable, va);
@@ -193,7 +280,16 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
         const bool l2_large = l2_.lookupLarge(app, largePageNumber(va));
         if (l2_large || l2_.lookupBase(app, basePageNumber(va))) {
             ++stats_.l2Hits;
-            ++perApp_[app].stats.l2Hits;
+            ++perAppSlot(app).stats.l2Hits;
+            if (router_ != nullptr) {
+                // The L1 fill and the MSHR wakeups are SM-side: hand
+                // them back to the lane (delivered next window).
+                router_->callSm(sm, [this, sm, &pageTable, va, key,
+                                     l2_large] {
+                    fillL1FromHub(sm, pageTable, va, l2_large, key);
+                });
+                return;
+            }
             if (l2_large) {
                 l1_[sm].fillLarge(app, largePageNumber(va));
                 if (checker_ != nullptr)
@@ -214,7 +310,7 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
         }
 
         ++stats_.walksIssued;
-        ++perApp_[app].stats.walks;
+        ++perAppSlot(app).stats.walks;
         walker_.requestWalk(pageTable, va,
                             [this, sm, &pageTable, va,
                              key](const Translation &result) {
@@ -224,6 +320,22 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
                                   missFlowId(sm, key), events_.now(),
                                   {"servedBy", 3},
                                   {"faulted", result.valid ? 0u : 1u});
+            }
+            if (router_ != nullptr) {
+                // SM-side completion (L1 fill + MSHR wakeups) crosses
+                // back to the lane; the hub-side L2 fill above already
+                // happened at the walk's natural cycle.
+                if (result.valid) {
+                    const bool large = result.size == PageSize::Large;
+                    router_->callSm(sm, [this, sm, &pageTable, va, key,
+                                         large] {
+                        fillL1FromHub(sm, pageTable, va, large, key);
+                    });
+                } else {
+                    router_->callSm(sm,
+                                    [this, sm, key] { mshrs_[sm].fill(key); });
+                }
+                return;
             }
             mshrs_[sm].fill(key);
         });
@@ -241,15 +353,45 @@ TranslationService::fillFromWalk(SmId sm, const PageTable &pageTable,
         // Coalesced pages fill only large-page arrays so they never
         // compete with uncoalesced pages for base-page TLB capacity.
         l2_.fillLarge(app, largePageNumber(va));
-        l1_[sm].fillLarge(app, largePageNumber(va));
+        if (router_ == nullptr)
+            l1_[sm].fillLarge(app, largePageNumber(va));
         if (checker_ != nullptr)
             checker_->onTlbFillLarge(app, largePageNumber(va));
     } else {
         l2_.fillBase(app, basePageNumber(va));
-        l1_[sm].fillBase(app, basePageNumber(va));
+        if (router_ == nullptr)
+            l1_[sm].fillBase(app, basePageNumber(va));
         if (checker_ != nullptr)
             checker_->onTlbFillBase(app, basePageNumber(va));
     }
+}
+
+void
+TranslationService::fillL1FromHub(SmId sm, const PageTable &pageTable,
+                                  Addr va, bool large, std::uint64_t key)
+{
+    // Delivered one window after the hub produced the fill, so the
+    // region may have been splintered or the page unmapped in between.
+    // The TLBs are tag-only (translations are always re-read from the
+    // live page table), so skipping a stale fill is timing-only; the
+    // revalidation keeps the checker's shadow exact.
+    const AppId app = pageTable.appId();
+    if (large) {
+        if (pageTable.isCoalesced(va)) {
+            l1_[sm].fillLarge(app, largePageNumber(va));
+            if (checker_ != nullptr)
+                slices_[sm].pendingHooks.push_back(
+                    DeferredHook{true, app, largePageNumber(va)});
+        }
+    } else {
+        if (pageTable.isMapped(va)) {
+            l1_[sm].fillBase(app, basePageNumber(va));
+            if (checker_ != nullptr)
+                slices_[sm].pendingHooks.push_back(
+                    DeferredHook{false, app, basePageNumber(va)});
+        }
+    }
+    mshrs_[sm].fill(key);
 }
 
 void

@@ -21,6 +21,7 @@
 #include "common/inline_function.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
+#include "engine/lane_router.h"
 #include "vm/page_table.h"
 #include "vm/tlb.h"
 #include "vm/walker.h"
@@ -87,11 +88,19 @@ class TranslationService
      *                (DESIGN.md §8).
      * @param tracer when non-null, every L1 miss records a TLB-miss
      *               span from registration to fill.
+     * @param router when non-null, the service runs under the sharded
+     *               engine (DESIGN.md §12): translate() executes on the
+     *               requesting SM's lane, the L2 TLB + walker on the hub
+     *               lane, and all lane-crossing completions go through
+     *               the router. Mutually exclusive with @p tracer. When
+     *               null (the default), behavior is byte-identical to
+     *               the classic serial engine.
      */
     TranslationService(EventQueue &events, PageTableWalker &walker,
                        unsigned numSms, const TranslationConfig &config,
                        StatsRegistry *metrics = nullptr,
-                       Tracer *tracer = nullptr);
+                       Tracer *tracer = nullptr,
+                       LaneRouter *router = nullptr);
 
     /**
      * Translates @p va for @p sm in address space @p pageTable.appId().
@@ -100,6 +109,15 @@ class TranslationService
      */
     void translate(SmId sm, const PageTable &pageTable, Addr va,
                    TranslateCallback onDone);
+
+    /**
+     * Pre-registers @p table as @p app's address space and sizes every
+     * per-SM stat slice to cover it. The sharded assembly calls this for
+     * all apps before the run so no per-app containers grow (and no
+     * table pointer is written) from concurrent SM lanes; optional in
+     * serial mode, where slots are still learned on first use.
+     */
+    void registerApp(AppId app, const PageTable &table);
 
     /**
      * Shoots down the large-page entry for @p vaLargeBase in every TLB
@@ -122,18 +140,22 @@ class TranslationService
     /** Attaches (or detaches, with nullptr) the invariant checker. */
     void setChecker(CheckSink *checker) { checker_ = checker; }
 
+    /**
+     * Replays checker notifications recorded on SM lanes (L1 fills from
+     * L2 hits and walk completions) into the checker, in SM order. The
+     * sharded assembly installs this as an epoch-barrier hook; a no-op
+     * in serial mode, where hooks fire inline.
+     */
+    void flushDeferredCheckHooks();
+
     /** Aggregate L1 statistics summed over SMs. */
     Tlb::Stats l1StatsTotal() const;
 
-    /** Service statistics. */
-    const Stats &stats() const { return stats_; }
+    /** Service statistics, summed over the hub and every SM slice. */
+    Stats stats() const;
 
     /** Statistics of one address space (zeros if it never translated). */
-    AppStats
-    appStats(AppId app) const
-    {
-        return app < perApp_.size() ? perApp_[app].stats : AppStats{};
-    }
+    AppStats appStats(AppId app) const;
 
     /** True when configured as an ideal TLB. */
     bool ideal() const { return config_.idealTlb; }
@@ -160,22 +182,49 @@ class TranslationService
         return perApp_[app];
     }
 
+    /** Checker notification recorded on an SM lane, replayed at the
+     *  next epoch barrier (serial mode never records any). */
+    struct DeferredHook
+    {
+        bool large;
+        AppId app;
+        std::uint64_t vpn;
+    };
+
+    /**
+     * SM-side counters and buffers. Everything an SM lane increments
+     * lives here, indexed by SmId, so concurrent lanes never share a
+     * counter; totals are summed on demand. In serial mode the same
+     * sites increment the same slices, so the sums are byte-identical.
+     * Cache-line aligned against false sharing between lanes.
+     */
+    struct alignas(64) SmSlice
+    {
+        Stats stats;                 ///< requests/l1Hits/mshrMerges/faults
+        std::vector<AppStats> app;   ///< requests/l1Hits per address space
+        std::vector<DeferredHook> pendingHooks;
+    };
+
     void missToL2(SmId sm, const PageTable &pageTable, Addr va);
     void fillFromWalk(SmId sm, const PageTable &pageTable, Addr va,
                       const Translation &result);
+    void fillL1FromHub(SmId sm, const PageTable &pageTable, Addr va,
+                       bool large, std::uint64_t key);
 
     EventQueue &events_;
     PageTableWalker &walker_;
     TranslationConfig config_;
     Tracer *tracer_;
+    LaneRouter *router_;
     std::vector<Tlb> l1_;
     Tlb l2_;
     Cycles l2NextIssueAt_ = 0;
     unsigned l2IssuesThisCycle_ = 0;
     std::vector<MshrFile> mshrs_;  ///< per-SM, keyed by (app, base vpn)
     CheckSink *checker_ = nullptr;
-    Stats stats_;
-    std::vector<PerApp> perApp_;  ///< indexed by AppId
+    Stats stats_;                  ///< hub-side: l2Hits, walksIssued
+    std::vector<SmSlice> slices_;  ///< SM-side counters, indexed by SmId
+    std::vector<PerApp> perApp_;   ///< indexed by AppId (hub-side)
 };
 
 }  // namespace mosaic

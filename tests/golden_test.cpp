@@ -139,6 +139,32 @@ TEST(GoldenTest, LargeOnlySnapshotMatchesGolden)
 }
 
 /**
+ * Sharded-engine goldens (DESIGN.md §12). The sharded engine is a
+ * distinct timing model -- completion deliveries drift by at most one
+ * epoch window relative to the serial engine -- so it gets its own
+ * golden per manager. Worker-count independence (N=1 vs N in {2,4,8})
+ * is covered by shard_test.cpp; together with these goldens that pins
+ * every shard count to the same recorded truth.
+ */
+TEST(GoldenTest, ShardedMosaicSnapshotMatchesGolden)
+{
+    checkGolden(pinnedConfig(SimConfig::mosaicDefault()).withEngineShards(1),
+                "mosaic_sharded");
+}
+
+TEST(GoldenTest, ShardedGpuMmuSnapshotMatchesGolden)
+{
+    checkGolden(pinnedConfig(SimConfig::baseline()).withEngineShards(1),
+                "gpu_mmu_sharded");
+}
+
+TEST(GoldenTest, ShardedLargeOnlySnapshotMatchesGolden)
+{
+    checkGolden(pinnedConfig(SimConfig::largeOnly()).withEngineShards(1),
+                "large_only_sharded");
+}
+
+/**
  * The snapshot itself must be reproducible within one build before
  * byte-comparing across builds means anything.
  */

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Sharded-engine determinism tests (DESIGN.md §12).
+ *
+ * The sharded engine's lane structure is fixed -- one EventQueue per SM
+ * plus a hub lane -- independent of how many worker threads execute the
+ * SM phase. Every observable result must therefore be byte-identical
+ * for every worker count N >= 1: the full metrics-snapshot JSON at
+ * N in {2, 4, 8} is compared byte-for-byte against N = 1 for all three
+ * manager kinds. Any cross-thread ordering leak (an SM touching shared
+ * state outside the hub phase, a merge that isn't canonically sorted)
+ * shows up here as a counter diff.
+ *
+ * Serial (engineShards = 0) output is intentionally NOT compared: the
+ * sharded engine is a distinct timing model (completion deliveries
+ * drift by at most one epoch window), pinned by its own golden files
+ * in golden_test.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "runner/json_report.h"
+#include "runner/simulation.h"
+#include "workload/workload.h"
+
+namespace mosaic {
+namespace {
+
+/** Same pinned cell as golden_test.cpp: two-app het mix, full spine. */
+Workload
+pinnedWorkload()
+{
+    Workload w = scaledWorkload(heterogeneousWorkload(2, 42), 0.08);
+    for (AppParams &a : w.apps)
+        a.instrPerWarp = 300;
+    return w;
+}
+
+SimConfig
+pinnedConfig(SimConfig c)
+{
+    c.gpu.sm.warpsPerSm = 8;
+    return c.withIoCompression(16.0);
+}
+
+std::string
+snapshotAt(const SimConfig &base, unsigned shards)
+{
+    const SimConfig c = base.withEngineShards(shards);
+    const SimResult result = runSimulation(pinnedWorkload(), c);
+    return metricsToJson(result, managerKindName(c.manager));
+}
+
+void
+expectShardCountInvariant(const SimConfig &base)
+{
+    const std::string reference = snapshotAt(base, 1);
+    ASSERT_FALSE(reference.empty());
+    for (const unsigned n : {2u, 4u, 8u}) {
+        const std::string doc = snapshotAt(base, n);
+        if (doc == reference)
+            continue;
+        std::size_t at = 0;
+        while (at < doc.size() && at < reference.size() &&
+               doc[at] == reference[at])
+            ++at;
+        const std::size_t from = at < 80 ? 0 : at - 80;
+        FAIL() << base.label << " diverges at " << n
+               << " workers (byte " << at << ")\n  N=1: ..."
+               << reference.substr(from, 160) << "\n  N=" << n << ": ..."
+               << doc.substr(from, 160);
+    }
+}
+
+TEST(ShardTest, MosaicSnapshotIsWorkerCountInvariant)
+{
+    expectShardCountInvariant(pinnedConfig(SimConfig::mosaicDefault()));
+}
+
+TEST(ShardTest, GpuMmuSnapshotIsWorkerCountInvariant)
+{
+    expectShardCountInvariant(pinnedConfig(SimConfig::baseline()));
+}
+
+TEST(ShardTest, LargeOnlySnapshotIsWorkerCountInvariant)
+{
+    expectShardCountInvariant(pinnedConfig(SimConfig::largeOnly()));
+}
+
+/** Invariant checking must not perturb the sharded result either. */
+TEST(ShardTest, InvariantChecksAreObservationOnlyWhenSharded)
+{
+    const SimConfig base = pinnedConfig(SimConfig::mosaicDefault());
+    EXPECT_EQ(snapshotAt(base, 2),
+              snapshotAt(base.withInvariantChecks(), 2));
+}
+
+/** The churn/fragmentation stress path stays deterministic too. */
+TEST(ShardTest, ChurnStressIsWorkerCountInvariant)
+{
+    SimConfig c = pinnedConfig(SimConfig::mosaicDefault());
+    c.churn.enabled = true;
+    c.fragmentationIndex = 0.5;
+    c.fragmentationOccupancy = 0.3;
+    EXPECT_EQ(snapshotAt(c, 1), snapshotAt(c, 8));
+}
+
+/** MOSAIC_SIM_SHARDS engages the sharded engine without config edits. */
+TEST(ShardTest, EnvVarSelectsShardedEngine)
+{
+    const SimConfig base = pinnedConfig(SimConfig::mosaicDefault());
+    const std::string from_config = snapshotAt(base, 4);
+    ::setenv("MOSAIC_SIM_SHARDS", "4", /*overwrite=*/1);
+    const std::string from_env = snapshotAt(base, 0);
+    ::unsetenv("MOSAIC_SIM_SHARDS");
+    EXPECT_EQ(from_config, from_env);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -33,6 +33,7 @@
 #include "common/rng.h"
 #include "dram/dram.h"
 #include "engine/event_queue.h"
+#include "engine/sharded_engine.h"
 #include "mm/gpu_mmu_manager.h"
 #include "mm/large_only_manager.h"
 #include "mm/mosaic_manager.h"
@@ -107,24 +108,39 @@ struct RunResult
 /**
  * Executes @p cfg's schedule from scratch and verifies every invariant
  * after every operation. Deterministic: same config, same outcome.
+ * @p shards > 0 builds the services over a ShardedEngine (DESIGN.md
+ * §12) so the fuzzer exercises the routed translation/cache paths; the
+ * invariant verdicts are unchanged because every op fully drains.
  */
 RunResult
-runSchedule(const FuzzConfig &cfg)
+runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
 {
-    EventQueue events;
+    CacheHierarchyConfig cache_cfg;
+    cache_cfg.numSms = 2;
+
+    std::unique_ptr<ShardedEngine> engine;
+    if (shards > 0)
+        engine = std::make_unique<ShardedEngine>(cache_cfg.numSms, shards);
+    EventQueue serial_events;
+    EventQueue &events = engine ? engine->hubQueue() : serial_events;
+    LaneRouter *const router = engine.get();
+
     DramConfig dram_cfg;
     dram_cfg.channelInterleave =
         static_cast<ChannelInterleave>(cfg.interleave);
     dram_cfg.capacityBytes = 256ull << 20;
     DramModel dram(events, dram_cfg);
 
-    CacheHierarchyConfig cache_cfg;
-    cache_cfg.numSms = 2;
-    CacheHierarchy caches(events, dram, cache_cfg);
+    CacheHierarchy caches(events, dram, cache_cfg, nullptr, router);
     WalkerConfig walker_cfg;
     PageTableWalker walker(events, caches, walker_cfg);
     TranslationConfig tr_cfg;
-    TranslationService translation(events, walker, cache_cfg.numSms, tr_cfg);
+    TranslationService translation(events, walker, cache_cfg.numSms, tr_cfg,
+                                   nullptr, nullptr, router);
+    if (engine != nullptr) {
+        engine->addBarrierHook(
+            [&translation] { translation.flushDeferredCheckHooks(); });
+    }
 
     // Oversubscription: the pool holds far fewer frames than the
     // schedule's demand, so OOM, reclaim, compaction, and the emergency
@@ -158,6 +174,7 @@ runSchedule(const FuzzConfig &cfg)
             static_cast<AppId>(a), pt_alloc));
         checker.observePageTable(*tables.back());
         manager->registerApp(static_cast<AppId>(a), *tables.back());
+        translation.registerApp(static_cast<AppId>(a), *tables.back());
     }
     ManagerEnv env;
     env.events = &events;
@@ -173,7 +190,11 @@ runSchedule(const FuzzConfig &cfg)
         cfg.apps, std::vector<unsigned>(kSlotsPerApp, 0));
 
     RunResult result;
-    auto drain = [&events] {
+    auto drain = [&events, &engine] {
+        if (engine != nullptr) {
+            engine->drain();
+            return;
+        }
         while (events.runOne()) {
         }
     };
@@ -315,7 +336,7 @@ generate(std::uint64_t seed, std::size_t numOps, const std::string &manager,
  * sizes down to single ops) while the failure persists.
  */
 FuzzConfig
-minimize(const FuzzConfig &failing)
+minimize(const FuzzConfig &failing, unsigned shards)
 {
     FuzzConfig best = failing;
     for (std::size_t window = best.ops.size() / 2; window >= 1;
@@ -328,7 +349,7 @@ minimize(const FuzzConfig &failing)
                 FuzzConfig trial = best;
                 trial.ops.erase(trial.ops.begin() + start,
                                 trial.ops.begin() + start + window);
-                if (runSchedule(trial).failed) {
+                if (runSchedule(trial, shards).failed) {
                     best = std::move(trial);
                     removed_any = true;
                     break;
@@ -413,9 +434,10 @@ readSchedule(const std::string &path, FuzzConfig &cfg)
 
 /** Runs one config; on failure minimizes, reports, optionally saves. */
 int
-runAndReport(FuzzConfig cfg, std::uint64_t seed, const std::string &outPath)
+runAndReport(FuzzConfig cfg, std::uint64_t seed, const std::string &outPath,
+             unsigned shards = 0)
 {
-    RunResult r = runSchedule(cfg);
+    RunResult r = runSchedule(cfg, shards);
     if (!r.failed) {
         std::printf("mosaic_fuzz: OK manager=%s oversub=%d apps=%u "
                     "ops=%zu seed=%llu\n",
@@ -442,7 +464,7 @@ runAndReport(FuzzConfig cfg, std::uint64_t seed, const std::string &outPath)
 
     std::fprintf(stderr, "mosaic_fuzz: minimizing %zu ops...\n",
                  cfg.ops.size());
-    const FuzzConfig minimal = minimize(cfg);
+    const FuzzConfig minimal = minimize(cfg, shards);
     std::fprintf(stderr, "mosaic_fuzz: minimized to %zu ops:\n",
                  minimal.ops.size());
     std::ostringstream dump;
@@ -464,9 +486,12 @@ usage()
         stderr,
         "usage: mosaic_fuzz [--seed N] [--ops N] [--apps N]\n"
         "                   [--manager mosaic|gpummu|largeonly]\n"
-        "                   [--oversubscribe] [--out FILE]\n"
-        "       mosaic_fuzz --smoke [--seed N] [--ops N]\n"
-        "       mosaic_fuzz --replay FILE\n");
+        "                   [--oversubscribe] [--shards N] [--out FILE]\n"
+        "       mosaic_fuzz --smoke [--seed N] [--ops N] [--shards N]\n"
+        "       mosaic_fuzz --replay FILE [--shards N]\n"
+        "\n"
+        "--shards N runs the services over the sharded engine with N\n"
+        "worker threads (0 = serial); invariant verdicts are identical.\n");
     return 2;
 }
 
@@ -478,6 +503,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     std::size_t ops = 2000;
     unsigned apps = 2;
+    unsigned shards = 0;
     std::string manager = "mosaic";
     bool oversubscribe = false;
     bool smoke = false;
@@ -500,6 +526,8 @@ main(int argc, char **argv)
             ops = std::stoull(next());
         else if (arg == "--apps")
             apps = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--shards")
+            shards = static_cast<unsigned>(std::stoul(next()));
         else if (arg == "--manager")
             manager = next();
         else if (arg == "--oversubscribe")
@@ -523,7 +551,7 @@ main(int argc, char **argv)
         FuzzConfig cfg;
         if (!readSchedule(replay_path, cfg))
             return 2;
-        return runAndReport(std::move(cfg), seed, out_path);
+        return runAndReport(std::move(cfg), seed, out_path, shards);
     }
 
     if (smoke) {
@@ -531,12 +559,12 @@ main(int argc, char **argv)
         for (const char *m : {"mosaic", "gpummu", "largeonly"}) {
             for (const bool over : {false, true}) {
                 FuzzConfig cfg = generate(seed, ops, m, over, apps);
-                rc |= runAndReport(std::move(cfg), seed, out_path);
+                rc |= runAndReport(std::move(cfg), seed, out_path, shards);
             }
         }
         return rc;
     }
 
     FuzzConfig cfg = generate(seed, ops, manager, oversubscribe, apps);
-    return runAndReport(std::move(cfg), seed, out_path);
+    return runAndReport(std::move(cfg), seed, out_path, shards);
 }

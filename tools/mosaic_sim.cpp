@@ -47,6 +47,9 @@ usage()
         "  --no-cac | --cac-bc | --cac-ideal\n"
         "  --rr                   round-robin warp scheduler\n"
         "  --seed <n>             simulation seed (default 1)\n"
+        "  --shards <n>           run the sharded engine with <n> worker\n"
+        "                         threads (default 0 = serial engine;\n"
+        "                         env MOSAIC_SIM_SHARDS also works)\n"
         "  --weighted-speedup     also run per-app alone baselines\n"
         "  --json                 emit the result as JSON instead of text\n"
         "  --metrics-json <path>  write the full metrics registry snapshot\n"
@@ -86,6 +89,7 @@ main(int argc, char **argv)
     bool churn = false, tight = false;
     bool no_cac = false, cac_bc = false, cac_ideal = false, rr = false;
     std::uint64_t seed = 1;
+    unsigned shards = 0;
     bool weighted = false;
     bool json = false;
     std::string metrics_json_path;
@@ -153,6 +157,8 @@ main(int argc, char **argv)
             rr = true;
         } else if (match(a, "--seed")) {
             seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+        } else if (match(a, "--shards")) {
+            shards = static_cast<unsigned>(std::atoi(next("--shards")));
         } else if (match(a, "--weighted-speedup")) {
             weighted = true;
         } else if (match(a, "--json")) {
@@ -234,6 +240,8 @@ main(int argc, char **argv)
     config.mosaic.cac.useBulkCopy = cac_bc;
     config.mosaic.cac.ideal = cac_ideal;
     config.seed = seed;
+    if (shards > 0)
+        config = config.withEngineShards(shards);
     if (metrics_sample > 0)
         config = config.withMetricsSampling(metrics_sample);
     if (!trace_categories_spec.empty() && trace_out_path.empty()) {

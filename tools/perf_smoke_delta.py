@@ -1,16 +1,29 @@
 #!/usr/bin/env python3
-"""CI perf smoke: sanity-check benchmark JSON and print deltas.
+"""CI perf smoke: sanity-check benchmark JSON and print/gate deltas.
 
-Usage: perf_smoke_delta.py BENCH_hotpath.json NAME=RESULT.json [NAME=RESULT.json ...]
+Usage: perf_smoke_delta.py [--fail-below PCT] [--shard-json FILE]
+                           BENCH_hotpath.json NAME=RESULT.json [...]
 
 Each RESULT.json is a google-benchmark --benchmark_format=json output;
 NAME selects the matching section of BENCH_hotpath.json (the committed
 reference numbers). The script fails if a result file is not valid JSON,
 has no benchmarks, or reports a non-positive items_per_second -- i.e. the
-bench did not actually run. It never fails on slow numbers: CI machines
-vary too much for a hard threshold, so deltas are informational.
+bench did not actually run.
+
+--fail-below PCT adds a soft perf gate: a benchmark whose items_per_second
+falls more than PCT percent below its committed post_items_per_second
+fails the run. The tolerance should stay generous (50+): CI machines
+differ wildly from the machine that produced the committed numbers, so
+the gate only catches order-of-magnitude collapses, not few-percent
+drift. Without the flag, deltas are informational as before.
+
+--shard-json FILE validates a BENCH_shard.json produced by
+bench/shard_scaling (schema + positive throughput per run) and prints
+the scaling curve. The speedup column is informational: it is only
+meaningful when the recorded host_cores covers the worker count.
 """
 
+import argparse
 import json
 import sys
 
@@ -32,13 +45,47 @@ def load_items(path):
     return items
 
 
+def check_shard_json(path):
+    with open(path) as f:
+        data = json.load(f)
+    runs = data.get("runs", [])
+    if not runs:
+        sys.exit(f"{path}: no runs recorded -- shard_scaling did not run?")
+    cores = data.get("host_cores", 0)
+    print(f"== shard scaling ({path}, host_cores={cores}) ==")
+    for run in runs:
+        for key in ("shards", "wall_seconds", "sim_cycles_per_second"):
+            if key not in run:
+                sys.exit(f"{path}: run record missing '{key}'")
+        if not run["sim_cycles_per_second"] > 0:
+            sys.exit(f"{path}: shards={run['shards']} reports no throughput")
+        meaningful = cores >= max(1, run["shards"])
+        print(
+            f"  shards={run['shards']}: {run['wall_seconds']:.3f}s wall, "
+            f"{run['sim_cycles_per_second']:.3g} sim cycles/s, "
+            f"speedup {run.get('speedup_vs_serial', 0):.2f}x"
+            + ("" if meaningful else " (host has too few cores; informational)")
+        )
+
+
 def main(argv):
-    if len(argv) < 3:
-        sys.exit(__doc__)
-    with open(argv[1]) as f:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--fail-below", type=float, default=None, metavar="PCT",
+                        help="fail if a bench is more than PCT%% below its "
+                             "committed reference (keep generous, e.g. 75)")
+    parser.add_argument("--shard-json", default=None, metavar="FILE",
+                        help="validate and print a BENCH_shard.json scaling curve")
+    parser.add_argument("reference", help="committed reference JSON (BENCH_hotpath.json)")
+    parser.add_argument("specs", nargs="*", metavar="NAME=RESULT.json")
+    args = parser.parse_args(argv[1:])
+
+    with open(args.reference) as f:
         reference = json.load(f)
 
-    for spec in argv[2:]:
+    failures = []
+    for spec in args.specs:
         name, _, path = spec.partition("=")
         items = load_items(path)
         ref = reference.get(name, {})
@@ -48,9 +95,24 @@ def main(argv):
             if committed:
                 delta = (rate / committed - 1) * 100
                 print(f"  {bench}: {rate:.3e} items/s ({delta:+.1f}% vs reference {committed:.3e})")
+                if args.fail_below is not None and delta < -args.fail_below:
+                    failures.append(f"{name}/{bench}: {delta:+.1f}% "
+                                    f"(limit -{args.fail_below:.0f}%)")
             else:
                 print(f"  {bench}: {rate:.3e} items/s (no committed reference)")
-    print("perf smoke OK (deltas are informational; no threshold gate)")
+
+    if args.shard_json:
+        check_shard_json(args.shard_json)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        sys.exit(f"perf smoke: {len(failures)} benchmark(s) below the "
+                 f"--fail-below {args.fail_below:.0f}% tolerance")
+    if args.fail_below is not None:
+        print(f"perf smoke OK (all benches within {args.fail_below:.0f}% of reference)")
+    else:
+        print("perf smoke OK (deltas are informational; no threshold gate)")
 
 
 if __name__ == "__main__":
