@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Size-hierarchy comparison sweep (DESIGN.md §13): Mosaic on the
+ * default {4K,2M} pair vs Mosaic+Trident ({4K,64K,2M} with mid-run
+ * tiering) vs Mosaic+CoLT (coalesced base-TLB entries) vs both, across
+ * the fragmentation grid of Figure 16's stress setup (tight memory,
+ * churn, pre-fragmented frames). Results are normalized to the default
+ * pair, per row.
+ *
+ * This is a model exploration, not a paper figure. The hypothesis was
+ * that Trident's mid tier recovers TLB reach where fragmentation
+ * blocks 2MB frames; measured, the fifth walk depth costs more than
+ * the mid tier recovers under this churn regime (the In-Place
+ * Coalescer restores full frames too quickly for mid runs to matter),
+ * while CoLT -- reach without extra depth -- stays neutral to slightly
+ * positive. See EXPERIMENTS.md for the committed table.
+ *
+ * Before the sweep, one small three-size run per non-default variant
+ * executes with the shadow-model invariant checker enabled
+ * (withInvariantChecks aborts on the first violation), so the sweep
+ * numbers are only ever printed for invariant-clean configurations.
+ */
+
+#include <future>
+
+#include "bench_common.h"
+#include "runner/sweep.h"
+
+namespace {
+
+using namespace mosaic;
+using namespace mosaic::bench;
+
+struct Variant
+{
+    const char *name;
+    bool trident;
+    bool colt;
+};
+
+constexpr Variant kVariants[] = {
+    {"Mosaic", false, false},
+    {"+Trident", true, false},
+    {"+CoLT", false, true},
+    {"+Trident+CoLT", true, true},
+};
+
+SimConfig
+variantConfig(const BenchProfile &profile, const Workload &w,
+              const Variant &v, double fragIndex)
+{
+    SimConfig c =
+        withTightMemory(profile.shape(SimConfig::mosaicDefault()), w);
+    c.fragmentationIndex = fragIndex;
+    c.fragmentationOccupancy = 0.25;
+    c.churn.enabled = true;
+    const PageSizeHierarchy sizes =
+        v.trident ? PageSizeHierarchy::trident() : PageSizeHierarchy();
+    if (v.trident || v.colt)
+        c = c.withSizeHierarchy(sizes, v.colt);
+    return c;
+}
+
+/** Futures of one grid row: [variant][workload] raw IPCs. */
+using RowJobs = std::vector<std::vector<std::future<double>>>;
+
+RowJobs
+submitRow(SweepRunner &pool, const BenchProfile &profile,
+          const std::vector<Workload> &workloads, double frag)
+{
+    RowJobs row;
+    for (const Variant &v : kVariants) {
+        std::vector<std::future<double>> cells;
+        for (const Workload &w : workloads) {
+            const SimConfig c = variantConfig(profile, w, v, frag);
+            cells.push_back(pool.submit(
+                [w, c] { return ipcOf(w, c); },
+                w.name + "/frag" + TextTable::pct(frag, 0) + "/" +
+                    v.name));
+        }
+        row.push_back(std::move(cells));
+    }
+    return row;
+}
+
+/** Per-variant means normalized to the first (default-pair) variant. */
+std::vector<double>
+finishRow(RowJobs &row)
+{
+    std::vector<double> out;
+    double baseline = 0.0;
+    for (auto &cells : row) {
+        std::vector<double> ipcs;
+        for (std::future<double> &f : cells)
+            ipcs.push_back(f.get());
+        const double m = mean(ipcs);
+        if (out.empty())
+            baseline = m;
+        out.push_back(safeRatio(m, baseline));
+    }
+    return out;
+}
+
+/** One small checked run per non-default variant; aborts on violation. */
+void
+preflightChecked(const BenchProfile &profile)
+{
+    Workload w = scaledWorkload(homogeneousWorkload("HISTO", 2), 0.05);
+    for (AppParams &a : w.apps)
+        a.instrPerWarp = 200;
+    for (const Variant &v : kVariants) {
+        if (!v.trident && !v.colt)
+            continue;
+        SimConfig c = variantConfig(profile, w, v, 0.9)
+                          .withInvariantChecks(/*sweepEvery=*/64);
+        std::printf("preflight (checked): %s ...", v.name);
+        std::fflush(stdout);
+        runSimulation(w, c);
+        std::printf(" clean\n");
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    const BenchProfile profile = BenchProfile::fromEnv();
+    banner("Size hierarchy", "Mosaic vs +Trident (third size) vs +CoLT "
+                             "(coalesced TLB reach) under fragmentation",
+           profile);
+
+    preflightChecked(profile);
+
+    std::vector<std::string> apps = profile.homogeneousApps;
+    if (!profile.full)
+        apps = {"HISTO", "CONS", "TRD"};
+    std::vector<Workload> workloads;
+    for (const std::string &name : apps)
+        workloads.push_back(profile.shape(homogeneousWorkload(name, 2)));
+
+    const std::vector<double> frag_points = {0.0, 0.5, 0.9, 0.99, 1.0};
+
+    SweepRunner pool;
+    std::vector<RowJobs> rows;
+    for (const double frag : frag_points)
+        rows.push_back(submitRow(pool, profile, workloads, frag));
+
+    std::printf("\nfragmentation index sweep at 25%% frame occupancy, "
+                "normalized to the default {4K,2M} Mosaic\n");
+    TextTable t;
+    t.header({"frag index", "Mosaic", "+Trident", "+CoLT",
+              "+Trident+CoLT"});
+    for (std::size_t i = 0; i < frag_points.size(); ++i) {
+        const auto r = finishRow(rows[i]);
+        t.row({TextTable::pct(frag_points[i], 0), TextTable::num(r[0], 3),
+               TextTable::num(r[1], 3), TextTable::num(r[2], 3),
+               TextTable::num(r[3], 3)});
+    }
+    t.print();
+
+    std::printf("\nreading: extra walk depth is a tax on every miss; "
+                "the mid tier must out-earn it (it does not under "
+                "fast-recoalescing churn -- see EXPERIMENTS.md)\n");
+    appendSweepJson(pool, "compare_sizes");
+    return 0;
+}

@@ -197,6 +197,63 @@ BM_SpineCoalescedWalk(benchmark::State &state)
 BENCHMARK(BM_SpineCoalescedWalk);
 
 /**
+ * Trident mid-walk regime: the {4K,64K,2M} hierarchy with 64KB runs
+ * coalesced at the intermediate level. More runs than the L2 TLB's mid
+ * entries are touched round-robin, so a steady fraction of requests
+ * runs the five-depth walk and fills the mid-level TLB arrays -- the
+ * N-level analogue of the coalesced-walk regime above.
+ */
+void
+BM_SpineTridentMidWalk(benchmark::State &state)
+{
+    const PageSizeHierarchy hs = PageSizeHierarchy::trident();
+    TranslationConfig tr_cfg;
+    tr_cfg.sizes = hs;
+
+    EventQueue ev;
+    DramModel dram(ev, DramConfig{});
+    CacheHierarchy caches(ev, dram, CacheHierarchyConfig{});
+    PageTableWalker walker(ev, caches, WalkerConfig{});
+    TranslationService xlate(ev, walker, SpineRig::kSms, tr_cfg);
+    RegionPtNodeAllocator alloc{1ull << 33, 256ull << 20};
+    PageTable pt{0, alloc, hs};
+
+    // 512 mid-coalesced 64KB runs (32MB): past the mid TLB arrays'
+    // reach, spread over 16 chunks.
+    constexpr unsigned kRuns = 512;
+    constexpr unsigned kBatch = 256;
+    const std::uint64_t run_pages = hs.basePagesPer(1);
+    for (unsigned r = 0; r < kRuns; ++r) {
+        const Addr va = 0x80000000ull + Addr(r) * hs.bytes(1);
+        const Addr pa = (4ull << 30) + Addr(r) * hs.bytes(1);
+        for (std::uint64_t i = 0; i < run_pages; ++i)
+            pt.mapBasePage(va + i * kBasePageSize, pa + i * kBasePageSize);
+        pt.coalesceLevel(va, 1);
+    }
+
+    std::uint64_t seq = 0;
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < kBatch; ++i) {
+            const std::uint64_t r = seq++ % kRuns;
+            const std::uint64_t page = mix(seq) % run_pages;
+            const Addr va = 0x80000000ull + r * hs.bytes(1) +
+                            page * kBasePageSize;
+            xlate.translate(static_cast<SmId>(i % SpineRig::kSms), pt, va,
+                            [&completed](const Translation &t) {
+                completed += t.valid ? 1 : 0;
+            });
+        }
+        ev.runAll();
+    }
+    benchmark::DoNotOptimize(completed);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.counters["walksPerReq"] =
+        double(walker.stats().walks) / double(xlate.stats().requests);
+}
+BENCHMARK(BM_SpineTridentMidWalk);
+
+/**
  * Functional radix descent: translate() as called once per completed
  * translation, over a 32MB strided footprint (no events, no timing).
  */

@@ -62,6 +62,30 @@ class CheckSink
 
     /** A large-page entry was shot down from every TLB level. */
     virtual void onTlbShootdownLarge(AppId app, std::uint64_t largeVpn) = 0;
+
+    /**
+     * Intermediate-size-level TLB traffic (Trident hierarchies only;
+     * never fired for the top level, which keeps the legacy large
+     * hooks, nor in the default two-size configuration). @p vpn is the
+     * page number at that level's granularity. Default-bodied so
+     * two-size sinks need no changes.
+     */
+    virtual void onTlbFillLevel(AppId, std::uint64_t /*vpn*/,
+                                unsigned /*level*/)
+    {
+    }
+    virtual void onTlbShootdownLevel(AppId, std::uint64_t /*vpn*/,
+                                     unsigned /*level*/)
+    {
+    }
+
+    /**
+     * CoLT coalesced-group entry traffic (CoLT mode only). @p groupVpn
+     * is the base VPN right-shifted by the span exponent. The fill was
+     * verified contiguous against the live page table at fill time.
+     */
+    virtual void onTlbFillColt(AppId, std::uint64_t /*groupVpn*/) {}
+    virtual void onTlbShootdownColt(AppId, std::uint64_t /*groupVpn*/) {}
 };
 
 }  // namespace mosaic

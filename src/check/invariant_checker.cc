@@ -144,6 +144,32 @@ InvariantChecker::onSplinter(AppId app, Addr vaLargeBase)
              " region " + hex(vaLargeBase));
 }
 
+const PageSizeHierarchy &
+InvariantChecker::appSizes(AppId app) const
+{
+    static const PageSizeHierarchy kDefault{};
+    const auto it = tables_.find(app);
+    return it != tables_.end() ? it->second->sizes() : kDefault;
+}
+
+void
+InvariantChecker::onCoalesceLevel(AppId app, Addr vaBase, unsigned level)
+{
+    const std::uint64_t vpn = appSizes(app).pageNumber(vaBase, level);
+    if (!shadow_[app].mid[level - 1].insert(vpn).second)
+        fail("shadow: double coalesce of app " + std::to_string(app) +
+             " level-" + std::to_string(level) + " region " + hex(vaBase));
+}
+
+void
+InvariantChecker::onSplinterLevel(AppId app, Addr vaBase, unsigned level)
+{
+    const std::uint64_t vpn = appSizes(app).pageNumber(vaBase, level);
+    if (shadow_[app].mid[level - 1].erase(vpn) == 0)
+        fail("shadow: splinter of uncoalesced app " + std::to_string(app) +
+             " level-" + std::to_string(level) + " region " + hex(vaBase));
+}
+
 // ---------------------------------------------------------------------------
 // CheckSink events
 // ---------------------------------------------------------------------------
@@ -262,6 +288,59 @@ InvariantChecker::onTlbShootdownLarge(AppId app, std::uint64_t largeVpn)
     tlbLarge_.erase(tlbKey(app, largeVpn));
 }
 
+void
+InvariantChecker::onTlbFillLevel(AppId app, std::uint64_t vpn, unsigned level)
+{
+    const auto it = tables_.find(app);
+    if (it == tables_.end())
+        return;
+    const PageSizeHierarchy &hs = it->second->sizes();
+    const Addr va = static_cast<Addr>(vpn) << hs.bits(level);
+    const Translation t = it->second->translate(va);
+    if (!t.valid)
+        return;
+    // Unlike base entries, intermediate-level demotions always shoot
+    // down, so a fill must match the live translation level exactly.
+    if (t.level != level) {
+        fail("tlb: level-" + std::to_string(level) + " fill for app " +
+             std::to_string(app) + " region " + hex(va) +
+             " whose translation level is " + std::to_string(t.level));
+        return;
+    }
+    tlbMid_[level - 1][tlbKey(app, vpn)] = hs.pageBase(t.physAddr, level);
+}
+
+void
+InvariantChecker::onTlbShootdownLevel(AppId app, std::uint64_t vpn,
+                                      unsigned level)
+{
+    tlbMid_[level - 1].erase(tlbKey(app, vpn));
+}
+
+void
+InvariantChecker::onTlbFillColt(AppId app, std::uint64_t groupVpn)
+{
+    const auto it = tables_.find(app);
+    if (it == tables_.end() || translation_ == nullptr)
+        return;
+    const unsigned span = translation_->l2Tlb().coltSpanPagesLog2();
+    const PageSizeHierarchy &hs = it->second->sizes();
+    const Addr va = static_cast<Addr>(groupVpn) << (hs.bits(0) + span);
+    const Addr base = it->second->contiguousGroupBase(va, span);
+    if (base == kInvalidAddr) {
+        fail("tlb: CoLT fill for app " + std::to_string(app) + " group " +
+             hex(va) + " that is not a contiguous resident run");
+        return;
+    }
+    tlbColt_[tlbKey(app, groupVpn)] = base;
+}
+
+void
+InvariantChecker::onTlbShootdownColt(AppId app, std::uint64_t groupVpn)
+{
+    tlbColt_.erase(tlbKey(app, groupVpn));
+}
+
 // ---------------------------------------------------------------------------
 // Verification sweeps
 // ---------------------------------------------------------------------------
@@ -285,6 +364,34 @@ InvariantChecker::tlbContainsLarge(AppId app, std::uint64_t vpn) const
         return true;
     for (unsigned sm = 0; sm < translation_->numSms(); ++sm) {
         if (translation_->l1Tlb(static_cast<SmId>(sm)).containsLarge(app, vpn))
+            return true;
+    }
+    return false;
+}
+
+bool
+InvariantChecker::tlbContainsMid(unsigned midIdx, AppId app,
+                                 std::uint64_t vpn) const
+{
+    if (translation_->l2Tlb().numMidLevels() > midIdx &&
+        translation_->l2Tlb().containsMid(midIdx, app, vpn))
+        return true;
+    for (unsigned sm = 0; sm < translation_->numSms(); ++sm) {
+        const Tlb &l1 = translation_->l1Tlb(static_cast<SmId>(sm));
+        if (l1.numMidLevels() > midIdx && l1.containsMid(midIdx, app, vpn))
+            return true;
+    }
+    return false;
+}
+
+bool
+InvariantChecker::tlbContainsColtGroup(AppId app, std::uint64_t baseVpn) const
+{
+    if (translation_->l2Tlb().containsColtGroup(app, baseVpn))
+        return true;
+    for (unsigned sm = 0; sm < translation_->numSms(); ++sm) {
+        if (translation_->l1Tlb(static_cast<SmId>(sm))
+                .containsColtGroup(app, baseVpn))
             return true;
     }
     return false;
@@ -328,8 +435,12 @@ InvariantChecker::verifyShadowVsPageTables()
                      hex(va) + " residency mismatch (table " +
                      std::to_string(t.resident) + ", shadow " +
                      std::to_string(pte.resident) + ")");
-            const bool sh_large =
-                sh.coalesced.count(largePageNumber(va)) > 0;
+            bool sh_large = sh.coalesced.count(largePageNumber(va)) > 0;
+            for (unsigned m = 0; m < sh.mid.size() && !sh_large; ++m) {
+                if (!sh.mid[m].empty())
+                    sh_large = sh.mid[m].count(
+                                   pt->sizes().pageNumber(va, m + 1)) > 0;
+            }
             if ((t.size == PageSize::Large) != sh_large)
                 fail("shadow: app " + std::to_string(app) + " va " +
                      hex(va) + " size-class mismatch (table large=" +
@@ -341,6 +452,18 @@ InvariantChecker::verifyShadowVsPageTables()
                 fail("shadow: app " + std::to_string(app) + " region " +
                      hex(lvpn << kLargePageBits) +
                      " coalesced in shadow, not in table");
+        }
+        for (unsigned m = 0; m < sh.mid.size(); ++m) {
+            const unsigned level = m + 1;
+            for (const std::uint64_t vpn : sh.mid[m]) {
+                const Addr va = static_cast<Addr>(vpn)
+                                << pt->sizes().bits(level);
+                if (!pt->isCoalescedAt(va, level))
+                    fail("shadow: app " + std::to_string(app) +
+                         " region " + hex(va) + " coalesced at level " +
+                         std::to_string(level) +
+                         " in shadow, not in table");
+            }
         }
     }
 }
@@ -449,6 +572,68 @@ InvariantChecker::verifyFrameLegality()
         return;
     for (std::size_t f = 0; f < pool_->numFrames(); ++f) {
         const FrameInfo &info = pool_->frame(f);
+        if (info.hasMidRuns()) {
+            // Level-aware legality (Trident): every promoted run must
+            // sit in a single-owner chunk frame, carry its page-table
+            // bit, and -- unless the frame is top-coalesced, where the
+            // §4.4 emergency-failsafe hole rules take over -- keep all
+            // of its slots allocated at contiguity-conserving
+            // positions.
+            const Addr chunk_va = mosaicState_ != nullptr
+                                      ? mosaicState_->frameChunkVa[f]
+                                      : kInvalidAddr;
+            const auto run_pt = tables_.find(info.owner);
+            if (info.mixed || chunk_va == kInvalidAddr ||
+                run_pt == tables_.end()) {
+                fail("frame: frame " + std::to_string(f) +
+                     " has promoted runs without a single-owner chunk "
+                     "reservation");
+            } else {
+                const PageTable &pt = *run_pt->second;
+                const PageSizeHierarchy &hs = pt.sizes();
+                for (unsigned level = 1; level + 1 < hs.numLevels();
+                     ++level) {
+                    std::uint64_t mask = info.midRuns[level - 1];
+                    const auto run_slots =
+                        static_cast<unsigned>(hs.basePagesPer(level));
+                    for (unsigned run = 0; mask != 0;
+                         ++run, mask >>= 1) {
+                        if ((mask & 1) == 0)
+                            continue;
+                        const Addr run_va =
+                            chunk_va + static_cast<Addr>(run) *
+                                           hs.bytes(level);
+                        if (!pt.isCoalescedAt(run_va, level))
+                            fail("frame: frame " + std::to_string(f) +
+                                 " run " + std::to_string(run) +
+                                 " of level " + std::to_string(level) +
+                                 " marked promoted but the page-table "
+                                 "bit is clear");
+                        if (info.coalesced)
+                            continue;
+                        for (unsigned s = run * run_slots;
+                             s < (run + 1) * run_slots; ++s) {
+                            if (!info.used[s] || info.pinned[s] ||
+                                info.slotVa.empty() ||
+                                info.slotVa[s] !=
+                                    chunk_va +
+                                        static_cast<Addr>(s) *
+                                            kBasePageSize) {
+                                fail("frame: frame " +
+                                     std::to_string(f) +
+                                     " promoted run " +
+                                     std::to_string(run) +
+                                     " of level " +
+                                     std::to_string(level) +
+                                     " breaks run contiguity at slot " +
+                                     std::to_string(s));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         if (!info.coalesced)
             continue;
         if (info.mixed)
@@ -548,6 +733,41 @@ InvariantChecker::verifyFrameLegality()
                      " coalesced in the page table but frame " +
                      std::to_string(pool_->frameIndex(pa)) +
                      " is not marked coalesced");
+        }
+
+        // Every shadow-promoted run must be reflected in its frame's
+        // run mask (the pool/page-table agreement, per level).
+        const PageSizeHierarchy &hs = appSizes(app);
+        for (unsigned m = 0; m < sh.mid.size(); ++m) {
+            const unsigned level = m + 1;
+            for (const std::uint64_t vpn : sh.mid[m]) {
+                const std::uint64_t first_base =
+                    vpn << (hs.bits(level) - hs.bits(0));
+                const auto first = sh.pages.find(first_base);
+                if (first == sh.pages.end()) {
+                    fail("frame: app " + std::to_string(app) +
+                         " promoted level-" + std::to_string(level) +
+                         " run " + hex(vpn << hs.bits(level)) +
+                         " has no mapped first page");
+                    continue;
+                }
+                const Addr pa = first->second.pa;
+                const Addr pool_base = pool_->frameBase(0);
+                if (pa < pool_base ||
+                    pa >= pool_base +
+                              pool_->numFrames() * kLargePageSize)
+                    continue;
+                const std::size_t f = pool_->frameIndex(pa);
+                const unsigned run = static_cast<unsigned>(
+                    (pa - pool_->frameBase(f)) / hs.bytes(level));
+                if (((pool_->frame(f).midRuns[m] >> run) & 1) == 0)
+                    fail("frame: app " + std::to_string(app) +
+                         " level-" + std::to_string(level) + " run " +
+                         hex(vpn << hs.bits(level)) +
+                         " coalesced in the page table but frame " +
+                         std::to_string(f) + " run mask bit " +
+                         std::to_string(run) + " is clear");
+            }
         }
     }
 }
@@ -680,6 +900,73 @@ InvariantChecker::verifyTlbCoherence()
                          " region " + hex(va) +
                          " survived a splinter without shootdown");
             }
+        }
+        ++it;
+    }
+
+    // Intermediate-level entries (Trident): same contract as large
+    // entries, per level. Both maps stay empty with the default pair.
+    for (unsigned m = 0; m < tlbMid_.size(); ++m) {
+        const unsigned level = m + 1;
+        for (auto it = tlbMid_[m].begin(); it != tlbMid_[m].end();) {
+            const AppId app = static_cast<AppId>(it->first >> 44);
+            const std::uint64_t vpn = it->first & ((1ull << 44) - 1);
+            if (!tlbContainsMid(m, app, vpn)) {
+                it = tlbMid_[m].erase(it);
+                continue;
+            }
+            const auto pt_it = tables_.find(app);
+            if (pt_it != tables_.end()) {
+                const PageTable &pt = *pt_it->second;
+                const PageSizeHierarchy &hs = pt.sizes();
+                const Addr va = vpn << hs.bits(level);
+                if (pt.isCoalescedAt(va, level)) {
+                    const Translation t = pt.translate(va);
+                    if (t.valid &&
+                        hs.pageBase(t.physAddr, level) != it->second)
+                        fail("tlb: stale level-" + std::to_string(level) +
+                             " entry for app " + std::to_string(app) +
+                             " run " + hex(va) + " points at " +
+                             hex(it->second) + ", table now at " +
+                             hex(hs.pageBase(t.physAddr, level)));
+                } else {
+                    const unsigned run_pages = static_cast<unsigned>(
+                        hs.basePagesPer(level));
+                    bool any_mapped = false;
+                    for (unsigned s = 0; s < run_pages && !any_mapped; ++s)
+                        any_mapped = pt.isMapped(va + s * kBasePageSize);
+                    if (any_mapped)
+                        fail("tlb: level-" + std::to_string(level) +
+                             " entry for app " + std::to_string(app) +
+                             " run " + hex(va) +
+                             " survived a splinter without shootdown");
+                }
+            }
+            ++it;
+        }
+    }
+
+    // CoLT group entries: a surviving group must still translate to the
+    // contiguous base it was filled with (exact-invalidation contract).
+    for (auto it = tlbColt_.begin(); it != tlbColt_.end();) {
+        const AppId app = static_cast<AppId>(it->first >> 44);
+        const std::uint64_t gvpn = it->first & ((1ull << 44) - 1);
+        const unsigned span = translation_->l2Tlb().coltSpanPagesLog2();
+        const std::uint64_t base_vpn = gvpn << span;
+        if (!tlbContainsColtGroup(app, base_vpn)) {
+            it = tlbColt_.erase(it);
+            continue;
+        }
+        const auto pt_it = tables_.find(app);
+        if (pt_it != tables_.end()) {
+            const PageTable &pt = *pt_it->second;
+            const Addr va = base_vpn << kBasePageBits;
+            const Addr group_base = pt.contiguousGroupBase(va, span);
+            if (group_base != it->second)
+                fail("tlb: stale CoLT entry for app " + std::to_string(app) +
+                     " group " + hex(va) + " (cached " + hex(it->second) +
+                     ", table group base now " + hex(group_base) +
+                     ") survived a remap without shootdown");
         }
         ++it;
     }

@@ -32,6 +32,7 @@
 #ifndef MOSAIC_CHECK_INVARIANT_CHECKER_H
 #define MOSAIC_CHECK_INVARIANT_CHECKER_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -111,6 +112,8 @@ class InvariantChecker final : public PageTableObserver, public CheckSink
     void onResident(AppId app, Addr va) override;
     void onCoalesce(AppId app, Addr vaLargeBase) override;
     void onSplinter(AppId app, Addr vaLargeBase) override;
+    void onCoalesceLevel(AppId app, Addr vaBase, unsigned level) override;
+    void onSplinterLevel(AppId app, Addr vaBase, unsigned level) override;
 
     // --- CheckSink (mutation/TLB/cost events) ---
     void onMutation(const char *site) override;
@@ -121,6 +124,12 @@ class InvariantChecker final : public PageTableObserver, public CheckSink
     void onTlbFillLarge(AppId app, std::uint64_t largeVpn) override;
     void onTlbShootdownBase(AppId app, std::uint64_t baseVpn) override;
     void onTlbShootdownLarge(AppId app, std::uint64_t largeVpn) override;
+    void onTlbFillLevel(AppId app, std::uint64_t vpn,
+                        unsigned level) override;
+    void onTlbShootdownLevel(AppId app, std::uint64_t vpn,
+                             unsigned level) override;
+    void onTlbFillColt(AppId app, std::uint64_t groupVpn) override;
+    void onTlbShootdownColt(AppId app, std::uint64_t groupVpn) override;
 
   private:
     /** Shadow leaf PTE. */
@@ -135,6 +144,10 @@ class InvariantChecker final : public PageTableObserver, public CheckSink
     {
         std::map<std::uint64_t, ShadowPte> pages;  ///< base VPN -> PTE
         std::set<std::uint64_t> coalesced;         ///< large VPNs
+        /** Intermediate-level coalesced regions (Trident hierarchies):
+         *  mid[l-1] holds the level-l VPNs whose runs are promoted.
+         *  Always empty with the default pair. */
+        std::array<std::set<std::uint64_t>, 2> mid;
     };
 
     void fail(const std::string &what);
@@ -147,6 +160,12 @@ class InvariantChecker final : public PageTableObserver, public CheckSink
 
     bool tlbContainsBase(AppId app, std::uint64_t vpn) const;
     bool tlbContainsLarge(AppId app, std::uint64_t vpn) const;
+    bool tlbContainsMid(unsigned midIdx, AppId app,
+                        std::uint64_t vpn) const;
+    bool tlbContainsColtGroup(AppId app, std::uint64_t baseVpn) const;
+
+    /** Size hierarchy of @p app's observed table (default if unknown). */
+    const PageSizeHierarchy &appSizes(AppId app) const;
 
     void verifyShadowVsPageTables();
     void verifyPoolVsPageTables();
@@ -167,6 +186,10 @@ class InvariantChecker final : public PageTableObserver, public CheckSink
     /** TLB fill shadow: key -> PA recorded at fill time. */
     std::map<std::uint64_t, Addr> tlbBase_;
     std::map<std::uint64_t, Addr> tlbLarge_;
+    /** Intermediate-level entries, indexed by size level - 1. */
+    std::array<std::map<std::uint64_t, Addr>, 2> tlbMid_;
+    /** CoLT group entries: key(app, groupVpn) -> group base PA. */
+    std::map<std::uint64_t, Addr> tlbColt_;
 
     std::uint64_t mutations_ = 0;
     std::uint64_t sweeps_ = 0;

@@ -61,46 +61,81 @@ pageBytes(PageSize size)
     return size == PageSize::Base ? kBasePageSize : kLargePageSize;
 }
 
+/**
+ * Hierarchy-indexed address helpers: every classic base/large helper
+ * below is the fixed-bits instantiation of one of these. Code that is
+ * generic over a `PageSizeHierarchy` (common/page_sizes.h) calls these
+ * with `hierarchy.bits(level)`.
+ */
+
+/** Virtual page number of @p addr at a 2^bits page granularity. */
+constexpr std::uint64_t
+pageNumberAt(Addr addr, unsigned bits)
+{
+    return addr >> bits;
+}
+
+/** Address of the start of the 2^bits page containing @p addr. */
+constexpr Addr
+pageBaseAt(Addr addr, unsigned bits)
+{
+    return addr & ~((std::uint64_t(1) << bits) - 1);
+}
+
+/** Index of the inner 2^innerBits page within its 2^outerBits page. */
+constexpr std::uint64_t
+pageIndexWithin(Addr addr, unsigned innerBits, unsigned outerBits)
+{
+    return (addr & ((std::uint64_t(1) << outerBits) - 1)) >> innerBits;
+}
+
+/** True if @p addr is aligned to a 2^bits page boundary. */
+constexpr bool
+isPageAlignedAt(Addr addr, unsigned bits)
+{
+    return (addr & ((std::uint64_t(1) << bits) - 1)) == 0;
+}
+
 /** Virtual page number of a virtual address (base-page granularity). */
 constexpr std::uint64_t
 basePageNumber(Addr addr)
 {
-    return addr >> kBasePageBits;
+    return pageNumberAt(addr, kBasePageBits);
 }
 
 /** Virtual page number of a virtual address (large-page granularity). */
 constexpr std::uint64_t
 largePageNumber(Addr addr)
 {
-    return addr >> kLargePageBits;
+    return pageNumberAt(addr, kLargePageBits);
 }
 
 /** Address of the start of the base page containing @p addr. */
 constexpr Addr
 basePageBase(Addr addr)
 {
-    return addr & ~(kBasePageSize - 1);
+    return pageBaseAt(addr, kBasePageBits);
 }
 
 /** Address of the start of the large page frame containing @p addr. */
 constexpr Addr
 largePageBase(Addr addr)
 {
-    return addr & ~(kLargePageSize - 1);
+    return pageBaseAt(addr, kLargePageBits);
 }
 
 /** Index of the base page containing @p addr within its large page. */
 constexpr std::uint64_t
 basePageIndexInLargePage(Addr addr)
 {
-    return (addr & (kLargePageSize - 1)) >> kBasePageBits;
+    return pageIndexWithin(addr, kBasePageBits, kLargePageBits);
 }
 
 /** True if @p addr is aligned to the start of a large page frame. */
 constexpr bool
 isLargePageAligned(Addr addr)
 {
-    return (addr & (kLargePageSize - 1)) == 0;
+    return isPageAlignedAt(addr, kLargePageBits);
 }
 
 /** Rounds @p value up to the next multiple of @p align (a power of two). */

@@ -55,6 +55,10 @@ Cac::splinterFrame(std::uint32_t frameIdx)
     PageTable &pt = *app_it->second.pageTable;
 
     pt.splinter(chunk_va);
+    // The page table cascades the splinter through any promoted
+    // intermediate-level runs beneath the frame; mirror that in the
+    // pool's run masks (re-promotion is an explicit manager decision).
+    frame.midRuns.fill(0);
     frame.coalesced = false;
     ++state_.stats.splinterOps;
     mmtrace::frameMark(state_, "frame.splinter", frameIdx,
@@ -66,10 +70,75 @@ Cac::splinterFrame(std::uint32_t frameIdx)
         state_.env.translation->shootdownLarge(frame.owner, chunk_va);
     if (state_.env.dram != nullptr) {
         const auto path = pt.walkPath(chunk_va);
-        state_.env.dram->access(path[2], true, [] {});
-        state_.env.dram->access(path[3], true, [] {});
+        const unsigned d = pt.coalesceBitDepth(pt.sizes().topLevel());
+        state_.env.dram->access(path[d], true, [] {});
+        state_.env.dram->access(path[d + 1], true, [] {});
     }
     envMutated(state_.env, "cac.splinterFrame");
+}
+
+void
+Cac::splinterMidRuns(std::uint32_t frameIdx, bool onlyBroken)
+{
+    FrameInfo &frame = state_.pool.frame(frameIdx);
+    if (!frame.hasMidRuns())
+        return;
+    const Addr chunk_va = state_.frameChunkVa[frameIdx];
+    MOSAIC_ASSERT(chunk_va != kInvalidAddr,
+                  "promoted runs outside a chunk frame");
+    auto app_it = state_.apps.find(frame.owner);
+    MOSAIC_ASSERT(app_it != state_.apps.end(),
+                  "splinter of ownerless frame");
+    PageTable &pt = *app_it->second.pageTable;
+    const PageSizeHierarchy &hs = pt.sizes();
+
+    // Highest level first so a run splinter's cascade through the
+    // levels beneath it can be mirrored in the lower masks before they
+    // are scanned.
+    for (unsigned level = hs.numLevels() - 1; level-- > 1;) {
+        std::uint64_t mask = frame.midRuns[level - 1];
+        const auto run_slots = static_cast<unsigned>(hs.basePagesPer(level));
+        for (unsigned run_idx = 0; mask != 0; ++run_idx, mask >>= 1) {
+            if ((mask & 1) == 0)
+                continue;
+            const unsigned first_slot = run_idx * run_slots;
+            if (onlyBroken) {
+                bool intact = true;
+                for (unsigned s = first_slot;
+                     s < first_slot + run_slots && intact; ++s) {
+                    intact = frame.used[s];
+                }
+                if (intact)
+                    continue;
+            }
+            const Addr run_va = chunk_va + Addr(first_slot) * kBasePageSize;
+            pt.splinterLevel(run_va, level);
+            frame.midRuns[level - 1] &= ~(std::uint64_t(1) << run_idx);
+            // The page table cleared every lower-level run beneath too.
+            for (unsigned lower = 1; lower < level; ++lower) {
+                const auto lower_slots =
+                    static_cast<unsigned>(hs.basePagesPer(lower));
+                const unsigned lo = first_slot / lower_slots;
+                const unsigned n = run_slots / lower_slots;
+                frame.midRuns[lower - 1] &=
+                    ~(((std::uint64_t(1) << n) - 1) << lo);
+            }
+            ++state_.stats.midSplinterOps;
+            mmtrace::frameMark(state_, "frame.splinterRun", frameIdx,
+                               {"level", level});
+            if (state_.env.translation != nullptr) {
+                state_.env.translation->shootdownLevel(frame.owner, run_va,
+                                                       level);
+            }
+            if (state_.env.dram != nullptr) {
+                const auto path = pt.walkPath(run_va);
+                const unsigned d = pt.coalesceBitDepth(level);
+                state_.env.dram->access(path[d], true, [] {});
+                state_.env.dram->access(path[d + 1], true, [] {});
+            }
+        }
+    }
+    envMutated(state_.env, "cac.splinterMidRuns");
 }
 
 Cycles
@@ -88,6 +157,9 @@ Cac::compactFrame(std::uint32_t frameIdx)
     FrameInfo &frame = state_.pool.frame(frameIdx);
     if (frame.coalesced || frame.mixed || frame.pinnedCount != 0)
         return false;
+    // Every surviving page is about to move: demote any promoted
+    // intermediate-level runs first (their contiguity is about to go).
+    splinterMidRuns(frameIdx, /*onlyBroken=*/false);
     if (frame.usedCount == 0) {
         retireEmptyFrame(frameIdx);
         return true;

@@ -54,6 +54,17 @@ class Cac
     void splinterFrame(std::uint32_t frameIdx);
 
     /**
+     * Demotes intermediate-level (Trident) runs of frame @p frameIdx:
+     * clears their coalesced bits, shoots their TLB entries down, and
+     * charges the PTE writes. With @p onlyBroken, runs whose base
+     * pages are all still allocated keep their promotion (deallocation
+     * left them intact); compaction passes false because every page is
+     * about to move. No-op when the frame has no promoted runs -- in
+     * particular always, with the default two-size hierarchy.
+     */
+    void splinterMidRuns(std::uint32_t frameIdx, bool onlyBroken);
+
+    /**
      * Migrates every allocated page out of frame @p frameIdx into other
      * partial frames of the owning application.
      * @return true if the frame was emptied (and pushed to the free list).

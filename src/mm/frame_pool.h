@@ -14,6 +14,7 @@
 #ifndef MOSAIC_MM_FRAME_POOL_H
 #define MOSAIC_MM_FRAME_POOL_H
 
+#include <array>
 #include <bitset>
 #include <cstdint>
 #include <vector>
@@ -46,6 +47,17 @@ struct FrameInfo
     std::bitset<kBasePagesPerLargePage> pinned;
     /** Virtual address backed by each slot (kInvalidAddr when free). */
     std::vector<Addr> slotVa;
+    /**
+     * Coalesced-run mask per intermediate size level (Trident
+     * hierarchies): bit r of midRuns[l-1] is set while the frame's
+     * r-th run of level-l pages is promoted in the page table.
+     * PageSizeHierarchy::valid() caps runs per frame at 64, so one
+     * word per level suffices. Always zero with the default pair.
+     */
+    std::array<std::uint64_t, 2> midRuns{};
+
+    /** True while any intermediate-level run is promoted. */
+    bool hasMidRuns() const { return midRuns[0] != 0 || midRuns[1] != 0; }
 
     /** Slots not holding app data or pinned fragments. */
     std::uint16_t
@@ -148,6 +160,7 @@ class FramePool
         f.owner = f.pinnedCount > 0 ? kFragmentOwner : kInvalidAppId;
         f.mixed = false;
         f.residentCount = 0;
+        f.midRuns.fill(0);
     }
 
     /**

@@ -42,12 +42,71 @@ InPlaceCoalescer::tryCoalesce(std::uint32_t frameIdx)
                        {"resident", frame.residentCount});
 
     if (state_.env.dram != nullptr) {
+        // The coalesced-bit PTE plus the first disabled-bit PTE page
+        // beneath it (depths 2 and 3 for the default pair).
         const auto path = pt.walkPath(chunk_va);
-        state_.env.dram->access(path[2], true, [] {});
-        state_.env.dram->access(path[3], true, [] {});
+        const unsigned d = pt.coalesceBitDepth(pt.sizes().topLevel());
+        state_.env.dram->access(path[d], true, [] {});
+        state_.env.dram->access(path[d + 1], true, [] {});
     }
     envMutated(state_.env, "coalescer.tryCoalesce");
     return true;
+}
+
+bool
+InPlaceCoalescer::tryCoalesceRun(std::uint32_t frameIdx, Addr vaPage,
+                                 bool requireResident)
+{
+    FrameInfo &frame = state_.pool.frame(frameIdx);
+    if (frame.coalesced || frame.mixed || frame.pinnedCount != 0)
+        return false;
+    if (state_.frameChunkVa[frameIdx] == kInvalidAddr)
+        return false;  // runs only promote inside contiguity-conserved frames
+
+    auto app_it = state_.apps.find(frame.owner);
+    MOSAIC_ASSERT(app_it != state_.apps.end(),
+                  "coalescing a frame with no registered owner");
+    PageTable &pt = *app_it->second.pageTable;
+    const PageSizeHierarchy &hs = pt.sizes();
+
+    // Largest intermediate level first: once a run is promoted there,
+    // smaller runs beneath it add no reach.
+    for (unsigned level = hs.numLevels() - 1; level-- > 1;) {
+        const Addr run_va = hs.pageBase(vaPage, level);
+        const auto run_slots = static_cast<unsigned>(hs.basePagesPer(level));
+        const auto first_slot = static_cast<unsigned>(
+            basePageIndexInLargePage(run_va));
+        const unsigned run_idx = first_slot / run_slots;
+        if ((frame.midRuns[level - 1] >> run_idx) & 1)
+            return false;  // already promoted at this level or above
+
+        bool ready = true;
+        for (unsigned s = first_slot; s < first_slot + run_slots && ready;
+             ++s) {
+            ready = frame.used[s] && !frame.pinned[s];
+        }
+        if (ready && requireResident) {
+            for (unsigned i = 0; i < run_slots && ready; ++i)
+                ready = pt.isResident(run_va + i * kBasePageSize);
+        }
+        if (!ready)
+            continue;  // a smaller run inside may still qualify
+
+        pt.coalesceLevel(run_va, level);
+        frame.midRuns[level - 1] |= std::uint64_t(1) << run_idx;
+        ++state_.stats.midCoalesceOps;
+        mmtrace::frameMark(state_, "frame.coalesceRun", frameIdx,
+                           {"level", level});
+        if (state_.env.dram != nullptr) {
+            const auto path = pt.walkPath(run_va);
+            const unsigned d = pt.coalesceBitDepth(level);
+            state_.env.dram->access(path[d], true, [] {});
+            state_.env.dram->access(path[d + 1], true, [] {});
+        }
+        envMutated(state_.env, "coalescer.tryCoalesceRun");
+        return true;
+    }
+    return false;
 }
 
 }  // namespace mosaic

@@ -34,6 +34,19 @@ class InPlaceCoalescer
     /** True if the frame satisfies every coalescing precondition. */
     bool eligible(std::uint32_t frameIdx) const;
 
+    /**
+     * Tiered (Trident) promotion: examines the intermediate-level runs
+     * of chunk frame @p frameIdx containing @p vaPage, largest level
+     * first, and coalesces the first run whose base pages are all
+     * allocated (and all resident when @p requireResident -- the
+     * deferred-policy analogue of the frame-level resident threshold).
+     * No-op for two-size hierarchies and for frames already coalesced
+     * at the top level.
+     * @return true if a run was promoted.
+     */
+    bool tryCoalesceRun(std::uint32_t frameIdx, Addr vaPage,
+                        bool requireResident);
+
   private:
     MosaicState &state_;
 };

@@ -71,6 +71,13 @@ struct MemoryManagerStats
     std::uint64_t pagesReleased = 0;
     std::uint64_t coalesceOps = 0;
     std::uint64_t splinterOps = 0;
+    /** Intermediate-level promotions/demotions (Trident hierarchies
+     *  only; always zero with the default pair, and not part of the
+     *  base "mm.*" metric set -- MosaicManager registers them only for
+     *  multi-level configurations). Demotions cascaded by a top-level
+     *  splinter count toward splinterOps, not here. */
+    std::uint64_t midCoalesceOps = 0;
+    std::uint64_t midSplinterOps = 0;
     std::uint64_t compactions = 0;           ///< frames freed by CAC
     std::uint64_t migrations = 0;            ///< base pages moved by CAC
     std::uint64_t emergencySplinters = 0;

@@ -12,11 +12,18 @@ MosaicManager::MosaicManager(Addr poolBase, std::uint64_t poolBytes,
     : state_(poolBase, poolBytes), config_(config), coalescer_(state_),
       cac_(state_, config.cac)
 {
+    // CoCoA's frame math is tied to the FramePool's 2MB frames: the
+    // hierarchy's top level must be the frame size.
+    MOSAIC_ASSERT(config_.sizes.numLevels() >= 2 &&
+                      config_.sizes.topBits() == kLargePageBits,
+                  "Mosaic needs a frame-sized top level");
 }
 
 void
 MosaicManager::registerApp(AppId app, PageTable &pageTable)
 {
+    MOSAIC_ASSERT(pageTable.sizes() == config_.sizes,
+                  "page table hierarchy differs from manager config");
     state_.apps[app].pageTable = &pageTable;
 }
 
@@ -100,6 +107,13 @@ MosaicManager::backPage(AppId app, Addr va)
             if (!info.coalesced &&
                 info.residentCount >= config_.coalesceResidentThreshold)
                 coalescer_.tryCoalesce(frame);
+            // Trident tiering under the deferred policy: a run whose
+            // pages are all resident earns its intermediate size while
+            // the frame as a whole still waits for the threshold.
+            if (tiered() && !state_.pool.frame(frame).coalesced) {
+                coalescer_.tryCoalesceRun(static_cast<std::uint32_t>(frame),
+                                          va_page, /*requireResident=*/true);
+            }
         }
         envMutated(state_.env, "mosaic.backPage");
         return true;
@@ -120,6 +134,14 @@ MosaicManager::backPage(AppId app, Addr va)
             ++state_.stats.pagesBacked;
             if (config_.coalescingEnabled && !info.coalesced)
                 coalescer_.tryCoalesce(frame);
+            // Trident tiering: a partially repopulated frame cannot
+            // take the 2MB promotion yet, but the run around this page
+            // may already be whole again.
+            if (tiered() && !info.coalesced) {
+                coalescer_.tryCoalesceRun(
+                    frame, va_page,
+                    config_.coalesceResidentThreshold > 0);
+            }
             envMutated(state_.env, "mosaic.backPage.chunkSlot");
             return true;
         }
@@ -237,6 +259,12 @@ MosaicManager::releaseRegion(AppId app, Addr vaBase, std::uint64_t bytes)
 
     for (const std::uint32_t frame : touched) {
         FrameInfo &info = state_.pool.frame(frame);
+        // Trident tiering: deallocation that punched a hole into a
+        // promoted intermediate-level run demotes that run (intact
+        // runs keep their reach). Top-coalesced frames keep everything
+        // until CAC decides their fate below.
+        if (!info.coalesced && info.hasMidRuns())
+            cac_.splinterMidRuns(frame, /*onlyBroken=*/true);
         if (info.coalesced) {
             if (info.usedCount == 0) {
                 cac_.splinterFrame(frame);

@@ -22,6 +22,7 @@
 #ifndef MOSAIC_MM_MOSAIC_MANAGER_H
 #define MOSAIC_MM_MOSAIC_MANAGER_H
 
+#include "common/page_sizes.h"
 #include "mm/cac.h"
 #include "mm/in_place_coalescer.h"
 #include "mm/memory_manager.h"
@@ -33,6 +34,15 @@ namespace mosaic {
 struct MosaicConfig
 {
     CacConfig cac;
+    /**
+     * Page-size hierarchy the manager promotes within (default: the
+     * classic 4KB/2MB pair). Must match every registered page table;
+     * the top level must be the frame size. With three or more levels
+     * the coalescer additionally promotes intermediate-level runs
+     * (Trident tiering, DESIGN.md §13) and CAC demotes them before
+     * migrating their pages.
+     */
+    PageSizeHierarchy sizes;
     /** Disable to measure CoCoA without page-size promotion (ablation). */
     bool coalescingEnabled = true;
     /**
@@ -76,6 +86,14 @@ class MosaicManager : public MemoryManager
         MemoryManager::registerMetrics(reg);
         reg.bindCounterFn("mm.mosaic.coalescedHoleBytes",
                           [this] { return coalescedHoleBytes(); });
+        // Tiering counters exist only for multi-level hierarchies so
+        // the default pair's metric namespace stays byte-identical.
+        if (config_.sizes.numLevels() > 2) {
+            reg.bindCounter("mm.mosaic.midCoalesceOps",
+                            state_.stats.midCoalesceOps);
+            reg.bindCounter("mm.mosaic.midSplinterOps",
+                            state_.stats.midSplinterOps);
+        }
     }
 
     /**
@@ -101,6 +119,13 @@ class MosaicManager : public MemoryManager
 
     /** Allocates a loose base page (the non-contiguity path). */
     bool backLoosePage(MosaicAppState &app, AppId appId, Addr vaPage);
+
+    /** True when intermediate-level (Trident) tiering is active. */
+    bool
+    tiered() const
+    {
+        return config_.coalescingEnabled && config_.sizes.numLevels() > 2;
+    }
 
     MosaicState state_;
     MosaicConfig config_;

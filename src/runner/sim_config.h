@@ -16,6 +16,7 @@
 #include <string>
 
 #include "cache/hierarchy.h"
+#include "common/page_sizes.h"
 #include "dram/dram.h"
 #include "gpu/gpu.h"
 #include "iobus/pcie.h"
@@ -193,6 +194,29 @@ struct SimConfig
     {
         SimConfig c = *this;
         c.engineShards = n;
+        return c;
+    }
+
+    /**
+     * Runs with a custom page-size hierarchy (DESIGN.md §13), e.g.
+     * Trident's {4K,64K,2M}, optionally with CoLT coalesced base-TLB
+     * entries. The hierarchy is set on the translation service and the
+     * Mosaic manager together (the two must agree; runSimulation also
+     * builds every page table from it). Passing the default pair with
+     * colt=false is byte-identical to not calling this at all.
+     */
+    SimConfig
+    withSizeHierarchy(const PageSizeHierarchy &sizes,
+                      bool colt = false) const
+    {
+        SimConfig c = *this;
+        c.translation.sizes = sizes;
+        c.translation.colt = colt;
+        c.mosaic.sizes = sizes;
+        if (!sizes.isDefaultPair())
+            c.label += "+" + sizes.toString();
+        if (colt)
+            c.label += "+CoLT";
         return c;
     }
 

@@ -1,9 +1,11 @@
 #include "runner/simulation.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "cache/hierarchy.h"
 #include "check/invariant_checker.h"
@@ -13,6 +15,7 @@
 #include "mm/gpu_mmu_manager.h"
 #include "mm/large_only_manager.h"
 #include "mm/mosaic_manager.h"
+#include "runner/sweep.h"
 #include "trace/tracer.h"
 #include "workload/access_pattern.h"
 #include "workload/metrics.h"
@@ -41,18 +44,33 @@ struct AppCtx
  * Effective sharded-engine worker count: the config field wins; the
  * MOSAIC_SIM_SHARDS environment variable is the no-recompile override
  * for configs that leave it at 0. 0 = classic serial engine.
+ *
+ * Core-budget sharing: when a SweepRunner pool is fanning simulations
+ * out in parallel, the requested worker count is clamped so that
+ * sweep jobs x engine shards stays within the machine. Precedence is
+ * sweep-first (independent simulations scale better than shard
+ * workers), and the clamp floors at 1 so a sharded config never
+ * degrades to the serial engine -- worker count only changes
+ * wall-clock time, never results, so clamping is determinism-safe.
  */
 unsigned
 resolveEngineShards(const SimConfig &config)
 {
-    if (config.engineShards > 0)
-        return config.engineShards;
-    if (const char *env = std::getenv("MOSAIC_SIM_SHARDS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return static_cast<unsigned>(n);
+    unsigned n = config.engineShards;
+    if (n == 0) {
+        if (const char *env = std::getenv("MOSAIC_SIM_SHARDS")) {
+            const int parsed = std::atoi(env);
+            if (parsed > 0)
+                n = static_cast<unsigned>(parsed);
+        }
     }
-    return 0;
+    const unsigned sweep_threads = activeSweepThreads();
+    if (n > 1 && sweep_threads > 1) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        n = std::max(1u, std::min(n, hw / sweep_threads));
+    }
+    return n;
 }
 
 std::unique_ptr<MemoryManager>
@@ -267,7 +285,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
         auto ctx = std::make_unique<AppCtx>();
         ctx->params = workload.apps[i];
         ctx->pageTable = std::make_unique<PageTable>(
-            static_cast<AppId>(i), pt_alloc);
+            static_cast<AppId>(i), pt_alloc, config.translation.sizes);
         ctx->layout = std::make_unique<AppLayout>(
             ctx->params, (static_cast<Addr>(i) + 1) << 40);
         // Churned replacement buffers grow upward from half-way through

@@ -1,5 +1,6 @@
 #include "runner/sweep.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,7 +20,16 @@ steadyNowNs()
         .count();
 }
 
+/** Live SweepRunner worker threads (see activeSweepThreads()). */
+std::atomic<unsigned> g_activeSweepThreads{0};
+
 }  // namespace
+
+unsigned
+activeSweepThreads()
+{
+    return g_activeSweepThreads.load(std::memory_order_relaxed);
+}
 
 unsigned
 SweepRunner::jobsFromEnv()
@@ -44,6 +54,7 @@ SweepRunner::SweepRunner(unsigned threads)
     workers_.reserve(threads_);
     for (unsigned i = 0; i < threads_; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    g_activeSweepThreads.fetch_add(threads_, std::memory_order_relaxed);
 }
 
 SweepRunner::~SweepRunner()
@@ -55,6 +66,7 @@ SweepRunner::~SweepRunner()
     workReady_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    g_activeSweepThreads.fetch_sub(threads_, std::memory_order_relaxed);
 }
 
 std::future<SimResult>

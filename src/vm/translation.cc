@@ -8,9 +8,21 @@ namespace {
 
 /** MSHR key combining address space and base-page number. */
 std::uint64_t
-missKey(AppId app, Addr va)
+missKey(AppId app, Addr va, unsigned baseBits)
 {
-    return (static_cast<std::uint64_t>(app) << 44) | basePageNumber(va);
+    return (static_cast<std::uint64_t>(app) << 44) |
+           pageNumberAt(va, baseBits);
+}
+
+/** Propagates the hierarchy and CoLT switches into both TLB levels. */
+TranslationConfig
+normalized(TranslationConfig config)
+{
+    config.l1.numSizeLevels = config.sizes.numLevels();
+    config.l2.numSizeLevels = config.sizes.numLevels();
+    config.l1.coltEnabled = config.colt;
+    config.l2.coltEnabled = config.colt;
+    return config;
 }
 
 /**
@@ -33,15 +45,15 @@ TranslationService::TranslationService(EventQueue &events,
                                        const TranslationConfig &config,
                                        StatsRegistry *metrics, Tracer *tracer,
                                        LaneRouter *router)
-    : events_(events), walker_(walker), config_(config), tracer_(tracer),
-      router_(router), l2_(config.l2), slices_(numSms)
+    : events_(events), walker_(walker), config_(normalized(config)),
+      tracer_(tracer), router_(router), l2_(config_.l2), slices_(numSms)
 {
     MOSAIC_ASSERT(tracer_ == nullptr || router_ == nullptr,
                   "tracing is not supported under the sharded engine");
     l1_.reserve(numSms);
     mshrs_.reserve(numSms);
     for (unsigned i = 0; i < numSms; ++i) {
-        l1_.emplace_back(config.l1);
+        l1_.emplace_back(config_.l1);
         mshrs_.emplace_back(0);
     }
     if (metrics != nullptr) {
@@ -153,14 +165,20 @@ TranslationService::registerApp(AppId app, const PageTable &table)
 void
 TranslationService::flushDeferredCheckHooks()
 {
+    const std::uint8_t top =
+        static_cast<std::uint8_t>(config_.sizes.topLevel());
     for (SmSlice &slice : slices_) {
         for (const DeferredHook &hook : slice.pendingHooks) {
             if (checker_ == nullptr)
                 continue;
-            if (hook.large)
+            if (hook.kind == kColtKind)
+                checker_->onTlbFillColt(hook.app, hook.vpn);
+            else if (hook.kind == top)
                 checker_->onTlbFillLarge(hook.app, hook.vpn);
-            else
+            else if (hook.kind == 0)
                 checker_->onTlbFillBase(hook.app, hook.vpn);
+            else
+                checker_->onTlbFillLevel(hook.app, hook.vpn, hook.kind);
         }
         slice.pendingHooks.clear();
     }
@@ -200,11 +218,11 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
         return;
     }
 
-    // L1 probe: large-page entries first (a hit there skips the base
-    // probe), then base-page entries.
-    Tlb &l1 = l1_[sm];
-    const bool l1_hit = l1.lookupLarge(app, largePageNumber(va)) ||
-                        l1.lookupBase(app, basePageNumber(va));
+    // L1 probe: largest page-size entries first (a hit there skips the
+    // smaller probes), base-page entries last, then the CoLT coalesced
+    // groups when enabled. For the default pair this is exactly the
+    // paper's large-then-base order.
+    const bool l1_hit = probeTlb(l1_[sm], app, va) >= 0;
     if (l1_hit) {
         ++slice.stats.l1Hits;
         ++app_stats.l1Hits;
@@ -221,7 +239,7 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
 
     // Register in the per-SM MSHR so concurrent misses to one page merge
     // into a single L2/walk sequence.
-    const std::uint64_t key = missKey(app, va);
+    const std::uint64_t key = missKey(app, va, config_.sizes.bits(0));
     const auto outcome = mshrs_[sm].registerMiss(
         key, [this, sm, &pageTable, va, cb = std::move(onDone)] {
             const Translation t = pageTable.translate(va);
@@ -275,30 +293,23 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
     events_.scheduleAfter(queue_delay + config_.l2.latencyCycles,
                           [this, sm, &pageTable, va] {
         const AppId app = pageTable.appId();
-        const std::uint64_t key = missKey(app, va);
+        const std::uint64_t key = missKey(app, va, config_.sizes.bits(0));
 
-        const bool l2_large = l2_.lookupLarge(app, largePageNumber(va));
-        if (l2_large || l2_.lookupBase(app, basePageNumber(va))) {
+        const int l2_hit = probeTlb(l2_, app, va);
+        if (l2_hit >= 0) {
+            const std::uint8_t kind = static_cast<std::uint8_t>(l2_hit);
             ++stats_.l2Hits;
             ++perAppSlot(app).stats.l2Hits;
             if (router_ != nullptr) {
                 // The L1 fill and the MSHR wakeups are SM-side: hand
                 // them back to the lane (delivered next window).
                 router_->callSm(sm, [this, sm, &pageTable, va, key,
-                                     l2_large] {
-                    fillL1FromHub(sm, pageTable, va, l2_large, key);
+                                     kind] {
+                    fillL1FromHub(sm, pageTable, va, kind, key);
                 });
                 return;
             }
-            if (l2_large) {
-                l1_[sm].fillLarge(app, largePageNumber(va));
-                if (checker_ != nullptr)
-                    checker_->onTlbFillLarge(app, largePageNumber(va));
-            } else {
-                l1_[sm].fillBase(app, basePageNumber(va));
-                if (checker_ != nullptr)
-                    checker_->onTlbFillBase(app, basePageNumber(va));
-            }
+            applyL1Fill(sm, app, va, kind);
             if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
                 // servedBy: 2 == shared L2 TLB, 3 == page-table walk.
                 tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "tlbMiss",
@@ -326,10 +337,12 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
                 // back to the lane; the hub-side L2 fill above already
                 // happened at the walk's natural cycle.
                 if (result.valid) {
-                    const bool large = result.size == PageSize::Large;
+                    const std::uint8_t kind =
+                        result.size == PageSize::Large ? result.level
+                                                       : std::uint8_t{0};
                     router_->callSm(sm, [this, sm, &pageTable, va, key,
-                                         large] {
-                        fillL1FromHub(sm, pageTable, va, large, key);
+                                         kind] {
+                        fillL1FromHub(sm, pageTable, va, kind, key);
                     });
                 } else {
                     router_->callSm(sm,
@@ -342,6 +355,51 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
     });
 }
 
+int
+TranslationService::probeTlb(Tlb &tlb, AppId app, Addr va)
+{
+    const PageSizeHierarchy &hs = config_.sizes;
+    const unsigned top = hs.topLevel();
+    if (top >= 1 && tlb.lookupLarge(app, pageNumberAt(va, hs.topBits())))
+        return static_cast<int>(top);
+    for (unsigned level = top; level-- > 1;) {
+        if (tlb.lookupMid(level - 1, app, pageNumberAt(va, hs.bits(level))))
+            return static_cast<int>(level);
+    }
+    if (tlb.lookupBase(app, pageNumberAt(va, hs.bits(0))))
+        return 0;
+    if (tlb.hasColt() && tlb.lookupColt(app, pageNumberAt(va, hs.bits(0))))
+        return kColtKind;
+    return -1;
+}
+
+void
+TranslationService::applyL1Fill(SmId sm, AppId app, Addr va,
+                                std::uint8_t kind)
+{
+    const PageSizeHierarchy &hs = config_.sizes;
+    if (kind == kColtKind) {
+        const std::uint64_t base_vpn = pageNumberAt(va, hs.bits(0));
+        l1_[sm].fillColt(app, base_vpn);
+        if (checker_ != nullptr)
+            checker_->onTlbFillColt(
+                app, base_vpn >> config_.l1.coltSpanPagesLog2);
+    } else if (kind == 0) {
+        l1_[sm].fillBase(app, pageNumberAt(va, hs.bits(0)));
+        if (checker_ != nullptr)
+            checker_->onTlbFillBase(app, pageNumberAt(va, hs.bits(0)));
+    } else if (kind == hs.topLevel()) {
+        l1_[sm].fillLarge(app, pageNumberAt(va, hs.topBits()));
+        if (checker_ != nullptr)
+            checker_->onTlbFillLarge(app, pageNumberAt(va, hs.topBits()));
+    } else {
+        l1_[sm].fillMid(kind - 1, app, pageNumberAt(va, hs.bits(kind)));
+        if (checker_ != nullptr)
+            checker_->onTlbFillLevel(app, pageNumberAt(va, hs.bits(kind)),
+                                     kind);
+    }
+}
+
 void
 TranslationService::fillFromWalk(SmId sm, const PageTable &pageTable,
                                  Addr va, const Translation &result)
@@ -349,26 +407,54 @@ TranslationService::fillFromWalk(SmId sm, const PageTable &pageTable,
     if (!result.valid)
         return;  // faulting walks install nothing
     const AppId app = pageTable.appId();
+    const PageSizeHierarchy &hs = config_.sizes;
     if (result.size == PageSize::Large) {
-        // Coalesced pages fill only large-page arrays so they never
-        // compete with uncoalesced pages for base-page TLB capacity.
-        l2_.fillLarge(app, largePageNumber(va));
-        if (router_ == nullptr)
-            l1_[sm].fillLarge(app, largePageNumber(va));
-        if (checker_ != nullptr)
-            checker_->onTlbFillLarge(app, largePageNumber(va));
+        // Coalesced pages fill only their own level's arrays so they
+        // never compete with uncoalesced pages for base-page TLB
+        // capacity.
+        const unsigned level = result.level;
+        if (level == hs.topLevel()) {
+            l2_.fillLarge(app, pageNumberAt(va, hs.topBits()));
+            if (router_ == nullptr)
+                l1_[sm].fillLarge(app, pageNumberAt(va, hs.topBits()));
+            if (checker_ != nullptr)
+                checker_->onTlbFillLarge(app, pageNumberAt(va, hs.topBits()));
+        } else {
+            l2_.fillMid(level - 1, app, pageNumberAt(va, hs.bits(level)));
+            if (router_ == nullptr)
+                l1_[sm].fillMid(level - 1, app,
+                                pageNumberAt(va, hs.bits(level)));
+            if (checker_ != nullptr)
+                checker_->onTlbFillLevel(
+                    app, pageNumberAt(va, hs.bits(level)), level);
+        }
     } else {
-        l2_.fillBase(app, basePageNumber(va));
+        const std::uint64_t base_vpn = pageNumberAt(va, hs.bits(0));
+        l2_.fillBase(app, base_vpn);
         if (router_ == nullptr)
-            l1_[sm].fillBase(app, basePageNumber(va));
+            l1_[sm].fillBase(app, base_vpn);
         if (checker_ != nullptr)
-            checker_->onTlbFillBase(app, basePageNumber(va));
+            checker_->onTlbFillBase(app, base_vpn);
+        // CoLT earns reach beyond one base page when the covering group
+        // is already physically contiguous, before any frame-level
+        // coalescing completes.
+        if (config_.colt &&
+            pageTable.contiguousGroupBase(
+                va, config_.l2.coltSpanPagesLog2) != kInvalidAddr) {
+            l2_.fillColt(app, base_vpn);
+            if (router_ == nullptr)
+                l1_[sm].fillColt(app, base_vpn);
+            if (checker_ != nullptr)
+                checker_->onTlbFillColt(
+                    app, base_vpn >> config_.l2.coltSpanPagesLog2);
+        }
     }
 }
 
 void
 TranslationService::fillL1FromHub(SmId sm, const PageTable &pageTable,
-                                  Addr va, bool large, std::uint64_t key)
+                                  Addr va, std::uint8_t kind,
+                                  std::uint64_t key)
 {
     // Delivered one window after the hub produced the fill, so the
     // region may have been splintered or the page unmapped in between.
@@ -376,28 +462,77 @@ TranslationService::fillL1FromHub(SmId sm, const PageTable &pageTable,
     // live page table), so skipping a stale fill is timing-only; the
     // revalidation keeps the checker's shadow exact.
     const AppId app = pageTable.appId();
-    if (large) {
-        if (pageTable.isCoalesced(va)) {
-            l1_[sm].fillLarge(app, largePageNumber(va));
+    const PageSizeHierarchy &hs = config_.sizes;
+    const std::uint64_t base_vpn = pageNumberAt(va, hs.bits(0));
+    if (kind == kColtKind) {
+        if (pageTable.contiguousGroupBase(
+                va, config_.l1.coltSpanPagesLog2) != kInvalidAddr) {
+            l1_[sm].fillColt(app, base_vpn);
+            if (checker_ != nullptr)
+                slices_[sm].pendingHooks.push_back(DeferredHook{
+                    kColtKind, app,
+                    base_vpn >> config_.l1.coltSpanPagesLog2});
+        }
+    } else if (kind == 0) {
+        if (pageTable.isMapped(va)) {
+            l1_[sm].fillBase(app, base_vpn);
             if (checker_ != nullptr)
                 slices_[sm].pendingHooks.push_back(
-                    DeferredHook{true, app, largePageNumber(va)});
+                    DeferredHook{0, app, base_vpn});
+        }
+        if (config_.colt &&
+            pageTable.contiguousGroupBase(
+                va, config_.l1.coltSpanPagesLog2) != kInvalidAddr) {
+            l1_[sm].fillColt(app, base_vpn);
+            if (checker_ != nullptr)
+                slices_[sm].pendingHooks.push_back(DeferredHook{
+                    kColtKind, app,
+                    base_vpn >> config_.l1.coltSpanPagesLog2});
+        }
+    } else if (kind == hs.topLevel()) {
+        if (pageTable.isCoalesced(va)) {
+            l1_[sm].fillLarge(app, pageNumberAt(va, hs.topBits()));
+            if (checker_ != nullptr)
+                slices_[sm].pendingHooks.push_back(DeferredHook{
+                    kind, app, pageNumberAt(va, hs.topBits())});
         }
     } else {
-        if (pageTable.isMapped(va)) {
-            l1_[sm].fillBase(app, basePageNumber(va));
+        if (pageTable.isCoalescedAt(va, kind)) {
+            l1_[sm].fillMid(kind - 1, app, pageNumberAt(va, hs.bits(kind)));
             if (checker_ != nullptr)
-                slices_[sm].pendingHooks.push_back(
-                    DeferredHook{false, app, basePageNumber(va)});
+                slices_[sm].pendingHooks.push_back(DeferredHook{
+                    kind, app, pageNumberAt(va, hs.bits(kind))});
         }
     }
     mshrs_[sm].fill(key);
 }
 
 void
+TranslationService::shootdownColtRange(AppId app, Addr vaBase,
+                                       std::uint64_t bytes)
+{
+    if (!config_.colt)
+        return;
+    const PageSizeHierarchy &hs = config_.sizes;
+    const std::uint64_t group_bytes = hs.bytes(0)
+                                      << config_.l2.coltSpanPagesLog2;
+    for (Addr va = hs.pageBase(vaBase, 0); va < vaBase + bytes;
+         va += group_bytes) {
+        const std::uint64_t base_vpn = pageNumberAt(va, hs.bits(0));
+        for (Tlb &tlb : l1_)
+            tlb.flushColtGroup(app, base_vpn);
+        l2_.flushColtGroup(app, base_vpn);
+        if (checker_ != nullptr)
+            checker_->onTlbShootdownColt(
+                app, base_vpn >> config_.l2.coltSpanPagesLog2);
+    }
+}
+
+void
 TranslationService::shootdownLarge(AppId app, Addr vaLargeBase)
 {
-    const std::uint64_t vpn = largePageNumber(vaLargeBase);
+    const PageSizeHierarchy &hs = config_.sizes;
+    const std::uint64_t vpn = pageNumberAt(vaLargeBase, hs.topBits());
     for (Tlb &tlb : l1_)
         tlb.flushLarge(app, vpn);
     l2_.flushLarge(app, vpn);
@@ -408,6 +543,9 @@ TranslationService::shootdownLarge(AppId app, Addr vaLargeBase)
         perApp_[app].table != nullptr) {
         walker_.invalidatePwcForSplinter(*perApp_[app].table, vaLargeBase);
     }
+    // The frame's contiguity metadata was rewritten wholesale: any CoLT
+    // group entry inside it goes too (coalesce and splinter both).
+    shootdownColtRange(app, vaLargeBase, hs.bytes(hs.topLevel()));
     if (checker_ != nullptr)
         checker_->onTlbShootdownLarge(app, vpn);
 }
@@ -415,12 +553,49 @@ TranslationService::shootdownLarge(AppId app, Addr vaLargeBase)
 void
 TranslationService::shootdownBase(AppId app, Addr vaBase)
 {
-    const std::uint64_t vpn = basePageNumber(vaBase);
+    const PageSizeHierarchy &hs = config_.sizes;
+    const std::uint64_t vpn = pageNumberAt(vaBase, hs.bits(0));
     for (Tlb &tlb : l1_)
         tlb.flushBase(app, vpn);
     l2_.flushBase(app, vpn);
+    // Intermediate-level entries whose run contains this page go too:
+    // a remap/unmap just broke the run's contiguity, and a cached run
+    // translation would keep serving the old frame. (The loop body is
+    // unreachable for the default two-size hierarchy.)
+    for (unsigned level = 1; level + 1 < hs.numLevels(); ++level) {
+        const std::uint64_t mid_vpn = pageNumberAt(vaBase, hs.bits(level));
+        for (Tlb &tlb : l1_)
+            tlb.flushMid(level - 1, app, mid_vpn);
+        l2_.flushMid(level - 1, app, mid_vpn);
+        if (checker_ != nullptr)
+            checker_->onTlbShootdownLevel(app, mid_vpn, level);
+    }
+    // A remapped/unmapped base page breaks its covering CoLT group.
+    shootdownColtRange(app, vaBase, hs.bytes(0));
     if (checker_ != nullptr)
         checker_->onTlbShootdownBase(app, vpn);
+}
+
+void
+TranslationService::shootdownLevel(AppId app, Addr vaBase, unsigned level)
+{
+    const PageSizeHierarchy &hs = config_.sizes;
+    if (level == hs.topLevel()) {
+        shootdownLarge(app, vaBase);
+        return;
+    }
+    const std::uint64_t vpn = pageNumberAt(vaBase, hs.bits(level));
+    for (Tlb &tlb : l1_)
+        tlb.flushMid(level - 1, app, vpn);
+    l2_.flushMid(level - 1, app, vpn);
+    if (walker_.hasPageWalkCache() && app < perApp_.size() &&
+        perApp_[app].table != nullptr) {
+        walker_.invalidatePwcForSplinter(*perApp_[app].table, vaBase,
+                                         level);
+    }
+    shootdownColtRange(app, vaBase, hs.bytes(level));
+    if (checker_ != nullptr)
+        checker_->onTlbShootdownLevel(app, vpn, level);
 }
 
 }  // namespace mosaic

@@ -19,6 +19,7 @@
 #include "cache/mshr.h"
 #include "check/check_sink.h"
 #include "common/inline_function.h"
+#include "common/page_sizes.h"
 #include "common/types.h"
 #include "engine/event_queue.h"
 #include "engine/lane_router.h"
@@ -35,15 +36,25 @@ struct TranslationConfig
     TlbConfig l2;  ///< shared level (defaults set in constructor arg)
     bool idealTlb = false;  ///< every request hits in the L1 TLB
 
+    /** Page-size hierarchy the TLBs and fills follow (default: the
+     *  classic 4KB/2MB pair). Intermediate levels get their own entry
+     *  arrays sized by l1/l2 midEntries. */
+    PageSizeHierarchy sizes;
+
+    /** Enables the CoLT coalesced-entry arrays in both TLB levels. */
+    bool colt = false;
+
     TranslationConfig()
     {
         l1.baseEntries = 128;
         l1.largeEntries = 16;
+        l1.midEntries = 32;
         l1.latencyCycles = 1;
         l2.baseEntries = 512;
         l2.baseWays = 16;
         l2.largeEntries = 256;
         l2.largeWays = 0;
+        l2.midEntries = 128;
         l2.latencyCycles = 10;
         l2.ports = 2;
     }
@@ -122,11 +133,21 @@ class TranslationService
     /**
      * Shoots down the large-page entry for @p vaLargeBase in every TLB
      * level (required when a coalesced page is splintered, §4.4).
+     * With CoLT enabled, also drops every coalesced group entry inside
+     * the region — its contiguity metadata was just rewritten.
      */
     void shootdownLarge(AppId app, Addr vaLargeBase);
 
-    /** Shoots down one base-page entry everywhere (page migration). */
+    /** Shoots down one base-page entry everywhere (page migration);
+     *  with CoLT enabled also the group entry covering it. */
     void shootdownBase(AppId app, Addr vaBase);
+
+    /**
+     * Shoots down the entry of intermediate size level @p level for
+     * @p vaBase everywhere (a Trident mid-level splinter). Top-level
+     * calls forward to shootdownLarge.
+     */
+    void shootdownLevel(AppId app, Addr vaBase, unsigned level);
 
     /** Per-SM L1 TLB (exposed for tests and reporting). */
     const Tlb &l1Tlb(SmId sm) const { return l1_[sm]; }
@@ -182,11 +203,17 @@ class TranslationService
         return perApp_[app];
     }
 
+    /** Fill kind routed between the hub and the SM lanes: 0 fills base
+     *  entries, a size level >= 1 fills that level's array (the top
+     *  level is the classic "large" fill), kColtKind fills a CoLT
+     *  group entry. */
+    static constexpr std::uint8_t kColtKind = 0xFF;
+
     /** Checker notification recorded on an SM lane, replayed at the
      *  next epoch barrier (serial mode never records any). */
     struct DeferredHook
     {
-        bool large;
+        std::uint8_t kind;  ///< 0 base, size level, or kColtKind
         AppId app;
         std::uint64_t vpn;
     };
@@ -205,11 +232,22 @@ class TranslationService
         std::vector<DeferredHook> pendingHooks;
     };
 
+    /** Probes @p tlb top size level down to base, then CoLT. Returns
+     *  the hit's fill kind (see DeferredHook), or -1 on a full miss. */
+    int probeTlb(Tlb &tlb, AppId app, Addr va);
+
+    /** Serial-mode L1 fill of @p kind plus the inline checker hook. */
+    void applyL1Fill(SmId sm, AppId app, Addr va, std::uint8_t kind);
+
+    /** Flushes every CoLT group entry intersecting [vaBase,
+     *  vaBase+bytes) from all TLB levels (no-op without CoLT). */
+    void shootdownColtRange(AppId app, Addr vaBase, std::uint64_t bytes);
+
     void missToL2(SmId sm, const PageTable &pageTable, Addr va);
     void fillFromWalk(SmId sm, const PageTable &pageTable, Addr va,
                       const Translation &result);
     void fillL1FromHub(SmId sm, const PageTable &pageTable, Addr va,
-                       bool large, std::uint64_t key);
+                       std::uint8_t kind, std::uint64_t key);
 
     EventQueue &events_;
     PageTableWalker &walker_;

@@ -8,9 +8,9 @@ namespace {
 const char *
 walkLevelName(unsigned depth)
 {
-    static const char *const names[PageTable::kLevels] = {
-        "walk.L1", "walk.L2", "walk.L3", "walk.L4"};
-    return depth < PageTable::kLevels ? names[depth] : "walk.L?";
+    static const char *const names[PageTable::kMaxLevels] = {
+        "walk.L1", "walk.L2", "walk.L3", "walk.L4", "walk.L5", "walk.L6"};
+    return depth < PageTable::kMaxLevels ? names[depth] : "walk.L?";
 }
 
 }  // namespace
@@ -97,6 +97,7 @@ PageTableWalker::startWalk(Walk *walk)
     // stalls the GPU during compaction), so the snapshot stays valid.
     walk->path = walk->pageTable->walkPath(walk->va);
     walk->coalesced = walk->pageTable->isCoalesced(walk->va);
+    walk->numLevels = walk->pageTable->numWalkLevels();
     walk->depth = 0;
     step(walk);
 }
@@ -104,7 +105,7 @@ PageTableWalker::startWalk(Walk *walk)
 void
 PageTableWalker::step(Walk *walk)
 {
-    if (walk->depth >= PageTable::kLevels) {
+    if (walk->depth >= walk->numLevels) {
         finish(walk, false);
         return;
     }
@@ -120,7 +121,7 @@ PageTableWalker::step(Walk *walk)
     // Upper levels (root..L3) may hit in the page-walk cache; leaf-level
     // PTEs always go to memory, as in CPU walkers.
     const bool pwc_eligible =
-        pwc_ != nullptr && walk->depth < PageTable::kLevels - 1;
+        pwc_ != nullptr && walk->depth < walk->numLevels - 1;
     const std::uint64_t pte_line = pte_addr / kCacheLineSize;
     if (pwc_eligible && pwc_->access(pte_line)) {
         ++stats_.pwcHits;
@@ -202,14 +203,16 @@ PageTableWalker::finish(Walk *walk, bool faulted)
 
 void
 PageTableWalker::invalidatePwcForSplinter(const PageTable &pageTable,
-                                          Addr vaLargeBase)
+                                          Addr vaBase, unsigned level)
 {
     if (pwc_ == nullptr)
         return;
-    const auto path = pageTable.walkPath(vaLargeBase);
-    const Addr l3_pte = path[PageTable::kLevels - 2];
-    if (l3_pte != kInvalidAddr)
-        pwc_->invalidate(l3_pte / kCacheLineSize);
+    if (level == kTopLevel)
+        level = pageTable.sizes().topLevel();
+    const auto path = pageTable.walkPath(vaBase);
+    const Addr bit_pte = path[pageTable.coalesceBitDepth(level)];
+    if (bit_pte != kInvalidAddr)
+        pwc_->invalidate(bit_pte / kCacheLineSize);
 }
 
 }  // namespace mosaic

@@ -100,13 +100,16 @@ class PageTableWalker
     bool hasPageWalkCache() const { return pwc_ != nullptr; }
 
     /**
-     * Drops the cached upper-level PTE line covering @p vaLargeBase's L3
-     * entry (a splinter rewrites that PTE's large bit, and a hardware
-     * shootdown would invalidate the stale line). No-op without a PWC.
-     * Timing-fidelity only: walk results always read the live table.
+     * Drops the cached PTE line holding the coalesced bit of size level
+     * @p level (the classic L3 entry for the default pair's 2MB level)
+     * covering @p vaBase: a splinter rewrites that PTE, and a hardware
+     * shootdown would invalidate the stale line. @p level kTopLevel
+     * (default) resolves to the table's top size level. No-op without a
+     * PWC. Timing-fidelity only: walk results always read the live table.
      */
-    void invalidatePwcForSplinter(const PageTable &pageTable,
-                                  Addr vaLargeBase);
+    static constexpr unsigned kTopLevel = ~0u;
+    void invalidatePwcForSplinter(const PageTable &pageTable, Addr vaBase,
+                                  unsigned level = kTopLevel);
 
     /** Number of walks currently executing. */
     unsigned activeWalks() const { return active_; }
@@ -130,7 +133,8 @@ class PageTableWalker
         bool wasQueued = false;
         bool coalesced = false;
         unsigned depth = 0;
-        std::array<Addr, PageTable::kLevels> path{};
+        unsigned numLevels = PageTable::kLevels;
+        std::array<Addr, PageTable::kMaxLevels> path{};
     };
 
     Walk *acquireWalk();

@@ -165,6 +165,28 @@ TEST(GoldenTest, ShardedLargeOnlySnapshotMatchesGolden)
 }
 
 /**
+ * Three-size (Trident) goldens: Mosaic running the {4K,64K,2M}
+ * hierarchy, without and with CoLT coalesced base-TLB entries, pins
+ * the N-level walker/TLB/tiering machinery to a recorded truth the
+ * same way the default pair is pinned. Generated with
+ * MOSAIC_UPDATE_GOLDEN=1 like every other golden.
+ */
+TEST(GoldenTest, TridentMosaicSnapshotMatchesGolden)
+{
+    checkGolden(pinnedConfig(SimConfig::mosaicDefault())
+                    .withSizeHierarchy(PageSizeHierarchy::trident()),
+                "mosaic_trident");
+}
+
+TEST(GoldenTest, TridentColtMosaicSnapshotMatchesGolden)
+{
+    checkGolden(pinnedConfig(SimConfig::mosaicDefault())
+                    .withSizeHierarchy(PageSizeHierarchy::trident(),
+                                       /*colt=*/true),
+                "mosaic_trident_colt");
+}
+
+/**
  * The snapshot itself must be reproducible within one build before
  * byte-comparing across builds means anything.
  */

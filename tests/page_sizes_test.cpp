@@ -1,0 +1,103 @@
+/** @file Unit tests for PageSizeHierarchy: validity rules, derived
+ *  walk geometry, and the --sizes spec parser. DESIGN.md §13. */
+
+#include <gtest/gtest.h>
+
+#include "common/page_sizes.h"
+
+namespace mosaic {
+namespace {
+
+TEST(PageSizesTest, DefaultPairMatchesLegacyConstants)
+{
+    const PageSizeHierarchy hs;
+    ASSERT_TRUE(hs.valid());
+    EXPECT_TRUE(hs.isDefaultPair());
+    EXPECT_EQ(hs.numLevels(), 2u);
+    EXPECT_EQ(hs.bytes(0), kBasePageSize);
+    EXPECT_EQ(hs.bytes(1), kLargePageSize);
+    EXPECT_EQ(hs.numWalkDepths(), 4u);  // the classic 4-level radix walk
+    EXPECT_EQ(hs.coalesceBitDepth(1), 2u);  // the "L3 large bit"
+    EXPECT_EQ(hs.toString(), "4K,2M");
+}
+
+TEST(PageSizesTest, TridentDerivesFiveWalkDepths)
+{
+    const PageSizeHierarchy hs = PageSizeHierarchy::trident();
+    ASSERT_TRUE(hs.valid());
+    EXPECT_FALSE(hs.isDefaultPair());
+    EXPECT_EQ(hs.numLevels(), 3u);
+    EXPECT_EQ(hs.bytes(1), 64u << 10);
+    EXPECT_EQ(hs.numWalkDepths(), 5u);
+    // shifts: 39, 30, 21, 16, 12 -- one extra depth at the 64KB boundary.
+    EXPECT_EQ(hs.shiftAtDepth(2), 21u);
+    EXPECT_EQ(hs.shiftAtDepth(3), 16u);
+    EXPECT_EQ(hs.shiftAtDepth(4), 12u);
+    EXPECT_EQ(hs.coalesceBitDepth(2), 2u);  // 2MB bit, same as default
+    EXPECT_EQ(hs.coalesceBitDepth(1), 3u);  // 64KB bit one depth lower
+    EXPECT_EQ(hs.basePagesPer(1), 16u);
+    EXPECT_EQ(hs.slotsPerParent(1), 32u);  // 64KB runs per 2MB frame
+}
+
+TEST(PageSizesTest, SingleLevelHierarchyIsValid)
+{
+    const PageSizeHierarchy hs{kBasePageBits};
+    ASSERT_TRUE(hs.valid());
+    EXPECT_EQ(hs.numLevels(), 1u);
+    EXPECT_EQ(hs.topLevel(), 0u);
+    EXPECT_EQ(hs.numWalkDepths(), 4u);  // 39, 30, 21, 12
+}
+
+TEST(PageSizesTest, InvalidHierarchiesAreRejected)
+{
+    // Not strictly ascending.
+    EXPECT_FALSE((PageSizeHierarchy{21, 12}).valid());
+    EXPECT_FALSE((PageSizeHierarchy{12, 12}).valid());
+    // Top not on a radix-9 boundary from 48 bits (e.g. 1MB top).
+    EXPECT_FALSE((PageSizeHierarchy{12, 20}).valid());
+    // Intermediate level too small: 2^(21-14) = 128 runs per frame
+    // overflows the FramePool's 64-bit per-level run mask.
+    EXPECT_FALSE((PageSizeHierarchy{12, 14, 21}).valid());
+    // Base level below the radix index width.
+    EXPECT_FALSE((PageSizeHierarchy{8, 21}).valid());
+}
+
+TEST(PageSizesTest, ParseAcceptsSuffixBytesAndLog2Forms)
+{
+    PageSizeHierarchy hs;
+    ASSERT_TRUE(PageSizeHierarchy::parse("4K,64K,2M", hs));
+    EXPECT_EQ(hs, PageSizeHierarchy::trident());
+    ASSERT_TRUE(PageSizeHierarchy::parse("4096,2097152", hs));
+    EXPECT_TRUE(hs.isDefaultPair());
+    ASSERT_TRUE(PageSizeHierarchy::parse("12,16,21", hs));
+    EXPECT_EQ(hs, PageSizeHierarchy::trident());
+}
+
+TEST(PageSizesTest, ParseRejectsMalformedSpecs)
+{
+    PageSizeHierarchy hs;
+    EXPECT_FALSE(PageSizeHierarchy::parse("", hs));
+    EXPECT_FALSE(PageSizeHierarchy::parse("4K,", hs));
+    EXPECT_FALSE(PageSizeHierarchy::parse("4K,3M", hs));    // not pow2
+    EXPECT_FALSE(PageSizeHierarchy::parse("2M,4K", hs));    // descending
+    EXPECT_FALSE(PageSizeHierarchy::parse("4K,64Q", hs));   // bad suffix
+    EXPECT_FALSE(PageSizeHierarchy::parse("4K,8K,64K,512K,2M", hs));
+}
+
+TEST(PageSizesTest, GeometryHelpersRoundTrip)
+{
+    const PageSizeHierarchy hs = PageSizeHierarchy::trident();
+    const Addr va = (7ull << 21) + (3ull << 16) + 0x5123;
+    EXPECT_EQ(hs.pageBase(va, 0), va & ~Addr(0xFFF));
+    EXPECT_EQ(hs.pageBase(va, 1), (7ull << 21) + (3ull << 16));
+    EXPECT_EQ(hs.pageBase(va, 2), 7ull << 21);
+    EXPECT_EQ(hs.pageNumber(va, 1), (7ull << 5) + 3);
+    EXPECT_TRUE(hs.aligned(7ull << 21, 2));
+    EXPECT_FALSE(hs.aligned(va, 1));
+    EXPECT_EQ(hs.levelName(0), std::string("base"));
+    EXPECT_EQ(hs.levelName(2), std::string("large"));
+    EXPECT_EQ(hs.levelName(1), std::string("mid"));
+}
+
+}  // namespace
+}  // namespace mosaic

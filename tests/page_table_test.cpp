@@ -135,13 +135,17 @@ TEST(PageTableTest, WalkPathHasFourLevels)
 {
     PtRig rig;
     rig.pt.mapBasePage(0x123456789000ull, 0x4000);
+    ASSERT_EQ(rig.pt.numWalkLevels(), PageTable::kLevels);
     const auto path = rig.pt.walkPath(0x123456789000ull);
-    for (const Addr pte : path)
-        EXPECT_NE(pte, kInvalidAddr);
+    for (unsigned d = 0; d < rig.pt.numWalkLevels(); ++d)
+        EXPECT_NE(path[d], kInvalidAddr);
     EXPECT_EQ(path[0] & ~0xFFFull, rig.pt.rootAddr());
-    // All PTE addresses are 8-byte aligned.
-    for (const Addr pte : path)
-        EXPECT_EQ(pte % 8, 0u);
+    // All PTE addresses are 8-byte aligned; depths past the walk's last
+    // level stay invalid.
+    for (unsigned d = 0; d < rig.pt.numWalkLevels(); ++d)
+        EXPECT_EQ(path[d] % 8, 0u);
+    for (unsigned d = rig.pt.numWalkLevels(); d < PageTable::kMaxLevels; ++d)
+        EXPECT_EQ(path[d], kInvalidAddr);
 }
 
 TEST(PageTableTest, WalkPathTruncatedForUnmappedRegion)

@@ -119,6 +119,102 @@ TEST(TlbTest, SetAssociativeGeometryRespected)
     EXPECT_EQ(present, 2);
 }
 
+TlbConfig
+tridentTlb()
+{
+    TlbConfig c = smallTlb();
+    c.numSizeLevels = 3;  // one intermediate array
+    c.midEntries = 4;
+    c.midWays = 0;
+    return c;
+}
+
+TlbConfig
+coltTlb()
+{
+    TlbConfig c = smallTlb();
+    c.coltEnabled = true;
+    c.coltEntries = 4;
+    c.coltWays = 0;
+    c.coltSpanPagesLog2 = 2;  // 4-page groups
+    return c;
+}
+
+TEST(TlbTest, DefaultPairHasNoMidOrColtArrays)
+{
+    Tlb tlb(smallTlb());
+    EXPECT_EQ(tlb.numMidLevels(), 0u);
+    EXPECT_FALSE(tlb.hasColt());
+    EXPECT_EQ(tlb.coltOccupancy(), 0u);
+}
+
+TEST(TlbTest, MidArrayIsSeparateFromBaseAndLarge)
+{
+    Tlb tlb(tridentTlb());
+    ASSERT_EQ(tlb.numMidLevels(), 1u);
+    tlb.fillMid(0, 0, 42);
+    EXPECT_TRUE(tlb.lookupMid(0, 0, 42));
+    EXPECT_FALSE(tlb.lookupBase(0, 42));
+    EXPECT_FALSE(tlb.lookupLarge(0, 42));
+    EXPECT_EQ(tlb.midOccupancy(0), 1u);
+}
+
+TEST(TlbTest, FlushMidRemovesOnlyThatEntry)
+{
+    Tlb tlb(tridentTlb());
+    tlb.fillMid(0, 0, 5);
+    tlb.fillMid(0, 0, 6);
+    EXPECT_TRUE(tlb.flushMid(0, 0, 5));
+    EXPECT_FALSE(tlb.containsMid(0, 0, 5));
+    EXPECT_TRUE(tlb.containsMid(0, 0, 6));
+    EXPECT_FALSE(tlb.flushMid(0, 0, 5));  // already gone
+}
+
+TEST(TlbTest, MidStatsCountPerLevel)
+{
+    Tlb tlb(tridentTlb());
+    tlb.fillMid(0, 0, 1);
+    tlb.lookupMid(0, 0, 1);  // hit
+    tlb.lookupMid(0, 0, 2);  // miss
+    EXPECT_EQ(tlb.stats().midAccesses[0], 2u);
+    EXPECT_EQ(tlb.stats().midHits[0], 1u);
+}
+
+TEST(TlbTest, ColtEntryCoversItsWholeGroup)
+{
+    Tlb tlb(coltTlb());
+    ASSERT_TRUE(tlb.hasColt());
+    // Filling any page of the 4-page group installs the group entry;
+    // every page of the group then hits, the next group misses.
+    tlb.fillColt(0, 5);  // group 1 = base vpns 4..7
+    EXPECT_TRUE(tlb.lookupColt(0, 4));
+    EXPECT_TRUE(tlb.lookupColt(0, 7));
+    EXPECT_FALSE(tlb.lookupColt(0, 8));
+    EXPECT_EQ(tlb.coltOccupancy(), 1u);
+    EXPECT_EQ(tlb.stats().coltFills, 1u);
+}
+
+TEST(TlbTest, ColtShootdownIsExactToTheGroup)
+{
+    Tlb tlb(coltTlb());
+    tlb.fillColt(0, 0);   // group 0
+    tlb.fillColt(0, 4);   // group 1
+    // Invalidating via any page of group 0 removes exactly that entry.
+    EXPECT_TRUE(tlb.flushColtGroup(0, 3));
+    EXPECT_FALSE(tlb.containsColtGroup(0, 0));
+    EXPECT_TRUE(tlb.containsColtGroup(0, 4));
+    EXPECT_EQ(tlb.stats().coltShootdowns, 1u);
+    EXPECT_FALSE(tlb.flushColtGroup(0, 3));  // already gone
+}
+
+TEST(TlbTest, ColtEntriesAreTaggedByAddressSpace)
+{
+    Tlb tlb(coltTlb());
+    tlb.fillColt(1, 8);
+    EXPECT_TRUE(tlb.containsColtGroup(1, 8));
+    EXPECT_FALSE(tlb.containsColtGroup(2, 8));
+}
+
 /** Property sweep over TLB sizes used in the Fig. 14/15 sensitivity. */
 class TlbSizeTest : public ::testing::TestWithParam<std::size_t>
 {

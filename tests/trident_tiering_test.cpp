@@ -1,0 +1,151 @@
+/** @file Unit tests for intermediate-level (Trident) tiering in the
+ *  Mosaic manager: mid-run promotion by the In-Place Coalescer and
+ *  demotion through CAC on release. DESIGN.md §13. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats_registry.h"
+#include "mm/mosaic_manager.h"
+#include "vm/page_table.h"
+
+namespace mosaic {
+namespace {
+
+constexpr Addr kVa = 1ull << 40;
+
+/** Trident sizes with top promotion deferred until full residency, so
+ *  the intermediate tier is what provides reach while pages fault in. */
+MosaicConfig
+tridentConfig(unsigned threshold = kBasePagesPerLargePage)
+{
+    MosaicConfig cfg;
+    cfg.sizes = PageSizeHierarchy::trident();
+    cfg.coalesceResidentThreshold = threshold;
+    return cfg;
+}
+
+struct TridentRig
+{
+    RegionPtNodeAllocator alloc{1ull << 33, 256ull << 20};
+    MosaicManager mgr;
+    PageTable pt;
+
+    explicit TridentRig(MosaicConfig cfg = tridentConfig())
+        : mgr(0, 64 * kLargePageSize, cfg),
+          pt(0, alloc, cfg.sizes)
+    {
+        mgr.setEnv(ManagerEnv{});
+        mgr.registerApp(0, pt);
+    }
+
+    /** Faults pages [first, first+count) of the region at kVa. */
+    void
+    back(std::uint64_t first, std::uint64_t count)
+    {
+        for (std::uint64_t i = first; i < first + count; ++i)
+            EXPECT_TRUE(mgr.backPage(0, kVa + i * kBasePageSize));
+    }
+};
+
+const std::uint64_t kRunPages = PageSizeHierarchy::trident().basePagesPer(1);
+
+TEST(TridentTieringTest, MidRunPromotesWhenFullyResident)
+{
+    TridentRig rig;
+    rig.mgr.reserveRegion(0, kVa, kLargePageSize);
+    // Deferred top promotion: the chunk is committed but not coalesced.
+    EXPECT_FALSE(rig.pt.isCoalesced(kVa));
+
+    rig.back(0, kRunPages - 1);
+    EXPECT_FALSE(rig.pt.isCoalescedAt(kVa, 1));  // one page short
+
+    rig.back(kRunPages - 1, 1);
+    EXPECT_TRUE(rig.pt.isCoalescedAt(kVa, 1));
+    EXPECT_EQ(rig.mgr.stats().midCoalesceOps, 1u);
+    const Translation t = rig.pt.translate(kVa);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.level, 1u);
+
+    // The frame's run mask mirrors the page-table bit.
+    const std::size_t f = rig.mgr.state().pool.frameIndex(t.physAddr);
+    EXPECT_TRUE(rig.mgr.state().pool.frame(f).hasMidRuns());
+    EXPECT_EQ(rig.mgr.state().pool.frame(f).midRuns[0] & 1u, 1u);
+}
+
+TEST(TridentTieringTest, RunsPromoteIndependently)
+{
+    TridentRig rig;
+    rig.mgr.reserveRegion(0, kVa, kLargePageSize);
+    rig.back(2 * kRunPages, kRunPages);  // run 2 only
+    EXPECT_FALSE(rig.pt.isCoalescedAt(kVa, 1));
+    EXPECT_TRUE(rig.pt.isCoalescedAt(kVa + 2 * kRunPages * kBasePageSize, 1));
+    EXPECT_EQ(rig.mgr.stats().midCoalesceOps, 1u);
+}
+
+TEST(TridentTieringTest, FullResidencyPromotesTopOverMidRuns)
+{
+    TridentRig rig;
+    rig.mgr.reserveRegion(0, kVa, kLargePageSize);
+    rig.back(0, kBasePagesPerLargePage);
+    // Runs promote along the way; the last run's final page completes
+    // the whole frame, so the top-level promotion wins there instead.
+    EXPECT_EQ(rig.mgr.stats().midCoalesceOps,
+              kBasePagesPerLargePage / kRunPages - 1);
+    EXPECT_TRUE(rig.pt.isCoalesced(kVa));
+    EXPECT_EQ(rig.mgr.stats().coalesceOps, 1u);
+    const Translation t = rig.pt.translate(kVa + 5 * kBasePageSize);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.level, rig.pt.sizes().topLevel());
+}
+
+TEST(TridentTieringTest, BrokenRunIsDemotedOnRelease)
+{
+    TridentRig rig;
+    rig.mgr.reserveRegion(0, kVa, kLargePageSize);
+    rig.back(0, kRunPages);
+    ASSERT_TRUE(rig.pt.isCoalescedAt(kVa, 1));
+
+    // Releasing one page breaks the run's contiguity: CAC must demote
+    // it (splinterMidRuns with onlyBroken) before the hole exists.
+    rig.mgr.releaseRegion(0, kVa + 3 * kBasePageSize, kBasePageSize);
+    EXPECT_FALSE(rig.pt.isCoalescedAt(kVa, 1));
+    EXPECT_EQ(rig.mgr.stats().midSplinterOps, 1u);
+}
+
+TEST(TridentTieringTest, IntactRunsKeepTheirReachOnReleaseElsewhere)
+{
+    TridentRig rig;
+    rig.mgr.reserveRegion(0, kVa, kLargePageSize);
+    rig.back(0, 2 * kRunPages);  // runs 0 and 1 promoted
+    ASSERT_EQ(rig.mgr.stats().midCoalesceOps, 2u);
+
+    rig.mgr.releaseRegion(0, kVa + (kRunPages + 1) * kBasePageSize,
+                          kBasePageSize);  // hole in run 1
+    EXPECT_TRUE(rig.pt.isCoalescedAt(kVa, 1));  // run 0 untouched
+    EXPECT_FALSE(
+        rig.pt.isCoalescedAt(kVa + kRunPages * kBasePageSize, 1));
+    EXPECT_EQ(rig.mgr.stats().midSplinterOps, 1u);
+}
+
+TEST(TridentTieringTest, DefaultPairNeverTiersAndHidesTheMetrics)
+{
+    // The default two-size pair must not grow new metric names (the
+    // golden suite byte-compares metric snapshots) nor new behavior.
+    MosaicConfig def;
+    RegionPtNodeAllocator alloc{1ull << 33, 256ull << 20};
+    MosaicManager mgr(0, 64 * kLargePageSize, def);
+    PageTable pt(0, alloc);
+    mgr.setEnv(ManagerEnv{});
+    mgr.registerApp(0, pt);
+    StatsRegistry reg;
+    mgr.registerMetrics(reg);
+    EXPECT_EQ(reg.snapshot(0).find("mm.mosaic.midCoalesceOps"), nullptr);
+
+    StatsRegistry treg;
+    TridentRig trig;
+    trig.mgr.registerMetrics(treg);
+    EXPECT_NE(treg.snapshot(0).find("mm.mosaic.midCoalesceOps"), nullptr);
+}
+
+}  // namespace
+}  // namespace mosaic

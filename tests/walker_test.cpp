@@ -279,6 +279,73 @@ TEST(WalkerTest, NoPwcByDefault)
     EXPECT_EQ(walker.stats().pwcMisses, 0u);
 }
 
+TEST(WalkerTest, TridentWalkDescendsFiveDepths)
+{
+    // {4K,64K,2M}: three radix-9 levels above 2MB plus one depth per
+    // extra size boundary = 5 PTE reads per walk instead of 4.
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    PageTable pt(1, rig.alloc, PageSizeHierarchy::trident());
+    pt.mapBasePage(0x4000, 0x8000);
+    Translation result;
+    walker.requestWalk(pt, 0x4000, [&](const Translation &t) {
+        result = t;
+    });
+    rig.ev.runAll();
+    ASSERT_TRUE(result.valid);
+    EXPECT_EQ(result.physAddr, 0x8000u);
+    EXPECT_EQ(result.level, 0u);
+    EXPECT_EQ(rig.dram.stats().reads, 5u);
+}
+
+TEST(WalkerTest, TridentMidCoalescedRunYieldsMidLevelTranslation)
+{
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    const PageSizeHierarchy hs = PageSizeHierarchy::trident();
+    PageTable pt(1, rig.alloc, hs);
+    const Addr va = 3ull << hs.bits(1);
+    const Addr pa = 9ull << hs.bits(1);
+    for (std::uint64_t i = 0; i < hs.basePagesPer(1); ++i)
+        pt.mapBasePage(va + i * kBasePageSize, pa + i * kBasePageSize);
+    pt.coalesceLevel(va, 1);
+
+    Translation result;
+    walker.requestWalk(pt, va + 0x3000, [&](const Translation &t) {
+        result = t;
+    });
+    rig.ev.runAll();
+    ASSERT_TRUE(result.valid);
+    EXPECT_EQ(result.level, 1u);
+    EXPECT_EQ(result.size, PageSize::Large);
+    // Coalescing changes what the bits mean, not how many accesses the
+    // walk makes (same contract as the default pair's four reads).
+    EXPECT_EQ(rig.dram.stats().reads, 5u);
+}
+
+TEST(WalkerTest, SingleLevelHierarchyWalksFourDepths)
+{
+    // The degenerate base-only hierarchy {4K}: pure radix-9 descent,
+    // no coalesced bits anywhere, same four depths as the default pair.
+    WalkRig rig;
+    auto walker = rig.makeWalker();
+    const PageSizeHierarchy one{kBasePageBits};
+    ASSERT_TRUE(one.valid());
+    PageTable pt(1, rig.alloc, one);
+    pt.mapBasePage(0x7000, 0x9000);
+    Translation result;
+    walker.requestWalk(pt, 0x7000, [&](const Translation &t) {
+        result = t;
+    });
+    rig.ev.runAll();
+    ASSERT_TRUE(result.valid);
+    EXPECT_EQ(result.physAddr, 0x9000u);
+    EXPECT_EQ(result.level, 0u);
+    EXPECT_EQ(result.size, PageSize::Base);
+    EXPECT_EQ(rig.dram.stats().reads, 4u);
+    EXPECT_EQ(walker.stats().largeResults, 0u);
+}
+
 TEST(WalkerTest, LatencyHistogramPopulated)
 {
     WalkRig rig;

@@ -71,6 +71,10 @@ struct FuzzConfig
     bool useBulkCopy = false;
     unsigned interleave = 0;  ///< ChannelInterleave as an int
     unsigned coalesceThreshold = 0;
+    /** Page-size hierarchy under fuzz (default: the classic pair). */
+    PageSizeHierarchy sizes;
+    /** Enable CoLT coalesced base-TLB entries on the fuzz TLBs. */
+    bool colt = false;
     std::vector<FuzzOp> ops;
 };
 
@@ -135,6 +139,8 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
     WalkerConfig walker_cfg;
     PageTableWalker walker(events, caches, walker_cfg);
     TranslationConfig tr_cfg;
+    tr_cfg.sizes = cfg.sizes;
+    tr_cfg.colt = cfg.colt;
     TranslationService translation(events, walker, cache_cfg.numSms, tr_cfg,
                                    nullptr, nullptr, router);
     if (engine != nullptr) {
@@ -150,6 +156,7 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
     MosaicConfig mosaic_cfg;
     mosaic_cfg.cac.useBulkCopy = cfg.useBulkCopy;
     mosaic_cfg.coalesceResidentThreshold = cfg.coalesceThreshold;
+    mosaic_cfg.sizes = cfg.sizes;
     auto manager = makeManager(cfg, 0, pool_bytes, mosaic_cfg);
 
     InvariantChecker::Config check_cfg;
@@ -171,7 +178,7 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
     std::vector<std::unique_ptr<PageTable>> tables;
     for (unsigned a = 0; a < cfg.apps; ++a) {
         tables.push_back(std::make_unique<PageTable>(
-            static_cast<AppId>(a), pt_alloc));
+            static_cast<AppId>(a), pt_alloc, cfg.sizes));
         checker.observePageTable(*tables.back());
         manager->registerApp(static_cast<AppId>(a), *tables.back());
         translation.registerApp(static_cast<AppId>(a), *tables.back());
@@ -297,16 +304,28 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
 /** Generates a schedule (and config bits) deterministically from a seed. */
 FuzzConfig
 generate(std::uint64_t seed, std::size_t numOps, const std::string &manager,
-         bool oversubscribe, unsigned apps)
+         bool oversubscribe, unsigned apps,
+         const PageSizeHierarchy &sizes = {}, bool colt = false)
 {
     FuzzConfig cfg;
     cfg.manager = manager;
     cfg.oversubscribe = oversubscribe;
     cfg.apps = apps;
+    cfg.sizes = sizes;
+    cfg.colt = colt;
     Rng rng(seed);
     cfg.useBulkCopy = rng.chance(0.5);
     cfg.interleave = static_cast<unsigned>(rng.below(3));
     cfg.coalesceThreshold = rng.chance(0.25) ? 256 : 0;
+    if (sizes.numLevels() > 2) {
+        // Tiering knobs come from a *separate* hash of the seed so the
+        // main stream above -- and therefore every default-pair
+        // schedule -- stays byte-identical with or without --sizes.
+        Rng trident_rng(seed * 0x9E3779B97F4A7C15ull + 0x632BE59Bull);
+        // Residency-gated mid promotion vs promote-on-full: both
+        // branches of InPlaceCoalescer::tryCoalesceRun get coverage.
+        cfg.coalesceThreshold = trident_rng.chance(0.5) ? 64 : 0;
+    }
     cfg.ops.reserve(numOps);
     for (std::size_t i = 0; i < numOps; ++i) {
         FuzzOp op;
@@ -369,7 +388,14 @@ writeSchedule(const FuzzConfig &cfg, std::ostream &os)
     os << "manager=" << cfg.manager << " oversub=" << cfg.oversubscribe
        << " apps=" << cfg.apps << " bulkcopy=" << cfg.useBulkCopy
        << " interleave=" << cfg.interleave
-       << " threshold=" << cfg.coalesceThreshold << "\n";
+       << " threshold=" << cfg.coalesceThreshold;
+    // Emitted only when non-default so pre-existing corpus files (and
+    // the determinism smoke's dump comparisons) keep their exact bytes.
+    if (!cfg.sizes.isDefaultPair())
+        os << " sizes=" << cfg.sizes.toString();
+    if (cfg.colt)
+        os << " colt=1";
+    os << "\n";
     for (const FuzzOp &op : cfg.ops) {
         os << static_cast<unsigned>(op.op) << " " << op.app << " "
            << op.slot << " " << op.pages << " " << op.page << "\n";
@@ -413,6 +439,15 @@ readSchedule(const std::string &path, FuzzConfig &cfg)
             else if (key == "threshold")
                 cfg.coalesceThreshold =
                     static_cast<unsigned>(std::stoul(val));
+            else if (key == "sizes") {
+                if (!PageSizeHierarchy::parse(val, cfg.sizes)) {
+                    std::fprintf(stderr,
+                                 "mosaic_fuzz: %s: bad sizes= spec\n",
+                                 path.c_str());
+                    return false;
+                }
+            } else if (key == "colt")
+                cfg.colt = val != "0";
         }
     }
     while (std::getline(in, line)) {
@@ -487,11 +522,18 @@ usage()
         "usage: mosaic_fuzz [--seed N] [--ops N] [--apps N]\n"
         "                   [--manager mosaic|gpummu|largeonly]\n"
         "                   [--oversubscribe] [--shards N] [--out FILE]\n"
+        "                   [--sizes LIST] [--colt]\n"
         "       mosaic_fuzz --smoke [--seed N] [--ops N] [--shards N]\n"
         "       mosaic_fuzz --replay FILE [--shards N]\n"
         "\n"
         "--shards N runs the services over the sharded engine with N\n"
-        "worker threads (0 = serial); invariant verdicts are identical.\n");
+        "worker threads (0 = serial); invariant verdicts are identical.\n"
+        "--sizes LIST fuzzes a custom page-size hierarchy (smallest\n"
+        "first, e.g. 4K,64K,2M); tiering knobs then derive from a\n"
+        "separate hash of the seed, so default-pair schedules are\n"
+        "byte-identical with or without the flag. --colt enables\n"
+        "coalesced base-TLB entries. Replay files carry both settings\n"
+        "in their header.\n");
     return 2;
 }
 
@@ -509,6 +551,8 @@ main(int argc, char **argv)
     bool smoke = false;
     std::string replay_path;
     std::string out_path;
+    PageSizeHierarchy sizes;
+    bool colt = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -538,6 +582,13 @@ main(int argc, char **argv)
             replay_path = next();
         else if (arg == "--out")
             out_path = next();
+        else if (arg == "--sizes") {
+            if (!PageSizeHierarchy::parse(next(), sizes)) {
+                std::fprintf(stderr, "mosaic_fuzz: bad --sizes spec\n");
+                return 2;
+            }
+        } else if (arg == "--colt")
+            colt = true;
         else
             return usage();
     }
@@ -558,13 +609,15 @@ main(int argc, char **argv)
         int rc = 0;
         for (const char *m : {"mosaic", "gpummu", "largeonly"}) {
             for (const bool over : {false, true}) {
-                FuzzConfig cfg = generate(seed, ops, m, over, apps);
+                FuzzConfig cfg =
+                    generate(seed, ops, m, over, apps, sizes, colt);
                 rc |= runAndReport(std::move(cfg), seed, out_path, shards);
             }
         }
         return rc;
     }
 
-    FuzzConfig cfg = generate(seed, ops, manager, oversubscribe, apps);
+    FuzzConfig cfg =
+        generate(seed, ops, manager, oversubscribe, apps, sizes, colt);
     return runAndReport(std::move(cfg), seed, out_path, shards);
 }

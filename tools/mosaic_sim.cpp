@@ -45,6 +45,10 @@ usage()
         "  --churn                enable allocation churn\n"
         "  --tight-memory         DRAM = ~8x working set\n"
         "  --no-cac | --cac-bc | --cac-ideal\n"
+        "  --sizes <list>         page-size hierarchy, smallest first, as\n"
+        "                         a comma list of sizes with K/M suffixes\n"
+        "                         (default 4K,2M; e.g. Trident 4K,64K,2M)\n"
+        "  --colt                 coalesced (CoLT) base-TLB entries\n"
         "  --rr                   round-robin warp scheduler\n"
         "  --seed <n>             simulation seed (default 1)\n"
         "  --shards <n>           run the sharded engine with <n> worker\n"
@@ -88,6 +92,8 @@ main(int argc, char **argv)
     double frag = 0.0, occ = 0.0;
     bool churn = false, tight = false;
     bool no_cac = false, cac_bc = false, cac_ideal = false, rr = false;
+    std::string sizes_spec;
+    bool colt = false;
     std::uint64_t seed = 1;
     unsigned shards = 0;
     bool weighted = false;
@@ -153,6 +159,10 @@ main(int argc, char **argv)
             cac_bc = true;
         } else if (match(a, "--cac-ideal")) {
             cac_ideal = true;
+        } else if (match(a, "--sizes")) {
+            sizes_spec = next("--sizes");
+        } else if (match(a, "--colt")) {
+            colt = true;
         } else if (match(a, "--rr")) {
             rr = true;
         } else if (match(a, "--seed")) {
@@ -239,6 +249,20 @@ main(int argc, char **argv)
     config.mosaic.cac.enabled = !no_cac;
     config.mosaic.cac.useBulkCopy = cac_bc;
     config.mosaic.cac.ideal = cac_ideal;
+    if (!sizes_spec.empty() || colt) {
+        PageSizeHierarchy hierarchy;
+        if (!sizes_spec.empty() &&
+            !PageSizeHierarchy::parse(sizes_spec, hierarchy)) {
+            std::fprintf(stderr,
+                         "bad --sizes spec '%s' (want up to %u "
+                         "strictly-ascending sizes, smallest first, "
+                         "e.g. 4K,64K,2M with a 2M top)\n",
+                         sizes_spec.c_str(),
+                         PageSizeHierarchy::kMaxSizeLevels);
+            return 1;
+        }
+        config = config.withSizeHierarchy(hierarchy, colt);
+    }
     config.seed = seed;
     if (shards > 0)
         config = config.withEngineShards(shards);
