@@ -48,6 +48,7 @@ struct Sample
     double wallSeconds = 0.0;
     std::uint64_t simCycles = 0;
     std::string snapshot;
+    EngineShardProfile profile;  ///< zeros for the serial engine
 };
 
 Sample
@@ -67,6 +68,7 @@ measure(unsigned shards)
     s.wallSeconds = std::chrono::duration<double>(end - begin).count();
     s.simCycles = result.totalCycles;
     s.snapshot = metricsToJson(result, managerKindName(config.manager));
+    s.profile = result.engineShard;
     return s;
 }
 
@@ -124,18 +126,27 @@ main(int argc, char **argv)
            "engine pays barrier costs with no parallel SM phase to "
            "amortize them\",\n"
         << "  \"runs\": [\n";
-    char buf[256];
+    // Each sharded run carries its engine self-profile (DESIGN.md §12):
+    // hub occupancy answers "is the hub the bottleneck?" from the
+    // simulated side; worker utilization / barrier-wait share answer it
+    // from the wall-clock side on this host.
+    char buf[512];
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const Sample &s = samples[i];
         std::snprintf(buf, sizeof buf,
                       "    {\"shards\": %u, \"wall_seconds\": %.4f, "
                       "\"sim_cycles\": %llu, "
                       "\"sim_cycles_per_second\": %.4g, "
-                      "\"speedup_vs_serial\": %.3f}%s\n",
+                      "\"speedup_vs_serial\": %.3f, "
+                      "\"hub_occupancy\": %.4f, "
+                      "\"worker_utilization\": %.4f, "
+                      "\"barrier_wait_share\": %.4f}%s\n",
                       s.shards, s.wallSeconds,
                       static_cast<unsigned long long>(s.simCycles),
                       double(s.simCycles) / s.wallSeconds,
-                      serial_wall / s.wallSeconds,
+                      serial_wall / s.wallSeconds, s.profile.hubOccupancy,
+                      s.profile.workerUtilization,
+                      s.profile.barrierWaitShare,
                       i + 1 < samples.size() ? "," : "");
         out << buf;
     }

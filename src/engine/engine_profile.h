@@ -1,0 +1,69 @@
+/**
+ * @file
+ * EngineShardProfile: the sharded engine's self-profile, harvested once
+ * at the end of a run (SimResult::engineShard).
+ *
+ * Two kinds of figures live here, with different determinism contracts:
+ *
+ *  - *Simulated* figures (lanes, epochs, per-lane event counts, hub
+ *    traffic, window jumps) are pure functions of the simulation and are
+ *    byte-identical for every worker count N >= 1. These are also
+ *    registered in the StatsRegistry under `engine.shard.*`.
+ *
+ *  - *Wall-clock* figures (phase times, per-worker busy time, barrier
+ *    wait share) describe the host execution and naturally vary run to
+ *    run. They are deliberately NOT registered in the StatsRegistry --
+ *    snapshots must stay byte-identical across worker counts -- and are
+ *    only reachable through this struct (bench/shard_scaling records
+ *    them into BENCH_shard.json).
+ *
+ * This is the measurement behind ROADMAP 6(b): `hubOccupancy` near 1.0
+ * with low worker utilization says the single hub lane bounds speedup
+ * and is worth sharding next.
+ */
+
+#ifndef MOSAIC_ENGINE_ENGINE_PROFILE_H
+#define MOSAIC_ENGINE_ENGINE_PROFILE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mosaic {
+
+/** End-of-run self-profile of one ShardedEngine (empty when serial). */
+struct EngineShardProfile
+{
+    // --- simulated (deterministic, worker-count independent) ---------
+    std::uint64_t lanes = 0;          ///< SM lanes (excludes the hub)
+    std::uint64_t epochs = 0;         ///< windows executed
+    std::uint64_t windowJumps = 0;    ///< idle multi-window skips taken
+    std::uint64_t jumpedCycles = 0;   ///< cycles skipped by those jumps
+    std::uint64_t hubEvents = 0;      ///< events the hub lane dispatched
+    std::uint64_t hubInMsgs = 0;      ///< SM->hub messages merged
+    std::uint64_t hubToSmTimed = 0;   ///< hub->SM timed deliveries
+    std::uint64_t hubToSmDeferred = 0;  ///< hub->SM window-edge calls
+    std::uint64_t hubBusyWindows = 0;   ///< windows with hub dispatches
+    std::vector<std::uint64_t> laneEvents;       ///< per SM lane
+    std::vector<std::uint64_t> laneOutMsgs;      ///< per SM lane
+    std::vector<std::uint64_t> laneBusyWindows;  ///< per SM lane
+
+    /** hubBusyWindows / epochs: share of windows the hub worked in. */
+    double hubOccupancy = 0.0;
+
+    // --- wall-clock (host-dependent; bench-only) ---------------------
+    std::uint64_t workers = 0;     ///< threads used, incl. coordinator
+    double wallSmPhaseSec = 0.0;   ///< total SM-phase wall time
+    double wallHubSec = 0.0;       ///< total hub-phase wall time
+    double wallExchangeSec = 0.0;  ///< barrier + merge + delivery time
+    std::vector<double> workerBusySec;  ///< [0]=coordinator, [i]=thread i
+
+    /** sum(workerBusySec) / (workers * wallSmPhaseSec), in [0, 1]. */
+    double workerUtilization = 0.0;
+
+    /** 1 - workerUtilization: share of SM-phase time spent waiting. */
+    double barrierWaitShare = 0.0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_ENGINE_ENGINE_PROFILE_H

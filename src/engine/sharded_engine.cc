@@ -1,20 +1,37 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "common/log.h"
+#include "common/stats_registry.h"
 #include "common/types.h"
+#include "trace/trace_mux.h"
 
 namespace mosaic {
+
+namespace {
+
+/** Wall-clock nanoseconds between two steady_clock points. */
+double
+elapsedNs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::nano>(to - from).count();
+}
+
+}  // namespace
 
 ShardedEngine::ShardedEngine(unsigned numSms, unsigned workers)
     : lanes_(numSms)
 {
     MOSAIC_ASSERT(numSms > 0, "sharded engine needs at least one SM lane");
     unsigned n = std::max(1u, std::min(workers, numSms));
+    workerBusyNs_.assign(n, 0.0);
     threads_.reserve(n - 1);
     for (unsigned i = 0; i + 1 < n; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ShardedEngine::~ShardedEngine()
@@ -62,6 +79,124 @@ ShardedEngine::addBarrierHook(std::function<void()> hook)
     barrierHooks_.push_back(std::move(hook));
 }
 
+void
+ShardedEngine::registerMetrics(StatsRegistry &registry)
+{
+    // Simulated figures only: every bound value is a pure function of
+    // the simulation, so metrics snapshots stay byte-identical for
+    // every worker count N >= 1 (tests/shard_test.cpp byte-compares
+    // them). Wall-clock and worker-count live in profile() instead.
+    registry.bindCounterFn("engine.shard.lanes", [this] {
+        return static_cast<std::uint64_t>(lanes_.size());
+    });
+    registry.bindCounterFn("engine.shard.epochs", [this] { return epochs_; });
+    registry.bindCounter("engine.shard.windowJumps", windowJumps_);
+    registry.bindCounter("engine.shard.jumpedCycles", jumpedCycles_);
+    registry.bindCounterFn("engine.shard.hub.events",
+                           [this] { return hub_.executed(); });
+    registry.bindCounter("engine.shard.hub.inMsgs", hubInMsgs_);
+    registry.bindCounter("engine.shard.hub.toSmTimed", hubToSmTimed_);
+    registry.bindCounter("engine.shard.hub.toSmDeferred", hubToSmDeferred_);
+    registry.bindCounter("engine.shard.hub.busyWindows", hubBusyWindows_);
+    registry.bindGaugeFn("engine.shard.hub.occupancy", [this] {
+        return epochs_ == 0
+                   ? 0.0
+                   : static_cast<double>(hubBusyWindows_) /
+                         static_cast<double>(epochs_);
+    });
+    registry.bindHistogram("engine.shard.hub.queueDepth", hubQueueDepth_);
+    registry.bindHistogram("engine.shard.hub.windowEvents", hubWindowEvents_);
+    registry.addProvider([this](StatsRegistry::Sink &sink) {
+        for (std::size_t i = 0; i < lanes_.size(); ++i) {
+            const MetricLabels labels{{"lane", std::to_string(i)}};
+            sink.counter("engine.shard.lane.events", labels,
+                         lanes_[i].queue.executed());
+            sink.counter("engine.shard.lane.outMsgs", labels,
+                         lanes_[i].outMsgs);
+            sink.counter("engine.shard.lane.busyWindows", labels,
+                         lanes_[i].busyWindows);
+        }
+    });
+}
+
+void
+ShardedEngine::setTrace(TraceMux *mux)
+{
+    trace_ = mux;
+}
+
+void
+ShardedEngine::setEpochSampleHook(std::function<void(Cycles)> hook)
+{
+    epochSampleHook_ = std::move(hook);
+}
+
+EngineShardProfile
+ShardedEngine::profile() const
+{
+    EngineShardProfile p;
+    p.lanes = lanes_.size();
+    p.epochs = epochs_;
+    p.windowJumps = windowJumps_;
+    p.jumpedCycles = jumpedCycles_;
+    p.hubEvents = hub_.executed();
+    p.hubInMsgs = hubInMsgs_;
+    p.hubToSmTimed = hubToSmTimed_;
+    p.hubToSmDeferred = hubToSmDeferred_;
+    p.hubBusyWindows = hubBusyWindows_;
+    p.laneEvents.reserve(lanes_.size());
+    p.laneOutMsgs.reserve(lanes_.size());
+    p.laneBusyWindows.reserve(lanes_.size());
+    for (const Lane &lane : lanes_) {
+        p.laneEvents.push_back(lane.queue.executed());
+        p.laneOutMsgs.push_back(lane.outMsgs);
+        p.laneBusyWindows.push_back(lane.busyWindows);
+    }
+    p.hubOccupancy = epochs_ == 0 ? 0.0
+                                  : static_cast<double>(hubBusyWindows_) /
+                                        static_cast<double>(epochs_);
+    p.workers = workers();
+    p.wallSmPhaseSec = wallSmPhaseNs_ * 1e-9;
+    p.wallHubSec = wallHubNs_ * 1e-9;
+    p.wallExchangeSec = wallExchangeNs_ * 1e-9;
+    double busySec = 0.0;
+    p.workerBusySec.reserve(workerBusyNs_.size());
+    for (const double ns : workerBusyNs_) {
+        p.workerBusySec.push_back(ns * 1e-9);
+        busySec += ns * 1e-9;
+    }
+    const double smCapacity =
+        static_cast<double>(p.workers) * p.wallSmPhaseSec;
+    if (smCapacity > 0.0) {
+        p.workerUtilization = std::min(1.0, busySec / smCapacity);
+        p.barrierWaitShare = 1.0 - p.workerUtilization;
+    }
+    return p;
+}
+
+void
+ShardedEngine::sampleTrace(Cycles windowEnd)
+{
+    // Runs on the coordinating thread with workers parked; every value
+    // and timestamp is a pure function of the simulation, so sampled
+    // counter tracks survive the N-independence byte-comparison.
+    Tracer *hubRing = trace_->hub();
+    hubRing->counter(trace_->laneWindowEventsName(0), windowEnd,
+                     hub_.executed() - hubLastSampled_);
+    hubRing->counter(trace_->laneQueueDepthName(0), windowEnd,
+                     hub_.pending());
+    hubLastSampled_ = hub_.executed();
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        Lane &lane = lanes_[i];
+        Tracer *ring = trace_->lane(static_cast<SmId>(i));
+        ring->counter(trace_->laneWindowEventsName(1 + i), windowEnd,
+                      lane.queue.executed() - lane.lastSampled);
+        ring->counter(trace_->laneQueueDepthName(1 + i), windowEnd,
+                      lane.queue.pending());
+        lane.lastSampled = lane.queue.executed();
+    }
+}
+
 bool
 ShardedEngine::anyWork() const
 {
@@ -91,13 +226,27 @@ void
 ShardedEngine::runEpoch()
 {
     const Cycles windowEnd = windowStart_ + kWindowCycles;
+    const auto t0 = std::chrono::steady_clock::now();
 
     // 1. SM phase: lanes run [windowStart_, windowEnd) concurrently.
     smPhase(windowEnd - 1);
+    const auto t1 = std::chrono::steady_clock::now();
 
     // 2. Barrier hooks (checker flushes, epoch sweeps).
     for (auto &hook : barrierHooks_)
         hook();
+
+    // Self-profiler, SM side: outbox traffic and window occupancy.
+    // Coordinator-only, workers parked; deltas of per-lane executed()
+    // counts are pure simulation figures.
+    for (Lane &lane : lanes_) {
+        lane.outMsgs += lane.outbox.size();
+        const std::uint64_t executed = lane.queue.executed();
+        if (executed != lane.lastExecuted) {
+            ++lane.busyWindows;
+            lane.lastExecuted = executed;
+        }
+    }
 
     // 3. Exchange: merge outboxes into the hub queue in canonical
     //    (cycle, source lane, source sequence) order. The hub queue's
@@ -117,22 +266,34 @@ ShardedEngine::runEpoch()
                       return a.lane < b.lane;
                   return a.idx < b.idx;
               });
+    hubInMsgs_ += mergeScratch_.size();
     for (const MergeKey &key : mergeScratch_)
         hub_.schedule(key.when, std::move(lanes_[key.lane].outbox[key.idx].fn));
     for (Lane &lane : lanes_)
         lane.outbox.clear();
 
     // 4. Hub phase: shared components run the same window serially.
+    hubQueueDepth_.record(hub_.pending());
+    const auto t2 = std::chrono::steady_clock::now();
     hub_.runUntil(windowEnd - 1);
+    const auto t3 = std::chrono::steady_clock::now();
+    const std::uint64_t hubDelta = hub_.executed() - hubLastExecuted_;
+    if (hubDelta != 0) {
+        ++hubBusyWindows_;
+        hubWindowEvents_.record(hubDelta);
+        hubLastExecuted_ = hub_.executed();
+    }
 
     // 5. Delivery: hub -> SM messages, in hub execution order (which is
     //    deterministic because the hub phase is serial).
     for (HubMsg &msg : hubOutbox_) {
         if (msg.deferred) {
+            ++hubToSmDeferred_;
             lanes_[msg.sm].queue.schedule(windowEnd, std::move(msg.fn));
         } else {
             MOSAIC_ASSERT(msg.when >= windowEnd,
                           "hub->SM message violates the lookahead window");
+            ++hubToSmTimed_;
             lanes_[msg.sm].queue.schedule(msg.when, std::move(msg.fn));
         }
     }
@@ -147,7 +308,26 @@ ShardedEngine::runEpoch()
     windowStart_ = windowEnd;
     if (next != EventQueue::kNoEvent && next > windowEnd)
         windowStart_ = std::max(windowEnd, roundDown(next, kWindowCycles));
+    if (windowStart_ > windowEnd) {
+        ++windowJumps_;
+        jumpedCycles_ += windowStart_ - windowEnd;
+    }
     ++epochs_;
+
+    if (trace_ != nullptr) {
+        const std::uint64_t every = trace_->config().shardSampleEpochs;
+        if (every != 0 && epochs_ % every == 0) {
+            if (trace_->on(kTraceCounter))
+                sampleTrace(windowEnd);
+            if (epochSampleHook_)
+                epochSampleHook_(windowEnd);
+        }
+    }
+
+    const auto t4 = std::chrono::steady_clock::now();
+    wallSmPhaseNs_ += elapsedNs(t0, t1);
+    wallExchangeNs_ += elapsedNs(t1, t2) + elapsedNs(t3, t4);
+    wallHubNs_ += elapsedNs(t2, t3);
 }
 
 void
@@ -155,7 +335,9 @@ ShardedEngine::smPhase(Cycles limit)
 {
     if (threads_.empty()) {
         laneCursor_.store(0, std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
         runLanes(limit);
+        workerBusyNs_[0] += elapsedNs(t0, std::chrono::steady_clock::now());
         return;
     }
     {
@@ -166,7 +348,9 @@ ShardedEngine::smPhase(Cycles limit)
         ++epochGen_;
     }
     cv_.notify_all();
+    const auto t0 = std::chrono::steady_clock::now();
     runLanes(limit);
+    workerBusyNs_[0] += elapsedNs(t0, std::chrono::steady_clock::now());
     std::unique_lock<std::mutex> lk(m_);
     cvDone_.wait(lk, [this] { return pendingWorkers_ == 0; });
 }
@@ -184,7 +368,7 @@ ShardedEngine::runLanes(Cycles limit)
 }
 
 void
-ShardedEngine::workerLoop()
+ShardedEngine::workerLoop(unsigned worker)
 {
     std::uint64_t seen = 0;
     for (;;) {
@@ -197,7 +381,13 @@ ShardedEngine::workerLoop()
             seen = epochGen_;
             limit = laneLimit_;
         }
+        const auto t0 = std::chrono::steady_clock::now();
         runLanes(limit);
+        // Written before taking m_; the coordinator only reads this
+        // slot after the cvDone_ wait on m_, so the lock chain orders
+        // the access (no atomics needed, TSan-clean).
+        workerBusyNs_[worker] +=
+            elapsedNs(t0, std::chrono::steady_clock::now());
         {
             std::lock_guard<std::mutex> lk(m_);
             if (--pendingWorkers_ == 0)

@@ -56,10 +56,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
+#include "engine/engine_profile.h"
 #include "engine/event_queue.h"
 #include "engine/lane_router.h"
 
 namespace mosaic {
+
+class StatsRegistry;
+class TraceMux;
 
 /** Epoch-synchronized multi-lane event engine. */
 class ShardedEngine final : public LaneRouter
@@ -113,6 +118,39 @@ class ShardedEngine final : public LaneRouter
     void addBarrierHook(std::function<void()> hook);
 
     /**
+     * Registers the engine self-profiler under `engine.shard.*`
+     * (DESIGN.md §12). Only *simulated* figures are bound -- per-lane
+     * event counts, hub traffic, occupancy, window jumps -- never the
+     * worker count or any wall-clock time, so snapshots stay
+     * byte-identical for every worker count N >= 1.
+     */
+    void registerMetrics(StatsRegistry &registry);
+
+    /**
+     * Attaches the per-lane trace rings. The engine emits one batch of
+     * `engine.shard.*` counter-track samples (per-lane window
+     * occupancy, hub queue depth) every
+     * TraceConfig::shardSampleEpochs epochs, on the coordinating
+     * thread at the epoch barrier -- timestamps and values are pure
+     * functions of the simulation, keeping the exported trace
+     * worker-count independent. @p mux must outlive the engine.
+     */
+    void setTrace(TraceMux *mux);
+
+    /**
+     * Installs a hook called on the coordinating thread at the same
+     * epoch-sampling cadence as setTrace's counter batches (workers
+     * parked, @p windowEnd = the epoch's simulated end). The runner
+     * uses it to sample curated counter tracks into the trace without
+     * scheduling tick events on the hub queue -- keeping the
+     * self-profiler's hub figures identical with tracing on and off.
+     */
+    void setEpochSampleHook(std::function<void(Cycles windowEnd)> hook);
+
+    /** End-of-run self-profile (simulated + wall-clock figures). */
+    EngineShardProfile profile() const;
+
+    /**
      * Runs epochs until @p finished returns true, the current window
      * start reaches @p maxCycles, or no events remain anywhere (the
      * sharded analogue of the serial engine's drained-queue exit).
@@ -144,6 +182,11 @@ class ShardedEngine final : public LaneRouter
     {
         EventQueue queue;
         std::vector<OutMsg> outbox;
+        // Self-profiler accounting (coordinator-only, epoch barrier).
+        std::uint64_t outMsgs = 0;       ///< SM->hub messages sent
+        std::uint64_t busyWindows = 0;   ///< windows with dispatches
+        std::uint64_t lastExecuted = 0;  ///< executed() at last barrier
+        std::uint64_t lastSampled = 0;   ///< executed() at last trace sample
     };
 
     /** Merge key for the canonical SM->hub exchange order. */
@@ -157,8 +200,9 @@ class ShardedEngine final : public LaneRouter
     void runEpoch();
     void smPhase(Cycles limit);
     void runLanes(Cycles limit);
-    void workerLoop();
+    void workerLoop(unsigned worker);
     bool anyWork() const;
+    void sampleTrace(Cycles windowEnd);
 
     std::vector<Lane> lanes_;
     EventQueue hub_;
@@ -167,6 +211,33 @@ class ShardedEngine final : public LaneRouter
     std::vector<std::function<void()>> barrierHooks_;
     Cycles windowStart_ = 0;
     std::uint64_t epochs_ = 0;
+
+    // Self-profiler: simulated figures (deterministic; coordinator-only
+    // writes at epoch barriers). See engine/engine_profile.h.
+    std::uint64_t windowJumps_ = 0;
+    std::uint64_t jumpedCycles_ = 0;
+    std::uint64_t hubInMsgs_ = 0;
+    std::uint64_t hubToSmTimed_ = 0;
+    std::uint64_t hubToSmDeferred_ = 0;
+    std::uint64_t hubBusyWindows_ = 0;
+    std::uint64_t hubLastExecuted_ = 0;
+    std::uint64_t hubLastSampled_ = 0;
+    Histogram hubQueueDepth_{16, 64};    ///< hub pending at hub-phase start
+    Histogram hubWindowEvents_{16, 64};  ///< hub dispatches per busy window
+
+    // Self-profiler: wall-clock figures (host-dependent; excluded from
+    // the StatsRegistry). workerBusyNs_[0] is the coordinator; slot
+    // i + 1 is threads_[i], written by that thread between its runLanes
+    // return and its m_ acquisition, read by the coordinator only after
+    // the cvDone_ wait on the same mutex -- the lock chain orders every
+    // access (TSan-clean).
+    double wallSmPhaseNs_ = 0.0;
+    double wallHubNs_ = 0.0;
+    double wallExchangeNs_ = 0.0;
+    std::vector<double> workerBusyNs_;
+
+    TraceMux *trace_ = nullptr;
+    std::function<void(Cycles)> epochSampleHook_;
 
     // Worker pool. All lane handoffs go through m_ (see file comment).
     std::vector<std::thread> threads_;

@@ -179,19 +179,16 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // private to this simulation per the DESIGN.md §7 contract.
     StatsRegistry registry;
     // Optional event tracer, private to this simulation like the
-    // registry (shared_ptr only so SimResult can carry it out). Every
-    // component takes a plain pointer; null means no tracing.
-    std::shared_ptr<Tracer> tracer;
-    unsigned shards = resolveEngineShards(config);
-    if (shards > 0 && config.trace.enabled) {
-        MOSAIC_WARN_AT(0, "event tracing is not supported under the "
-                          "sharded engine; falling back to the serial "
-                          "engine for this run");
-        shards = 0;
-    }
+    // registry (shared_ptr only so SimResult can carry it out). Serial
+    // runs get one ring; sharded runs get one ring per lane (hub +
+    // per-SM), merged deterministically at export. Hub-side components
+    // take a plain `Tracer *` into the hub ring; null means no tracing.
+    const unsigned shards = resolveEngineShards(config);
+    std::shared_ptr<TraceMux> tracer;
     if (config.trace.enabled)
-        tracer = std::make_shared<Tracer>(config.trace);
-    Tracer *const tr = tracer.get();
+        tracer = std::make_shared<TraceMux>(
+            config.trace, shards > 0 ? config.gpu.numSms : 0);
+    Tracer *const tr = tracer != nullptr ? tracer->hub() : nullptr;
 
     // Engine selection (DESIGN.md §12): shards == 0 runs the classic
     // single-queue serial engine, byte-identical to every release before
@@ -200,8 +197,13 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // whose results are byte-identical across worker counts (the lane
     // structure is fixed; N only changes wall-clock time).
     std::unique_ptr<ShardedEngine> engine;
-    if (shards > 0)
+    if (shards > 0) {
         engine = std::make_unique<ShardedEngine>(config.gpu.numSms, shards);
+        // The self-profiler (DESIGN.md §12): engine.shard.* metrics are
+        // pure simulation figures, so snapshots stay N-independent.
+        engine->registerMetrics(registry);
+        engine->setTrace(tracer.get());
+    }
     LaneRouter *const router = engine.get();
     EventQueue serial_events;
     EventQueue &events = engine != nullptr ? engine->hubQueue()
@@ -226,7 +228,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
     PageTableWalker walker(events, caches, config.walker, &registry, tr);
     TranslationService translation(events, walker, config.gpu.numSms,
                                    config.translation, &registry, tr,
-                                   router);
+                                   router, tracer.get());
     PcieBus pcie(events, config.pcie, &registry, tr);
 
     // Physical layout: frames from address 0; page-table nodes in a
@@ -528,9 +530,17 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // metrics sampler above -- the tick events shift insertion sequence
     // numbers of later events but never their relative order, and the
     // callback only reads, so the simulated outcome is unchanged.
+    // Sharded runs sample at the engine's epoch barrier instead: a tick
+    // event on the hub queue would show up in the self-profiler's
+    // hub-queue figures, breaking the on/off byte-equality of
+    // engine.shard.* metrics.
     std::function<void()> trace_counter_tick;
-    if (tr != nullptr && tr->on(kTraceCounter) &&
-        config.trace.counterPeriodCycles > 0) {
+    if (engine != nullptr && tr != nullptr && tr->on(kTraceCounter)) {
+        engine->setEpochSampleHook([tr, &registry](Cycles now) {
+            sampleCounterTracks(*tr, registry, now);
+        });
+    } else if (tr != nullptr && tr->on(kTraceCounter) &&
+               config.trace.counterPeriodCycles > 0) {
         trace_counter_tick = [tr, &registry, &events, &all_finished,
                               &config, &trace_counter_tick] {
             sampleCounterTracks(*tr, registry, events.now());
@@ -630,6 +640,8 @@ runSimulation(const Workload &workload, const SimConfig &config)
     result.metrics = registry.snapshot(snap_now);
     result.metricsSamples = std::move(samples);
     result.trace = std::move(tracer);
+    if (engine != nullptr)
+        result.engineShard = engine->profile();
     deriveLegacyScalars(result);
     return result;
 }

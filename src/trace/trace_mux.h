@@ -1,0 +1,184 @@
+/**
+ * @file
+ * TraceMux: the per-lane ring-buffer set for tracing under the sharded
+ * engine (DESIGN.md §9 x §12).
+ *
+ * The POD Tracer ring (tracer.h) is the per-lane unit; the mux owns one
+ * ring per engine lane:
+ *
+ *   ring 0           -- the hub lane (L2 TLB, walker, pager, DRAM,
+ *                       PCIe, counter tracks). Id tag 0 and the full
+ *                       configured ring capacity, so hub-side ids and
+ *                       drop behavior are bit-identical to the serial
+ *                       single-ring tracer.
+ *   ring 1 + i       -- SM lane i (per-SM L1/MSHR events). Id tag
+ *                       i + 1; capacity ringCapacity / smLanes
+ *                       (floor 4096) so the total budget stays within
+ *                       ~2x the configured ring.
+ *
+ * In serial mode (smLanes == 0) the mux is exactly one ring and every
+ * accessor resolves to it -- components cannot tell the difference, and
+ * the exporter delegates to the historical single-ring path
+ * byte-for-byte.
+ *
+ * Thread-safety mirrors the engine's lane contract (DESIGN.md §12):
+ * each ring is only ever touched from its lane's phase, so no locks.
+ * The merge back into one canonical stream happens at export
+ * (trace_export.h) in (cycle, lane, record-order) order -- the same
+ * ordering the engine uses for cross-lane exchange -- which is what
+ * makes the exported JSON byte-identical for every worker count N >= 1.
+ *
+ * The mux also owns the per-lane counter-track *name strings* the
+ * engine self-profiler emits (TraceEvent stores `const char *`; the
+ * engine dies before export, the mux survives inside SimResult).
+ */
+
+#ifndef MOSAIC_TRACE_TRACE_MUX_H
+#define MOSAIC_TRACE_TRACE_MUX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/tracer.h"
+
+namespace mosaic {
+
+/** The set of per-lane trace rings (one ring when not sharded). */
+class TraceMux
+{
+  public:
+    /** Smallest per-SM-lane ring when splitting the capacity budget. */
+    static constexpr std::size_t kMinLaneCapacity = 4096;
+
+    /**
+     * @param smLanes number of SM lanes (0 = serial: one ring total).
+     */
+    explicit TraceMux(const TraceConfig &config, unsigned smLanes = 0)
+        : config_(config), smLanes_(smLanes)
+    {
+        rings_.reserve(1 + smLanes);
+        rings_.push_back(std::make_unique<Tracer>(config));
+        std::size_t laneCap = 0;
+        if (smLanes > 0) {
+            laneCap = config.ringCapacity / smLanes;
+            if (laneCap < kMinLaneCapacity)
+                laneCap = kMinLaneCapacity;
+        }
+        for (unsigned i = 0; i < smLanes; ++i)
+            rings_.push_back(
+                std::make_unique<Tracer>(config, /*idTag=*/i + 1, laneCap));
+        // Per-lane counter-track names for the engine self-profiler
+        // (ring index order; index 0 = hub).
+        laneWindowEventsName_.reserve(rings_.size());
+        laneQueueDepthName_.reserve(rings_.size());
+        for (std::size_t lane = 0; lane < rings_.size(); ++lane) {
+            const std::string tag =
+                lane == 0 ? std::string("hub")
+                          : "lane" + std::to_string(lane - 1);
+            laneWindowEventsName_.push_back("engine.shard." + tag +
+                                            ".windowEvents");
+            laneQueueDepthName_.push_back("engine.shard." + tag +
+                                          ".queueDepth");
+        }
+    }
+
+    /** True when holding per-lane rings (sharded run). */
+    bool sharded() const { return smLanes_ > 0; }
+
+    unsigned smLanes() const { return smLanes_; }
+
+    /** Total ring count: 1 (serial) or 1 + smLanes. */
+    std::size_t laneCount() const { return rings_.size(); }
+
+    /** The hub-lane ring -- also the one-and-only ring when serial. */
+    Tracer *hub() { return rings_[0].get(); }
+    const Tracer &hubRing() const { return *rings_[0]; }
+
+    /** SM @p sm's lane ring; resolves to the single ring when serial. */
+    Tracer *
+    lane(SmId sm)
+    {
+        return sharded() ? rings_[1 + sm].get() : rings_[0].get();
+    }
+
+    /** Ring by lane index (0 = hub, 1 + i = SM lane i). */
+    const Tracer &ring(std::size_t lane) const { return *rings_[lane]; }
+
+    /** Hot-path gate, same across all rings (shared config). */
+    bool on(std::uint32_t cat) const { return rings_[0]->on(cat); }
+
+    std::uint32_t mask() const { return rings_[0]->mask(); }
+
+    const TraceConfig &config() const { return config_; }
+
+    /** Events currently held, summed across lanes. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const auto &r : rings_)
+            n += r->size();
+        return n;
+    }
+
+    /** Events ever recorded, summed across lanes. */
+    std::uint64_t
+    recorded() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : rings_)
+            n += r->recorded();
+        return n;
+    }
+
+    /** Overwritten events, summed across lanes. */
+    std::uint64_t
+    dropped() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : rings_)
+            n += r->dropped();
+        return n;
+    }
+
+    /** Cross-lane drops charged to category bit @p bit. */
+    std::uint64_t
+    droppedInCategory(unsigned bit) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : rings_)
+            n += r->droppedInCategory(bit);
+        return n;
+    }
+
+    /** Stable name for lane @p lane's occupancy counter track. */
+    const char *
+    laneWindowEventsName(std::size_t lane) const
+    {
+        return laneWindowEventsName_[lane].c_str();
+    }
+
+    /** Stable name for lane @p lane's queue-depth counter track. */
+    const char *
+    laneQueueDepthName(std::size_t lane) const
+    {
+        return laneQueueDepthName_[lane].c_str();
+    }
+
+  private:
+    TraceConfig config_;
+    unsigned smLanes_ = 0;
+    // unique_ptr: Tracer rings are large and must not move once
+    // components capture `Tracer *` pointers into them.
+    std::vector<std::unique_ptr<Tracer>> rings_;
+    std::vector<std::string> laneWindowEventsName_;
+    std::vector<std::string> laneQueueDepthName_;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_TRACE_TRACE_MUX_H

@@ -1,13 +1,29 @@
 #include "trace/trace_validate.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace mosaic {
 
 namespace {
+
+/** Nearest-rank percentile of an ascending-sorted sample. */
+double
+percentileOf(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
 
 /** Replay state for one large-frame lifecycle flow. */
 struct FrameState
@@ -35,7 +51,7 @@ at(const JsonValue &e)
 }  // namespace
 
 TraceCheckResult
-validateChromeTrace(const JsonValue &root)
+validateChromeTrace(const JsonValue &root, bool collectStats)
 {
     TraceCheckResult r;
     if (!root.isObject()) {
@@ -52,6 +68,27 @@ validateChromeTrace(const JsonValue &root)
         other != nullptr && other->isObject()) {
         r.dropped = static_cast<std::uint64_t>(other->num("dropped"));
         categories = static_cast<std::uint32_t>(other->num("categories", ~0u));
+        r.lanes = static_cast<std::uint32_t>(other->num("lanes", 1.0));
+        if (r.lanes == 0) {
+            err(r, "otherData.lanes is zero");
+            r.lanes = 1;
+        }
+        // Per-category drop accounting must cover every drop exactly.
+        if (const JsonValue *byCat = other->get("droppedByCategory");
+            byCat != nullptr && byCat->isObject()) {
+            std::uint64_t sum = 0;
+            for (const auto &[cat, v] : byCat->object) {
+                const auto n = static_cast<std::uint64_t>(v.number);
+                r.droppedByCategory.emplace_back(cat, n);
+                sum += n;
+            }
+            if (sum != r.dropped)
+                err(r, "droppedByCategory sums to " + std::to_string(sum) +
+                           " but otherData.dropped is " +
+                           std::to_string(r.dropped));
+        } else if (byCat != nullptr) {
+            err(r, "otherData.droppedByCategory is not an object");
+        }
     }
     // With ring-buffer drops, the oldest events (and thus any span's
     // opening edge) may be missing: only shape checks stay meaningful.
@@ -65,10 +102,18 @@ validateChromeTrace(const JsonValue &root)
     // share one id per flow; nesting is positional, so each "b" pushes
     // and each "e" closes the innermost open span (stack semantics).
     std::map<std::pair<std::string, std::string>, std::vector<double>> open;
+    // (cat, id) -> tid of the series' first event. A span never
+    // migrates lanes: the sharded exporter keeps each async flow on the
+    // ring (and thus tid) that opened it.
+    std::map<std::pair<std::string, std::string>, unsigned> seriesTid;
     // frame id -> lifecycle replay state.
     std::map<std::string, FrameState> frames;
     // counter name -> last sampled value.
     std::map<std::string, double> counters;
+    // span name -> observed durations (collectStats only).
+    std::map<std::string, std::vector<double>> durations;
+    std::set<unsigned> metaTids;  ///< tids declared via thread_name
+    std::set<unsigned> usedTids;  ///< tids referenced by trace events
 
     double lastTs = 0.0;
     bool sawEvent = false;
@@ -78,8 +123,11 @@ validateChromeTrace(const JsonValue &root)
             continue;
         }
         const std::string ph = e.str("ph");
-        if (ph == "M")
-            continue;  // metadata carries no timestamp
+        if (ph == "M") {  // metadata carries no timestamp
+            if (e.str("name") == "thread_name")
+                metaTids.insert(static_cast<unsigned>(e.num("tid")));
+            continue;
+        }
         ++r.events;
 
         const std::string name = e.str("name");
@@ -97,11 +145,33 @@ validateChromeTrace(const JsonValue &root)
         if (ts->number < 0)
             err(r, "negative timestamp" + at(e));
         // The exporter replays the ring in record order; simulated time
-        // never goes backwards, so neither may the stream.
+        // never goes backwards, so neither may the stream. The sharded
+        // merge sorts by ts across lanes, so the same invariant holds.
         if (sawEvent && ts->number < lastTs)
             err(r, "timestamps out of order" + at(e));
         lastTs = ts->number;
         sawEvent = true;
+
+        // Every event maps onto a (lane, track) pair: tid = 16*lane +
+        // track, with the lane within the export's lane count and a
+        // named metadata track for every tid in use.
+        unsigned tid = ~0u;
+        if (const JsonValue *tv = e.get("tid");
+            tv == nullptr || !tv->isNumber()) {
+            err(r, "event without a numeric tid" + at(e));
+        } else {
+            tid = static_cast<unsigned>(tv->number);
+            const unsigned lane = tid / 16;
+            const unsigned track = tid % 16;
+            if (lane >= r.lanes)
+                err(r, "tid " + std::to_string(tid) + " names lane " +
+                           std::to_string(lane) + " but the export has " +
+                           std::to_string(r.lanes) + " lanes" + at(e));
+            if (track < 1 || track > 6)
+                err(r, "tid " + std::to_string(tid) +
+                           " names an unknown track" + at(e));
+            usedTids.insert(tid);
+        }
 
         if (ph == "C") {
             ++r.counterSamples;
@@ -117,6 +187,8 @@ validateChromeTrace(const JsonValue &root)
         if (ph == "X") {
             if (e.get("dur") == nullptr)
                 err(r, "complete event without dur" + at(e));
+            else if (collectStats)
+                durations[name].push_back(e.num("dur"));
             continue;
         }
         if (ph == "i") {
@@ -136,6 +208,16 @@ validateChromeTrace(const JsonValue &root)
             continue;
         }
         const auto key = std::make_pair(e.str("cat"), id);
+        // Cross-lane flow ordering: every event of one async series must
+        // live on the tid that opened it (ids are lane-namespaced or
+        // lane-derived, so a series never hops rings).
+        if (tid != ~0u) {
+            const auto [series, inserted] = seriesTid.emplace(key, tid);
+            if (!inserted && series->second != tid)
+                err(r, "async series moved from tid " +
+                           std::to_string(series->second) + " to tid " +
+                           std::to_string(tid) + at(e));
+        }
         auto stack = open.find(key);
         if (ph == "b") {
             open[key].push_back(ts->number);
@@ -149,6 +231,9 @@ validateChromeTrace(const JsonValue &root)
         } else if (ph == "e") {
             if (ts->number < stack->second.back())
                 err(r, "span ends before it begins" + at(e));
+            if (collectStats)
+                durations[name].push_back(ts->number -
+                                          stack->second.back());
             stack->second.pop_back();
             if (stack->second.empty())
                 open.erase(stack);
@@ -201,6 +286,32 @@ validateChromeTrace(const JsonValue &root)
         // lookup above already proved.
     }
 
+    // Track metadata: the exporter names every (lane, track) pair it
+    // emits events on, so a tid without thread_name metadata means the
+    // merge and the metadata pass disagree about which lanes are live.
+    for (const unsigned tid : usedTids)
+        if (metaTids.count(tid) == 0)
+            err(r, "tid " + std::to_string(tid) +
+                       " carries events but has no thread_name metadata");
+
+    if (collectStats) {
+        for (auto &[name, durs] : durations) {
+            std::sort(durs.begin(), durs.end());
+            SpanStats s;
+            s.name = name;
+            s.count = durs.size();
+            double total = 0.0;
+            for (const double d : durs)
+                total += d;
+            s.mean = total / static_cast<double>(durs.size());
+            s.p50 = percentileOf(durs, 0.50);
+            s.p95 = percentileOf(durs, 0.95);
+            s.p99 = percentileOf(durs, 0.99);
+            s.max = durs.back();
+            r.spanStats.push_back(std::move(s));
+        }
+    }
+
     r.openSpans = 0;
     for (const auto &entry : open)
         r.openSpans += entry.second.size();
@@ -244,7 +355,7 @@ validateChromeTrace(const JsonValue &root)
 }
 
 TraceCheckResult
-validateChromeTraceText(const std::string &text)
+validateChromeTraceText(const std::string &text, bool collectStats)
 {
     JsonValue root;
     std::string error;
@@ -253,7 +364,7 @@ validateChromeTraceText(const std::string &text)
         err(r, "JSON parse error: " + error);
         return r;
     }
-    return validateChromeTrace(root);
+    return validateChromeTrace(root, collectStats);
 }
 
 }  // namespace mosaic

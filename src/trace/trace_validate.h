@@ -19,10 +19,21 @@
  *    counter-track values (mm.coalesceOps, mm.splinterOps,
  *    mm.compactions, mm.emergencySplinters,
  *    mm.softGuaranteeViolations) must equal the number of
- *    corresponding events in the stream.
+ *    corresponding events in the stream;
+ *  - lane/track integrity (sharded exports): every event's tid decodes
+ *    to (lane = tid/16, track = tid%16) with lane < otherData.lanes and
+ *    a known track, every used tid carries thread_name metadata, and
+ *    all events of one async series share a tid (a span never migrates
+ *    lanes mid-flight -- the cross-lane flow-ordering contract);
+ *  - drop accounting: when otherData reports droppedByCategory, the
+ *    per-category counts must sum to the total drop count.
  *
  * When the ring buffer dropped events, prefix-dependent checks are
  * skipped (any opening event may be missing) and the result says so.
+ *
+ * With collectStats, the validator additionally aggregates span
+ * durations (complete "X" events and matched async b->e pairs) into
+ * per-name count/mean/p50/p95/p99/max tables (trace_check --stats).
  */
 
 #ifndef MOSAIC_TRACE_TRACE_VALIDATE_H
@@ -36,6 +47,19 @@
 
 namespace mosaic {
 
+/** Duration statistics for one span name (trace_check --stats).
+ *  Percentiles use the nearest-rank method on the observed sample. */
+struct SpanStats
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
 /** Outcome of validating one trace document. */
 struct TraceCheckResult
 {
@@ -45,6 +69,7 @@ struct TraceCheckResult
 
     std::uint64_t events = 0;       ///< trace events (metadata excluded)
     std::uint64_t dropped = 0;      ///< ring-buffer drops per otherData
+    std::uint32_t lanes = 1;        ///< export lanes (1 when serial)
     std::uint64_t frameLifecycles = 0;  ///< frame alloc events seen
     std::uint64_t completeLifecycles = 0;  ///< alloc..free fully in trace
     std::uint64_t walkSpans = 0;
@@ -54,16 +79,26 @@ struct TraceCheckResult
     std::uint64_t violations = 0;   ///< soft-guarantee violation instants
     std::uint64_t counterSamples = 0;
     std::uint64_t openSpans = 0;    ///< async spans still open at the end
+
+    /** otherData.droppedByCategory, in document order (empty when the
+     *  export had no drops -- the exporter omits the object then). */
+    std::vector<std::pair<std::string, std::uint64_t>> droppedByCategory;
+
+    /** Per-span-name duration stats, name-sorted (collectStats only). */
+    std::vector<SpanStats> spanStats;
 };
 
 /**
  * Validates @p root (a parsed Chrome Trace Event document).
  * result.ok is false when any invariant fails; result.errors explains.
+ * With @p collectStats, also fills result.spanStats.
  */
-TraceCheckResult validateChromeTrace(const JsonValue &root);
+TraceCheckResult validateChromeTrace(const JsonValue &root,
+                                     bool collectStats = false);
 
 /** Parses @p text and validates; parse failures become errors. */
-TraceCheckResult validateChromeTraceText(const std::string &text);
+TraceCheckResult validateChromeTraceText(const std::string &text,
+                                         bool collectStats = false);
 
 }  // namespace mosaic
 

@@ -48,6 +48,21 @@ enum TraceCategory : std::uint32_t {
     kTraceAll     = (1u << 6) - 1,
 };
 
+/** Number of defined category bits (drop accounting is per bit). */
+constexpr unsigned kTraceCategoryCount = 6;
+
+/** Bit index of a one-bit category mask (kTraceVm -> 1, ...). */
+constexpr unsigned
+traceCategoryIndex(std::uint32_t cat)
+{
+    unsigned idx = 0;
+    while (cat > 1u) {
+        cat >>= 1;
+        ++idx;
+    }
+    return idx;
+}
+
 /** Display name of a single category bit ("vm", "mm", ...). */
 const char *traceCategoryName(TraceCategory cat);
 
@@ -132,15 +147,30 @@ struct TraceConfig
     Cycles counterPeriodCycles = 50000;
     /** Engine dispatch sampling: one instant every N executed events. */
     std::uint64_t engineSampleEvery = 4096;
+    /** Sharded-engine self-profiler: emit per-lane counter samples every
+     *  N epoch windows (window = ShardConfig::windowCycles). */
+    std::uint64_t shardSampleEpochs = 64;
 };
 
-/** The per-simulation trace recorder. */
+/**
+ * The per-simulation trace recorder -- or, under the sharded engine,
+ * the per-*lane* recorder (one ring per SM lane plus the hub lane,
+ * owned by trace/trace_mux.h). @p idTag namespaces nextId() per lane so
+ * async ids never collide across lanes; @p capacityOverride lets the
+ * mux split the configured ring budget across lanes. Serial tracing
+ * uses tag 0 and no override, which is bit-identical to the historical
+ * single-ring behavior.
+ */
 class Tracer
 {
   public:
-    explicit Tracer(const TraceConfig &config)
-        : config_(config), mask_(config.enabled ? config.categories : 0)
+    explicit Tracer(const TraceConfig &config, std::uint32_t idTag = 0,
+                    std::size_t capacityOverride = 0)
+        : config_(config), mask_(config.enabled ? config.categories : 0),
+          idTag_(idTag)
     {
+        if (capacityOverride != 0)
+            config_.ringCapacity = capacityOverride;
         buf_.reserve(config_.ringCapacity);
     }
 
@@ -152,8 +182,15 @@ class Tracer
 
     const TraceConfig &config() const { return config_; }
 
-    /** Monotonic id source for async spans (deterministic per run). */
-    std::uint64_t nextId() { return ++lastId_; }
+    /** Monotonic id source for async spans (deterministic per run).
+     *  Tagged with the lane id at bit 40, below traceId()'s 56-bit
+     *  namespace field; tag 0 (serial / hub lane) yields exactly the
+     *  historical sequence 1, 2, 3, ... */
+    std::uint64_t
+    nextId()
+    {
+        return (static_cast<std::uint64_t>(idTag_) << 40) | ++lastId_;
+    }
 
     /** Records a complete span [ts, ts+dur). */
     void
@@ -229,6 +266,14 @@ class Tracer
     /** Events overwritten because the ring was full. */
     std::uint64_t dropped() const { return dropped_; }
 
+    /** Drops charged to category bit @p bit (the *overwritten* event's
+     *  category: who lost history, not who caused the flood). */
+    std::uint64_t
+    droppedInCategory(unsigned bit) const
+    {
+        return bit < kTraceCategoryCount ? droppedByCat_[bit] : 0;
+    }
+
     /** Total events ever recorded (held + dropped). */
     std::uint64_t recorded() const { return size() + dropped_; }
 
@@ -252,6 +297,7 @@ class Tracer
             return;
         }
         // Full: overwrite the oldest record (head_ is the ring cursor).
+        ++droppedByCat_[traceCategoryIndex(buf_[head_].cat)];
         buf_[head_] = e;
         head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
         ++dropped_;
@@ -259,10 +305,12 @@ class Tracer
 
     TraceConfig config_;
     std::uint32_t mask_ = 0;
+    std::uint32_t idTag_ = 0;
     std::uint64_t lastId_ = 0;
     std::vector<TraceEvent> buf_;
     std::size_t head_ = 0;  ///< oldest record once the ring wrapped
     std::uint64_t dropped_ = 0;
+    std::uint64_t droppedByCat_[kTraceCategoryCount] = {};
 };
 
 }  // namespace mosaic

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace_mux.h"
+
 namespace mosaic {
 
 namespace {
@@ -44,12 +46,11 @@ TranslationService::TranslationService(EventQueue &events,
                                        unsigned numSms,
                                        const TranslationConfig &config,
                                        StatsRegistry *metrics, Tracer *tracer,
-                                       LaneRouter *router)
+                                       LaneRouter *router, TraceMux *traceMux)
     : events_(events), walker_(walker), config_(normalized(config)),
-      tracer_(tracer), router_(router), l2_(config_.l2), slices_(numSms)
+      tracer_(tracer), router_(router), traceMux_(traceMux), l2_(config_.l2),
+      slices_(numSms)
 {
-    MOSAIC_ASSERT(tracer_ == nullptr || router_ == nullptr,
-                  "tracing is not supported under the sharded engine");
     l1_.reserve(numSms);
     mshrs_.reserve(numSms);
     for (unsigned i = 0; i < numSms; ++i) {
@@ -252,10 +253,13 @@ TranslationService::translate(SmId sm, const PageTable &pageTable, Addr va,
         return;
     }
     if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
-        tracer_->asyncBegin(kTraceVm, TraceTrack::Vm, "tlbMiss",
-                            missFlowId(sm, key), events_.now(),
-                            {"sm", static_cast<std::uint64_t>(sm)},
-                            {"vpn", basePageNumber(va)});
+        // Lane-side: under the sharded engine the span lives in the
+        // requesting SM's ring at its lane clock; serially the lane IS
+        // events_ and laneTracer() IS tracer_, byte-identical.
+        laneTracer(sm)->asyncBegin(kTraceVm, TraceTrack::Vm, "tlbMiss",
+                                   missFlowId(sm, key), lane.now(),
+                                   {"sm", static_cast<std::uint64_t>(sm)},
+                                   {"vpn", basePageNumber(va)});
     }
 
     if (router_ != nullptr) {
@@ -305,7 +309,8 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
                 // them back to the lane (delivered next window).
                 router_->callSm(sm, [this, sm, &pageTable, va, key,
                                      kind] {
-                    fillL1FromHub(sm, pageTable, va, kind, key);
+                    fillL1FromHub(sm, pageTable, va, kind, key,
+                                  /*servedBy=*/2);
                 });
                 return;
             }
@@ -326,7 +331,11 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
                             [this, sm, &pageTable, va,
                              key](const Translation &result) {
             fillFromWalk(sm, pageTable, va, result);
-            if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
+            if (router_ == nullptr && tracer_ != nullptr &&
+                tracer_->on(kTraceVm)) {
+                // Serial: close the span here. Sharded: the span lives
+                // in the SM's lane ring, so the lane-side completion
+                // below closes it at its lane clock instead.
                 tracer_->asyncEnd(kTraceVm, TraceTrack::Vm, "tlbMiss",
                                   missFlowId(sm, key), events_.now(),
                                   {"servedBy", 3},
@@ -342,11 +351,20 @@ TranslationService::missToL2(SmId sm, const PageTable &pageTable, Addr va)
                                                        : std::uint8_t{0};
                     router_->callSm(sm, [this, sm, &pageTable, va, key,
                                          kind] {
-                        fillL1FromHub(sm, pageTable, va, kind, key);
+                        fillL1FromHub(sm, pageTable, va, kind, key,
+                                      /*servedBy=*/3);
                     });
                 } else {
-                    router_->callSm(sm,
-                                    [this, sm, key] { mshrs_[sm].fill(key); });
+                    router_->callSm(sm, [this, sm, key] {
+                        if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
+                            laneTracer(sm)->asyncEnd(
+                                kTraceVm, TraceTrack::Vm, "tlbMiss",
+                                missFlowId(sm, key),
+                                router_->laneQueue(sm).now(),
+                                {"servedBy", 3}, {"faulted", 1});
+                        }
+                        mshrs_[sm].fill(key);
+                    });
                 }
                 return;
             }
@@ -451,10 +469,16 @@ TranslationService::fillFromWalk(SmId sm, const PageTable &pageTable,
     }
 }
 
+Tracer *
+TranslationService::laneTracer(SmId sm)
+{
+    return traceMux_ != nullptr ? traceMux_->lane(sm) : tracer_;
+}
+
 void
 TranslationService::fillL1FromHub(SmId sm, const PageTable &pageTable,
                                   Addr va, std::uint8_t kind,
-                                  std::uint64_t key)
+                                  std::uint64_t key, std::uint8_t servedBy)
 {
     // Delivered one window after the hub produced the fill, so the
     // region may have been splintered or the page unmapped in between.
@@ -503,6 +527,15 @@ TranslationService::fillL1FromHub(SmId sm, const PageTable &pageTable,
                 slices_[sm].pendingHooks.push_back(DeferredHook{
                     kind, app, pageNumberAt(va, hs.bits(kind))});
         }
+    }
+    if (tracer_ != nullptr && tracer_->on(kTraceVm)) {
+        // Close the miss span on the SM's lane ring at the lane clock
+        // (fillL1FromHub only runs under the sharded engine, delivered
+        // at the window edge). servedBy: 2 == L2 TLB, 3 == walk.
+        laneTracer(sm)->asyncEnd(kTraceVm, TraceTrack::Vm, "tlbMiss",
+                                 missFlowId(sm, key),
+                                 router_->laneQueue(sm).now(),
+                                 {"servedBy", servedBy});
     }
     mshrs_[sm].fill(key);
 }

@@ -29,6 +29,8 @@
 
 namespace mosaic {
 
+class TraceMux;
+
 /** Translation-path configuration. */
 struct TranslationConfig
 {
@@ -103,15 +105,21 @@ class TranslationService
      *               engine (DESIGN.md §12): translate() executes on the
      *               requesting SM's lane, the L2 TLB + walker on the hub
      *               lane, and all lane-crossing completions go through
-     *               the router. Mutually exclusive with @p tracer. When
-     *               null (the default), behavior is byte-identical to
-     *               the classic serial engine.
+     *               the router. When null (the default), behavior is
+     *               byte-identical to the classic serial engine.
+     * @param traceMux when non-null alongside @p router, TLB-miss spans
+     *               record into the requesting SM's *lane ring* (begin
+     *               at translate(), end at the lane-side fill), so the
+     *               sharded trace stays worker-count independent. A
+     *               serial mux resolves every lane to the single ring,
+     *               matching @p tracer byte for byte.
      */
     TranslationService(EventQueue &events, PageTableWalker &walker,
                        unsigned numSms, const TranslationConfig &config,
                        StatsRegistry *metrics = nullptr,
                        Tracer *tracer = nullptr,
-                       LaneRouter *router = nullptr);
+                       LaneRouter *router = nullptr,
+                       TraceMux *traceMux = nullptr);
 
     /**
      * Translates @p va for @p sm in address space @p pageTable.appId().
@@ -247,13 +255,18 @@ class TranslationService
     void fillFromWalk(SmId sm, const PageTable &pageTable, Addr va,
                       const Translation &result);
     void fillL1FromHub(SmId sm, const PageTable &pageTable, Addr va,
-                       std::uint8_t kind, std::uint64_t key);
+                       std::uint8_t kind, std::uint64_t key,
+                       std::uint8_t servedBy);
+
+    /** The ring lane-side (SM-side) trace events record into. */
+    Tracer *laneTracer(SmId sm);
 
     EventQueue &events_;
     PageTableWalker &walker_;
     TranslationConfig config_;
     Tracer *tracer_;
     LaneRouter *router_;
+    TraceMux *traceMux_;
     std::vector<Tlb> l1_;
     Tlb l2_;
     Cycles l2NextIssueAt_ = 0;

@@ -30,6 +30,7 @@
 
 #include "runner/json_report.h"
 #include "runner/simulation.h"
+#include "trace/trace_export.h"
 #include "workload/workload.h"
 
 namespace mosaic {
@@ -90,9 +91,8 @@ readFile(const std::string &path)
 }
 
 void
-checkGolden(const SimConfig &config, const std::string &name)
+checkGoldenDocument(const std::string &doc, const std::string &name)
 {
-    const std::string doc = snapshotDocument(config);
     const std::string path = goldenDir() + "/" + name + ".json";
 
     if (std::getenv("MOSAIC_UPDATE_GOLDEN") != nullptr) {
@@ -117,10 +117,16 @@ checkGolden(const SimConfig &config, const std::string &name)
     while (at < doc.size() && at < golden.size() && doc[at] == golden[at])
         ++at;
     const std::size_t from = at < 80 ? 0 : at - 80;
-    FAIL() << name << " metrics snapshot diverged from " << path
+    FAIL() << name << " golden document diverged from " << path
            << " at byte " << at << "\n  golden: ..."
            << golden.substr(from, 160) << "\n  actual: ..."
            << doc.substr(from, 160);
+}
+
+void
+checkGolden(const SimConfig &config, const std::string &name)
+{
+    checkGoldenDocument(snapshotDocument(config), name);
 }
 
 TEST(GoldenTest, MosaicSnapshotMatchesGolden)
@@ -184,6 +190,47 @@ TEST(GoldenTest, TridentColtMosaicSnapshotMatchesGolden)
                     .withSizeHierarchy(PageSizeHierarchy::trident(),
                                        /*colt=*/true),
                 "mosaic_trident_colt");
+}
+
+/**
+ * Serial trace golden (DESIGN.md §9): the exported Chrome Trace JSON of
+ * a pinned traced run under the classic serial engine, byte-for-byte.
+ * This is the contract the per-lane sharded tracing work rides on: the
+ * serial export path must stay byte-identical no matter how the merged
+ * multi-lane exporter evolves. The pinned cell is smaller than the
+ * metrics cells (8 SMs, 4 warps) so the full event stream fits the ring
+ * with zero drops -- a dropped event would make the document depend on
+ * ring capacity instead of simulated behavior.
+ */
+Workload
+tracedWorkload()
+{
+    Workload w = scaledWorkload(heterogeneousWorkload(1, 42), 0.02);
+    for (AppParams &a : w.apps)
+        a.instrPerWarp = 100;
+    return w;
+}
+
+SimConfig
+tracedConfig()
+{
+    SimConfig c = SimConfig::mosaicDefault().withIoCompression(16.0);
+    c.gpu.numSms = 8;
+    c.gpu.sm.warpsPerSm = 4;
+    c.churn.enabled = true;
+    return c.withTracing();
+}
+
+TEST(GoldenTest, SerialTraceMatchesGolden)
+{
+    const SimResult r = runSimulation(tracedWorkload(), tracedConfig());
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_EQ(r.trace->dropped(), 0u)
+        << "the pinned trace cell must fit the ring; a lossy golden "
+           "would pin ring capacity, not behavior";
+    // Matches what writeChromeTraceFile() emits (document + newline).
+    checkGoldenDocument(chromeTraceJson(*r.trace, "Mosaic") + "\n",
+                        "trace_serial");
 }
 
 /**

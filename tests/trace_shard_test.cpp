@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Sharded-engine tracing determinism tests (DESIGN.md §9 + §12).
+ *
+ * Under the sharded engine each SM lane and the hub lane record into
+ * their own ring; the export merges by canonical (ts, lane, record
+ * order). The merged document must therefore be byte-identical for
+ * every worker count N >= 1, just like the metrics snapshot in
+ * shard_test.cpp -- any event recorded with a worker-dependent value
+ * (a wall-clock figure, a thread id, an unsorted merge) diverges here.
+ *
+ * Also covered: tracing stays observation-only when sharded (the
+ * metrics snapshot is byte-identical with tracing on and off), the
+ * engine self-profiler surfaces engine.shard.* metrics exactly when
+ * the sharded engine runs, the merged export passes trace_check's
+ * lane/track validation, and the EngineShardProfile numbers are sane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "runner/json_report.h"
+#include "runner/simulation.h"
+#include "trace/trace_export.h"
+#include "trace/trace_validate.h"
+#include "workload/workload.h"
+
+namespace mosaic {
+namespace {
+
+constexpr unsigned kSms = 8;
+
+/** Small traced cell: two-app het mix over a reduced SM count so the
+ *  merged export stays cheap across the worker-count sweep. */
+Workload
+tracedWorkload()
+{
+    Workload w = scaledWorkload(heterogeneousWorkload(2, 42), 0.04);
+    for (AppParams &a : w.apps)
+        a.instrPerWarp = 200;
+    return w;
+}
+
+SimConfig
+tracedConfig(SimConfig c)
+{
+    c.gpu.numSms = kSms;
+    c.gpu.sm.warpsPerSm = 4;
+    return c.withIoCompression(16.0).withTracing();
+}
+
+SimResult
+runTraced(const SimConfig &base, unsigned shards)
+{
+    return runSimulation(tracedWorkload(), base.withEngineShards(shards));
+}
+
+std::string
+traceAt(const SimConfig &base, unsigned shards)
+{
+    const SimResult r = runTraced(base, shards);
+    return r.trace != nullptr ? chromeTraceJson(*r.trace) : std::string();
+}
+
+void
+expectTraceWorkerCountInvariant(const SimConfig &base)
+{
+    const std::string reference = traceAt(base, 1);
+    ASSERT_FALSE(reference.empty());
+    for (const unsigned n : {2u, 4u, 8u}) {
+        const std::string doc = traceAt(base, n);
+        if (doc == reference)
+            continue;
+        std::size_t at = 0;
+        while (at < doc.size() && at < reference.size() &&
+               doc[at] == reference[at])
+            ++at;
+        const std::size_t from = at < 80 ? 0 : at - 80;
+        FAIL() << base.label << " trace diverges at " << n
+               << " workers (byte " << at << ")\n  N=1: ..."
+               << reference.substr(from, 160) << "\n  N=" << n << ": ..."
+               << doc.substr(from, 160);
+    }
+}
+
+TEST(TraceShardTest, MosaicTraceIsWorkerCountInvariant)
+{
+    expectTraceWorkerCountInvariant(tracedConfig(SimConfig::mosaicDefault()));
+}
+
+TEST(TraceShardTest, GpuMmuTraceIsWorkerCountInvariant)
+{
+    expectTraceWorkerCountInvariant(tracedConfig(SimConfig::baseline()));
+}
+
+TEST(TraceShardTest, LargeOnlyTraceIsWorkerCountInvariant)
+{
+    expectTraceWorkerCountInvariant(tracedConfig(SimConfig::largeOnly()));
+}
+
+/** Arming per-lane rings must not change what the simulation computes:
+ *  the metrics snapshot is byte-identical with tracing on and off. */
+TEST(TraceShardTest, ShardedTracingIsObservationOnly)
+{
+    const SimConfig on = tracedConfig(SimConfig::mosaicDefault());
+    SimConfig off = on;
+    off.trace.enabled = false;
+    const SimResult withTrace = runSimulation(tracedWorkload(),
+                                              on.withEngineShards(2));
+    const SimResult without = runSimulation(tracedWorkload(),
+                                            off.withEngineShards(2));
+    EXPECT_EQ(metricsToJson(withTrace, "mosaic"),
+              metricsToJson(without, "mosaic"));
+    EXPECT_NE(withTrace.trace, nullptr);
+    EXPECT_EQ(without.trace, nullptr);
+}
+
+/** The merged export passes the full replay validation, including the
+ *  per-lane tid/thread_name checks, with one lane per SM plus the hub. */
+TEST(TraceShardTest, ShardedTraceValidatesWithPerLaneTracks)
+{
+    const std::string json =
+        traceAt(tracedConfig(SimConfig::mosaicDefault()), 4);
+    const TraceCheckResult check = validateChromeTraceText(json);
+    EXPECT_TRUE(check.ok) << (check.errors.empty() ? ""
+                                                   : check.errors.front());
+    EXPECT_EQ(check.lanes, kSms + 1);
+    EXPECT_GT(check.events, 0u);
+    // Engine self-profiler counter tracks sample under sharding.
+    EXPECT_GT(check.counterSamples, 0u);
+    EXPECT_NE(json.find("engine.shard.hub.windowEvents"),
+              std::string::npos);
+    EXPECT_NE(json.find("engine.shard.lane0.queueDepth"),
+              std::string::npos);
+}
+
+/** engine.shard.* metrics exist exactly when the sharded engine runs,
+ *  and exclude anything worker-count dependent (shard_test proves the
+ *  N-invariance; here: presence, absence, and shape). */
+TEST(TraceShardTest, EngineShardMetricsGateOnShardedEngine)
+{
+    const SimConfig base = tracedConfig(SimConfig::mosaicDefault());
+    const SimResult sharded = runTraced(base, 2);
+    const SimResult serial = runTraced(base, 0);
+    const std::string shardedJson = metricsToJson(sharded, "mosaic");
+    const std::string serialJson = metricsToJson(serial, "mosaic");
+    EXPECT_NE(shardedJson.find("engine.shard.epochs"), std::string::npos);
+    EXPECT_NE(shardedJson.find("engine.shard.hub.occupancy"),
+              std::string::npos);
+    EXPECT_NE(shardedJson.find("engine.shard.lane.events"),
+              std::string::npos);
+    EXPECT_EQ(serialJson.find("engine.shard"), std::string::npos);
+    // Wall-clock figures are host-dependent and must stay out of the
+    // deterministic snapshot.
+    EXPECT_EQ(shardedJson.find("barrierWait"), std::string::npos);
+    EXPECT_EQ(shardedJson.find("workerUtilization"), std::string::npos);
+}
+
+/** The profiler answers "is the hub the bottleneck?" with sane numbers. */
+TEST(TraceShardTest, EngineShardProfileIsSane)
+{
+    const SimResult r = runTraced(tracedConfig(SimConfig::mosaicDefault()),
+                                  /*shards=*/2);
+    const EngineShardProfile &p = r.engineShard;
+    EXPECT_EQ(p.lanes, kSms);
+    EXPECT_EQ(p.workers, 2u);
+    EXPECT_GT(p.epochs, 0u);
+    EXPECT_GT(p.hubEvents, 0u);
+    EXPECT_GE(p.hubOccupancy, 0.0);
+    EXPECT_LE(p.hubOccupancy, 1.0);
+    EXPECT_GE(p.workerUtilization, 0.0);
+    EXPECT_LE(p.workerUtilization, 1.0);
+    EXPECT_GE(p.barrierWaitShare, 0.0);
+    EXPECT_LE(p.barrierWaitShare, 1.0);
+    ASSERT_EQ(p.laneEvents.size(), kSms);
+    ASSERT_EQ(p.workerBusySec.size(), 2u);  // coordinator is worker 0
+    std::uint64_t laneTotal = 0;
+    for (const std::uint64_t e : p.laneEvents)
+        laneTotal += e;
+    EXPECT_GT(laneTotal, 0u);
+    // Simulated occupancy + wall-clock phase times both accumulated.
+    EXPECT_GT(p.hubBusyWindows, 0u);
+    EXPECT_GT(p.wallSmPhaseSec + p.wallHubSec + p.wallExchangeSec, 0.0);
+    // A serial run reports a default profile.
+    const SimResult serial =
+        runTraced(tracedConfig(SimConfig::mosaicDefault()), 0);
+    EXPECT_EQ(serial.engineShard.epochs, 0u);
+    EXPECT_EQ(serial.engineShard.workers, 0u);
+}
+
+}  // namespace
+}  // namespace mosaic

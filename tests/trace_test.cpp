@@ -12,6 +12,7 @@
 #include "runner/simulation.h"
 #include "runner/sweep.h"
 #include "trace/trace_export.h"
+#include "trace/trace_mux.h"
 #include "trace/trace_reader.h"
 #include "trace/trace_validate.h"
 #include "trace/tracer.h"
@@ -88,6 +89,43 @@ TEST(TracerTest, NextIdIsDeterministic)
     Tracer b(enabledConfig());
     for (int i = 0; i < 5; ++i)
         EXPECT_EQ(a.nextId(), b.nextId());
+}
+
+TEST(TracerTest, DropAccountingChargesOverwrittenCategory)
+{
+    // Four Mm events fill the ring; two Vm pushes then overwrite the
+    // two oldest *Mm* events -- the drop charge follows what was lost,
+    // not what arrived.
+    Tracer t(enabledConfig(4));
+    for (Cycles ts = 0; ts < 4; ++ts)
+        t.instant(kTraceMm, TraceTrack::Mm, "mm", ts);
+    t.instant(kTraceVm, TraceTrack::Vm, "vm", 4);
+    t.instant(kTraceVm, TraceTrack::Vm, "vm", 5);
+    EXPECT_EQ(t.dropped(), 2u);
+    EXPECT_EQ(t.droppedInCategory(traceCategoryIndex(kTraceMm)), 2u);
+    EXPECT_EQ(t.droppedInCategory(traceCategoryIndex(kTraceVm)), 0u);
+    EXPECT_EQ(t.droppedInCategory(traceCategoryIndex(kTraceCounter)), 0u);
+    // Two more wraps now consume the remaining Mm events, then Vm ones.
+    for (Cycles ts = 6; ts < 10; ++ts)
+        t.instant(kTraceIo, TraceTrack::Io, "io", ts);
+    EXPECT_EQ(t.dropped(), 6u);
+    EXPECT_EQ(t.droppedInCategory(traceCategoryIndex(kTraceMm)), 4u);
+    EXPECT_EQ(t.droppedInCategory(traceCategoryIndex(kTraceVm)), 2u);
+}
+
+TEST(TracerTest, LaneIdTagNamespacesAsyncIds)
+{
+    // Tag 0 (the hub / serial ring) keeps the historical 1,2,3,...
+    // sequence; tagged lanes put their tag at bit 40, below the
+    // TraceIdSpace namespace field, so lanes never collide with each
+    // other or with traceId()-derived ids.
+    Tracer hub(enabledConfig());
+    EXPECT_EQ(hub.nextId(), 1u);
+    EXPECT_EQ(hub.nextId(), 2u);
+    Tracer lane(enabledConfig(), /*idTag=*/3);
+    const std::uint64_t id = lane.nextId();
+    EXPECT_EQ(id, (3ull << 40) | 1u);
+    EXPECT_NE(id, traceId(TraceIdSpace::Walk, 1));
 }
 
 TEST(TracerTest, TraceIdNamespacesNeverCollide)
@@ -171,6 +209,168 @@ TEST(TraceExportTest, NestedSpansOnOneIdValidate)
                                                    : check.errors.front());
     EXPECT_EQ(check.walkSpans, 1u);
     EXPECT_EQ(check.openSpans, 0u);
+}
+
+TEST(TraceExportTest, DroppedByCategoryIsExportedAndValidated)
+{
+    // Overflow a tiny ring with a known category mix; the exporter's
+    // droppedByCategory object must account for every drop and the
+    // validator must agree with otherData.dropped.
+    Tracer t(enabledConfig(4, kTraceMm | kTraceIo));
+    for (Cycles ts = 0; ts < 6; ++ts)
+        t.instant(kTraceMm, TraceTrack::Mm, "mm", ts);
+    for (Cycles ts = 6; ts < 9; ++ts)
+        t.instant(kTraceIo, TraceTrack::Io, "io", ts);
+    ASSERT_EQ(t.dropped(), 5u);
+
+    const std::string json = chromeTraceJson(t);
+    EXPECT_NE(json.find("droppedByCategory"), std::string::npos);
+    const TraceCheckResult check = validateChromeTraceText(json);
+    EXPECT_TRUE(check.ok) << (check.errors.empty() ? ""
+                                                   : check.errors.front());
+    EXPECT_EQ(check.dropped, 5u);
+    std::uint64_t sum = 0, mm = 0;
+    for (const auto &[cat, n] : check.droppedByCategory) {
+        sum += n;
+        if (cat == "mm")
+            mm = n;
+    }
+    EXPECT_EQ(sum, 5u);
+    EXPECT_GE(mm, 4u);  // at least the first wrap consumed mm events
+}
+
+TEST(TraceExportTest, LosslessExportOmitsDroppedByCategory)
+{
+    // The zero-drop export (every golden trace) must not change shape.
+    Tracer t(enabledConfig(64));
+    t.instant(kTraceMm, TraceTrack::Mm, "e", 1);
+    EXPECT_EQ(chromeTraceJson(t).find("droppedByCategory"),
+              std::string::npos);
+}
+
+TEST(TraceMuxTest, SerialMuxMatchesSingleRingByteForByte)
+{
+    // A serial (smLanes == 0) mux is exactly one ring: every lane
+    // accessor resolves to it and the export delegates to the
+    // single-ring path, so the bytes cannot differ from a bare Tracer.
+    const TraceConfig config = enabledConfig(64);
+    Tracer bare(config);
+    TraceMux mux(config, /*smLanes=*/0);
+    EXPECT_FALSE(mux.sharded());
+    EXPECT_EQ(mux.laneCount(), 1u);
+    EXPECT_EQ(mux.lane(0), mux.hub());
+    EXPECT_EQ(mux.lane(7), mux.hub());
+
+    const auto record = [](Tracer &t) {
+        t.asyncBegin(kTraceVm, TraceTrack::Vm, "walk", t.nextId(), 5);
+        t.asyncEnd(kTraceVm, TraceTrack::Vm, "walk", 1, 9);
+        t.instant(kTraceMm, TraceTrack::Mm, "x", 12);
+        t.counter("c", 15, 3);
+    };
+    record(bare);
+    record(*mux.lane(3));  // the single ring, via a lane accessor
+    EXPECT_EQ(chromeTraceJson(mux), chromeTraceJson(bare));
+}
+
+TEST(TraceMuxTest, ShardedLanesAreIndependentNamespacedRings)
+{
+    TraceMux mux(enabledConfig(1u << 14), /*smLanes=*/2);
+    EXPECT_TRUE(mux.sharded());
+    EXPECT_EQ(mux.laneCount(), 3u);
+    EXPECT_NE(mux.lane(0), mux.lane(1));
+    EXPECT_NE(mux.hub(), mux.lane(0));
+    // Hub keeps the serial id sequence; lanes tag theirs at bit 40.
+    EXPECT_EQ(mux.hub()->nextId(), 1u);
+    EXPECT_EQ(mux.lane(0)->nextId(), (1ull << 40) | 1u);
+    EXPECT_EQ(mux.lane(1)->nextId(), (2ull << 40) | 1u);
+    // Aggregate accounting sums over every ring.
+    mux.hub()->instant(kTraceMm, TraceTrack::Mm, "h", 1);
+    mux.lane(0)->instant(kTraceVm, TraceTrack::Vm, "a", 2);
+    mux.lane(1)->instant(kTraceVm, TraceTrack::Vm, "b", 3);
+    EXPECT_EQ(mux.size(), 3u);
+    EXPECT_EQ(mux.recorded(), 3u);
+    EXPECT_EQ(mux.dropped(), 0u);
+}
+
+TEST(TraceMuxTest, MergedExportOrdersByTimeThenLane)
+{
+    // Lane events interleave with hub events by timestamp; ties resolve
+    // hub-first then by lane index (the canonical exchange order).
+    TraceMux mux(enabledConfig(1u << 14), /*smLanes=*/2);
+    mux.lane(1)->instant(kTraceVm, TraceTrack::Vm, "sm1", 10);
+    mux.hub()->instant(kTraceMm, TraceTrack::Mm, "hub", 10);
+    mux.lane(0)->instant(kTraceVm, TraceTrack::Vm, "sm0", 10);
+    mux.lane(0)->instant(kTraceVm, TraceTrack::Vm, "early", 5);
+
+    const std::string json = chromeTraceJson(mux);
+    JsonValue root;
+    ASSERT_TRUE(parseJson(json, root, nullptr));
+    std::vector<std::string> order;
+    std::vector<double> tids;
+    for (const JsonValue &e : root.get("traceEvents")->array) {
+        if (e.str("ph") == "M")
+            continue;
+        order.push_back(e.str("name"));
+        tids.push_back(e.num("tid"));
+    }
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], "early");
+    EXPECT_EQ(order[1], "hub");
+    EXPECT_EQ(order[2], "sm0");
+    EXPECT_EQ(order[3], "sm1");
+    // tid = 16 * lane + track (hub = lane 0, SM i = lane i + 1).
+    EXPECT_EQ(tids[1], 0 * 16 + 3);   // hub, Mm track
+    EXPECT_EQ(tids[2], 1 * 16 + 2);   // sm0, Vm track
+    EXPECT_EQ(tids[3], 2 * 16 + 2);   // sm1, Vm track
+
+    const TraceCheckResult check = validateChromeTraceText(json);
+    EXPECT_TRUE(check.ok) << (check.errors.empty() ? ""
+                                                   : check.errors.front());
+    EXPECT_EQ(check.lanes, 3u);
+}
+
+TEST(TraceValidateTest, CollectsSpanDurationStats)
+{
+    Tracer t(enabledConfig(64));
+    t.complete(kTraceEngine, TraceTrack::Engine, "tick", 0, 10);
+    t.complete(kTraceEngine, TraceTrack::Engine, "tick", 20, 30);
+    t.complete(kTraceEngine, TraceTrack::Engine, "tick", 60, 20);
+    const auto id = traceId(TraceIdSpace::Walk, 1);
+    t.asyncBegin(kTraceVm, TraceTrack::Vm, "walk", id, 100);
+    t.asyncEnd(kTraceVm, TraceTrack::Vm, "walk", id, 140);
+
+    const TraceCheckResult check =
+        validateChromeTraceText(chromeTraceJson(t), /*collectStats=*/true);
+    ASSERT_TRUE(check.ok) << (check.errors.empty() ? ""
+                                                   : check.errors.front());
+    ASSERT_EQ(check.spanStats.size(), 2u);
+    const SpanStats &tick = check.spanStats[0];
+    EXPECT_EQ(tick.name, "tick");
+    EXPECT_EQ(tick.count, 3u);
+    EXPECT_DOUBLE_EQ(tick.mean, 20.0);
+    EXPECT_DOUBLE_EQ(tick.p50, 20.0);  // nearest rank of {10, 20, 30}
+    EXPECT_DOUBLE_EQ(tick.p95, 30.0);
+    EXPECT_DOUBLE_EQ(tick.max, 30.0);
+    const SpanStats &walk = check.spanStats[1];
+    EXPECT_EQ(walk.name, "walk");
+    EXPECT_EQ(walk.count, 1u);
+    EXPECT_DOUBLE_EQ(walk.p99, 40.0);
+}
+
+TEST(TraceValidateTest, CatchesAsyncSeriesMigratingLanes)
+{
+    // An async span that begins on one lane's tid and ends on another's
+    // violates the cross-lane flow contract.
+    TraceMux mux(enabledConfig(1u << 14), /*smLanes=*/2);
+    const auto id = traceId(TraceIdSpace::TlbMiss, 7);
+    mux.lane(0)->asyncBegin(kTraceVm, TraceTrack::Vm, "tlbMiss", id, 10);
+    mux.lane(1)->asyncEnd(kTraceVm, TraceTrack::Vm, "tlbMiss", id, 20);
+    const TraceCheckResult check =
+        validateChromeTraceText(chromeTraceJson(mux));
+    EXPECT_FALSE(check.ok);
+    ASSERT_FALSE(check.errors.empty());
+    EXPECT_NE(check.errors.front().find("moved from tid"),
+              std::string::npos);
 }
 
 TEST(TraceValidateTest, CatchesLifecycleViolations)

@@ -3,11 +3,14 @@
  * Trace replay validator: re-verifies simulator invariants from an
  * exported Chrome Trace Event document alone.
  *
- * Usage:  trace_check <trace.json> [--quiet]
+ * Usage:  trace_check <trace.json> [--quiet] [--stats]
  *
  * Exits 0 when every invariant holds (see trace/trace_validate.h for
  * the list: document shape, frame-lifecycle state machine, async span
- * integrity, counter-vs-event cross-checks), non-zero otherwise.
+ * integrity, lane/track metadata, per-category drop accounting,
+ * counter-vs-event cross-checks), non-zero otherwise. With --stats,
+ * also prints per-span-name duration statistics (count, mean,
+ * p50/p95/p99, max in simulated cycles).
  */
 
 #include <cstdio>
@@ -23,13 +26,19 @@ main(int argc, char **argv)
 {
     const char *path = nullptr;
     bool quiet = false;
+    bool stats = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            stats = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("trace_check -- replay a mosaic_sim trace and "
                         "re-verify its invariants\n\n"
-                        "  trace_check <trace.json> [--quiet]\n");
+                        "  trace_check <trace.json> [--quiet] [--stats]\n\n"
+                        "  --quiet  suppress the summary line\n"
+                        "  --stats  print per-span duration statistics "
+                        "(count, mean, p50/p95/p99, max)\n");
             return 0;
         } else if (path == nullptr) {
             path = argv[i];
@@ -39,7 +48,8 @@ main(int argc, char **argv)
         }
     }
     if (path == nullptr) {
-        std::fprintf(stderr, "usage: trace_check <trace.json> [--quiet]\n");
+        std::fprintf(stderr,
+                     "usage: trace_check <trace.json> [--quiet] [--stats]\n");
         return 2;
     }
 
@@ -52,7 +62,7 @@ main(int argc, char **argv)
     buf << in.rdbuf();
 
     const mosaic::TraceCheckResult r =
-        mosaic::validateChromeTraceText(buf.str());
+        mosaic::validateChromeTraceText(buf.str(), stats);
 
     for (const std::string &e : r.errors)
         std::fprintf(stderr, "error: %s\n", e.c_str());
@@ -60,12 +70,12 @@ main(int argc, char **argv)
         for (const std::string &n : r.notes)
             std::printf("note: %s\n", n.c_str());
         std::printf(
-            "%s: %llu events (%llu dropped), %llu walk spans, "
+            "%s: %llu events (%llu dropped) on %u lanes, %llu walk spans, "
             "%llu frame lifecycles (%llu complete), "
             "%llu coalesces / %llu splinters / %llu compactions, "
             "%llu violations, %llu counter samples, %llu open spans\n",
             path, static_cast<unsigned long long>(r.events),
-            static_cast<unsigned long long>(r.dropped),
+            static_cast<unsigned long long>(r.dropped), r.lanes,
             static_cast<unsigned long long>(r.walkSpans),
             static_cast<unsigned long long>(r.frameLifecycles),
             static_cast<unsigned long long>(r.completeLifecycles),
@@ -75,6 +85,19 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(r.violations),
             static_cast<unsigned long long>(r.counterSamples),
             static_cast<unsigned long long>(r.openSpans));
+        for (const auto &[cat, n] : r.droppedByCategory)
+            std::printf("dropped[%s]: %llu\n", cat.c_str(),
+                        static_cast<unsigned long long>(n));
+        if (stats) {
+            std::printf("%-24s %10s %10s %10s %10s %10s %10s\n", "span",
+                        "count", "mean", "p50", "p95", "p99", "max");
+            for (const mosaic::SpanStats &s : r.spanStats)
+                std::printf("%-24s %10llu %10.1f %10.1f %10.1f %10.1f "
+                            "%10.1f\n",
+                            s.name.c_str(),
+                            static_cast<unsigned long long>(s.count), s.mean,
+                            s.p50, s.p95, s.p99, s.max);
+        }
         if (r.ok)
             std::printf("OK\n");
         else
