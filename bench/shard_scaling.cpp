@@ -133,18 +133,31 @@ main(int argc, char **argv)
     char buf[512];
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const Sample &s = samples[i];
+        // Per-DRAM-channel sub-lane occupancy (hub sub-lanes, DESIGN.md
+        // §12): together with hub_occupancy (the *control* sub-lane)
+        // this attributes how much of the former hub serialization now
+        // runs in the parallel sub phase.
+        std::string subs = "[";
+        for (std::size_t c = 0; c < s.profile.subOccupancy.size(); ++c) {
+            std::snprintf(buf, sizeof buf, "%s%.4f", c > 0 ? ", " : "",
+                          s.profile.subOccupancy[c]);
+            subs += buf;
+        }
+        subs += "]";
         std::snprintf(buf, sizeof buf,
                       "    {\"shards\": %u, \"wall_seconds\": %.4f, "
                       "\"sim_cycles\": %llu, "
                       "\"sim_cycles_per_second\": %.4g, "
                       "\"speedup_vs_serial\": %.3f, "
                       "\"hub_occupancy\": %.4f, "
+                      "\"sub_occupancy\": %s, "
                       "\"worker_utilization\": %.4f, "
                       "\"barrier_wait_share\": %.4f}%s\n",
                       s.shards, s.wallSeconds,
                       static_cast<unsigned long long>(s.simCycles),
                       double(s.simCycles) / s.wallSeconds,
                       serial_wall / s.wallSeconds, s.profile.hubOccupancy,
+                      subs.c_str(),
                       s.profile.workerUtilization,
                       s.profile.barrierWaitShare,
                       i + 1 < samples.size() ? "," : "");

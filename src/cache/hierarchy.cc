@@ -47,6 +47,14 @@ CacheHierarchy::CacheHierarchy(EventQueue &events, DramModel &dram,
 }
 
 void
+CacheHierarchy::attachSubLanes(HubSubLanes *subs)
+{
+    MOSAIC_ASSERT(subs == nullptr || router_ != nullptr,
+                  "hub sub-lanes require the sharded engine's router");
+    subs_ = subs;
+}
+
+void
 CacheHierarchy::access(SmId sm, Addr paddr, bool isWrite, Callback onDone)
 {
     MOSAIC_ASSERT(sm < l1Tags_.size(), "SM id out of range");
@@ -68,6 +76,26 @@ CacheHierarchy::access(SmId sm, Addr paddr, bool isWrite, Callback onDone)
 
     // Forward to the shared L2 across the interconnect; on fill, install
     // the line in the L1 and release every merged waiter.
+    if (subs_ != nullptr) {
+        // Both hops cross lanes at their natural cycles: the miss lands
+        // on the bank's sub-lane at lane-now + hop, and the response
+        // lands back on the SM lane at sub-now + hop, which always
+        // clears the window boundary (the hop is >= the lookahead
+        // window), so both directions are timed-exact.
+        const unsigned sub = subOf(bankOf(line));
+        subs_->smToSub(sm, sub, lane.now() + config_.interconnectCycles,
+                       [this, sm, sub, line, isWrite] {
+            accessL2Line(line, isWrite, [this, sm, sub, line, isWrite] {
+                subs_->subToSm(sub, sm,
+                               subs_->subQueue(sub).now() +
+                                   config_.interconnectCycles,
+                               [this, sm, line, isWrite] {
+                    installL1Fill(sm, line, isWrite);
+                });
+            });
+        });
+        return;
+    }
     if (router_ != nullptr) {
         // Both interconnect hops cross lanes at their natural cycles:
         // the miss lands on the hub at lane-now + hop, and the response
@@ -106,8 +134,14 @@ CacheHierarchy::installL1Fill(SmId sm, std::uint64_t line, bool isWrite)
         if (victim && victim->dirty) {
             ++smStats_[sm].writebacks;
             // Write back through the L2 (fire and forget). The L2 is
-            // hub-side, so the sharded path crosses lanes.
-            if (router_ != nullptr) {
+            // hub-side, so the sharded path crosses lanes -- to the
+            // victim's bank's own sub-lane when sub-lanes are attached.
+            if (subs_ != nullptr) {
+                const std::uint64_t key = victim->key;
+                subs_->smToSub(sm, subOf(bankOf(key)),
+                               router_->laneQueue(sm).now(),
+                               [this, key] { accessL2Line(key, true, [] {}); });
+            } else if (router_ != nullptr) {
                 router_->callHub(sm, [this, key = victim->key] {
                     accessL2Line(key, true, [] {});
                 });
@@ -122,7 +156,15 @@ CacheHierarchy::installL1Fill(SmId sm, std::uint64_t line, bool isWrite)
 CacheHierarchy::Stats
 CacheHierarchy::stats() const
 {
-    Stats total = stats_;  // shared side: l2Accesses/l2Hits/L2 victims
+    // Per-bank and per-SM slices, summed on demand: integer sums are
+    // exact, so the merged totals match the old shared-struct layout
+    // byte for byte.
+    Stats total;
+    for (const L2Bank &bank : l2Banks_) {
+        total.l2Accesses += bank.accesses;
+        total.l2Hits += bank.hits;
+        total.writebacks += bank.writebacks;
+    }
     for (const SmStats &s : smStats_) {
         total.l1Accesses += s.l1Accesses;
         total.l1Hits += s.l1Hits;
@@ -134,7 +176,26 @@ CacheHierarchy::stats() const
 void
 CacheHierarchy::accessFromL2(Addr paddr, bool isWrite, Callback onDone)
 {
-    accessL2Line(lineOf(paddr), isWrite, std::move(onDone));
+    const std::uint64_t line = lineOf(paddr);
+    if (subs_ == nullptr) {
+        accessL2Line(line, isWrite, std::move(onDone));
+        return;
+    }
+    // Control-lane probe (walker / runtime): hop to the bank's sub-lane
+    // at the current control cycle (exact -- the control phase runs
+    // before the sub phase), run the lookup there, and return the
+    // completion to the control lane. The return crosses back at the
+    // next window boundary (bounded drift; see hub_sublanes.h).
+    const unsigned sub = subOf(bankOf(line));
+    subs_->controlToSub(
+        sub, events_.now(),
+        [this, sub, line, isWrite, onDone = std::move(onDone)]() mutable {
+            accessL2Line(line, isWrite,
+                         [this, sub, onDone = std::move(onDone)]() mutable {
+                subs_->subToControl(sub, subs_->subQueue(sub).now(),
+                                    std::move(onDone));
+            });
+        });
 }
 
 void
@@ -148,19 +209,24 @@ void
 CacheHierarchy::accessL2Line(std::uint64_t line, bool isWrite,
                              Callback onDone)
 {
-    L2Bank &bank = l2Banks_[bankOf(line)];
-    ++stats_.l2Accesses;
+    const unsigned bank_idx = bankOf(line);
+    L2Bank &bank = l2Banks_[bank_idx];
+    // With sub-lanes attached this runs on the bank's own sub-lane and
+    // all timing reads that lane's clock; the bank's DRAM traffic
+    // issues from the same sub-lane (same-channel accesses stay local
+    // under the default congruent Line interleave).
+    EventQueue &q = bankQueue(bank_idx);
+    ++bank.accesses;
 
     // Bank issue port: pipelined, one new access per l2BankCycleTime.
-    const Cycles issue_at =
-        std::max(events_.now(), bank.nextIssueAt);
+    const Cycles issue_at = std::max(q.now(), bank.nextIssueAt);
     bank.nextIssueAt = issue_at + config_.l2BankCycleTime;
-    const Cycles queue_delay = issue_at - events_.now();
+    const Cycles queue_delay = issue_at - q.now();
 
     if (bank.tags->access(line, isWrite)) {
-        ++stats_.l2Hits;
-        events_.scheduleAfter(queue_delay + config_.l2LatencyCycles,
-                              std::move(onDone));
+        ++bank.hits;
+        q.scheduleAfter(queue_delay + config_.l2LatencyCycles,
+                        std::move(onDone));
         return;
     }
 
@@ -169,19 +235,29 @@ CacheHierarchy::accessL2Line(std::uint64_t line, bool isWrite,
         return;
 
     const Addr line_addr = line * kCacheLineSize;
-    events_.scheduleAfter(queue_delay + config_.l2LatencyCycles,
-                          [this, line, line_addr, isWrite] {
-        dram_.access(line_addr, isWrite, [this, line, isWrite] {
+    q.scheduleAfter(queue_delay + config_.l2LatencyCycles,
+                    [this, line, line_addr, isWrite] {
+        auto fill = [this, line, isWrite] {
             L2Bank &fill_bank = l2Banks_[bankOf(line)];
             if (!fill_bank.tags->contains(line)) {
                 auto victim = fill_bank.tags->insert(line, isWrite);
                 if (victim && victim->dirty) {
-                    ++stats_.writebacks;
-                    dram_.access(victim->key * kCacheLineSize, true, [] {});
+                    ++fill_bank.writebacks;
+                    const Addr wb_addr = victim->key * kCacheLineSize;
+                    if (subs_ != nullptr)
+                        dram_.accessFromSub(subOf(bankOf(line)), wb_addr,
+                                            true, [] {});
+                    else
+                        dram_.access(wb_addr, true, [] {});
                 }
             }
             fill_bank.mshr.fill(line);
-        });
+        };
+        if (subs_ != nullptr)
+            dram_.accessFromSub(subOf(bankOf(line)), line_addr, isWrite,
+                                std::move(fill));
+        else
+            dram_.access(line_addr, isWrite, std::move(fill));
     });
 }
 

@@ -8,6 +8,14 @@
  * Misses allocate MSHRs so concurrent requests to one line merge. The
  * page-table walker injects its accesses at the L2 (walker data is shared
  * across SMs, so it bypasses private L1s, as in the GPU-MMU baseline).
+ *
+ * Under hub sub-lanes (attachSubLanes; DESIGN.md §12, ROADMAP 6(b))
+ * each L2 bank belongs to the sub-lane of its congruent DRAM channel
+ * (bank % subLaneCount): the bank's tags, MSHRs, issue port, and stats
+ * slice are touched only from that sub-lane's phase (or the control
+ * phase, which never runs concurrently with it). SM misses route
+ * straight to the owning sub-lane; walker/runtime L2 probes hop from
+ * the control lane to the bank's sub-lane and back.
  */
 
 #ifndef MOSAIC_CACHE_HIERARCHY_H
@@ -25,6 +33,7 @@
 #include "common/types.h"
 #include "dram/dram.h"
 #include "engine/event_queue.h"
+#include "engine/hub_sublanes.h"
 #include "engine/lane_router.h"
 
 namespace mosaic {
@@ -86,6 +95,13 @@ class CacheHierarchy
                    StatsRegistry *metrics = nullptr,
                    LaneRouter *router = nullptr);
 
+    /**
+     * Attaches the hub sub-lane router (requires a LaneRouter too):
+     * every L2 bank migrates from the hub lane to sub-lane
+     * bank % subLaneCount. Must be called before the first access.
+     */
+    void attachSubLanes(HubSubLanes *subs);
+
     /** SM data access: L1 -> L2 -> DRAM. */
     void access(SmId sm, Addr paddr, bool isWrite, Callback onDone);
 
@@ -102,11 +118,17 @@ class CacheHierarchy
     const CacheHierarchyConfig &config() const { return config_; }
 
   private:
-    struct L2Bank
+    /** Cache-line aligned: adjacent banks may run on different hub
+     *  sub-lanes; the stats fields are this bank's slice, written only
+     *  by its owning lane and summed in stats(). */
+    struct alignas(64) L2Bank
     {
         std::unique_ptr<SetAssocCache> tags;
         MshrFile mshr;
         Cycles nextIssueAt = 0;
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t writebacks = 0;  ///< dirty L2 victims
 
         explicit L2Bank(std::size_t mshrs) : mshr(mshrs) {}
     };
@@ -123,9 +145,23 @@ class CacheHierarchy
     std::uint64_t lineOf(Addr paddr) const { return paddr / kCacheLineSize; }
     unsigned bankOf(std::uint64_t line) const { return line % config_.l2Banks; }
 
+    /** Hub sub-lane owning @p bank (only meaningful with subs_ set). */
+    unsigned subOf(unsigned bank) const
+    {
+        return bank % subs_->subLaneCount();
+    }
+
+    /** Event queue bank @p bank's L2 pipeline runs on. */
+    EventQueue &bankQueue(unsigned bank)
+    {
+        return subs_ != nullptr ? subs_->subQueue(subOf(bank)) : events_;
+    }
+
     /**
      * Runs the L2 lookup for @p line and invokes @p onDone when the data
      * is available at the L2 (caller adds any interconnect latency).
+     * With sub-lanes attached this must execute on the bank's sub-lane;
+     * @p onDone then also runs there.
      */
     void accessL2Line(std::uint64_t line, bool isWrite, Callback onDone);
 
@@ -136,11 +172,11 @@ class CacheHierarchy
     DramModel &dram_;
     CacheHierarchyConfig config_;
     LaneRouter *router_;
+    HubSubLanes *subs_ = nullptr;
 
     std::vector<SetAssocCache> l1Tags_;
     std::vector<MshrFile> l1Mshrs_;
     std::vector<L2Bank> l2Banks_;
-    Stats stats_;               ///< shared side: l2Accesses/l2Hits/L2 victims
     std::vector<SmStats> smStats_;
 };
 

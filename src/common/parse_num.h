@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Checked numeric parsing for CLI flags and environment variables.
+ *
+ * The tools historically parsed flag values with atoi/atof (garbage
+ * silently becomes 0, negatives wrap through unsigned casts to huge
+ * values) or bare std::stoul (throws out of main on garbage). Every
+ * numeric flag and env var now goes through these helpers: the whole
+ * string must parse, the value must sit inside the caller's range, and
+ * failures produce one clear `flag X: invalid value 'Y'` diagnostic
+ * instead of a silent zero or a crash.
+ */
+
+#ifndef MOSAIC_COMMON_PARSE_NUM_H
+#define MOSAIC_COMMON_PARSE_NUM_H
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mosaic {
+
+/**
+ * Parses all of @p s as a non-negative decimal integer into @p out.
+ * Rejects empty strings, signs, whitespace, trailing junk, and
+ * out-of-range magnitudes.
+ */
+inline bool
+parseU64(const char *s, std::uint64_t *out)
+{
+    if (s == nullptr || *s == '\0' || *s < '0' || *s > '9')
+        return false;  // strtoull would accept "+5", " 5", "-1"
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno == ERANGE || end == s || *end != '\0')
+        return false;
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+/**
+ * Parses all of @p s as a finite decimal floating-point value into
+ * @p out. Rejects empty strings, trailing junk, inf/nan, and overflow.
+ */
+inline bool
+parseF64(const char *s, double *out)
+{
+    if (s == nullptr || *s == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (errno == ERANGE || end == s || *end != '\0' || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+/**
+ * Checked integer flag value: all of @p value must parse and land in
+ * [@p lo, @p hi]. On failure prints `flag X: invalid value 'Y'` with
+ * the accepted range to stderr and returns false.
+ */
+inline bool
+parseFlagU64(const char *flag, const char *value, std::uint64_t lo,
+             std::uint64_t hi, std::uint64_t *out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(value, &v) || v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "flag %s: invalid value '%s' (want an integer in "
+                     "[%llu, %llu])\n",
+                     flag, value == nullptr ? "" : value,
+                     static_cast<unsigned long long>(lo),
+                     static_cast<unsigned long long>(hi));
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+/** Checked floating-point flag value in [@p lo, @p hi]; as parseFlagU64. */
+inline bool
+parseFlagF64(const char *flag, const char *value, double lo, double hi,
+             double *out)
+{
+    double v = 0.0;
+    if (!parseF64(value, &v) || v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "flag %s: invalid value '%s' (want a number in "
+                     "[%g, %g])\n",
+                     flag, value == nullptr ? "" : value, lo, hi);
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_COMMON_PARSE_NUM_H

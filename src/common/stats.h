@@ -99,6 +99,22 @@ class Histogram
         sum_ = samples_ = max_ = 0;
     }
 
+    /**
+     * Folds @p other into this histogram. Both must share width and
+     * bucket count. All state is integral, so merging per-shard slices
+     * is exact and order-independent: the merged view is byte-identical
+     * to a histogram that recorded every sample directly.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        sum_ += other.sum_;
+        samples_ += other.samples_;
+        max_ = std::max(max_, other.max_);
+    }
+
   private:
     std::uint64_t width_;
     std::vector<std::uint64_t> counts_;

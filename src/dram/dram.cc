@@ -1,6 +1,7 @@
 #include "dram/dram.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 namespace mosaic {
@@ -10,17 +11,95 @@ DramModel::DramModel(EventQueue &events, const DramConfig &config,
     : events_(events), config_(config), tracer_(tracer),
       channels_(config.channels)
 {
-    for (auto &channel : channels_)
+    for (auto &channel : channels_) {
         channel.banks.assign(config_.banksPerChannel, Bank{});
-    if (metrics != nullptr) {
-        metrics->bindCounter("dram.reads", stats_.reads);
-        metrics->bindCounter("dram.writes", stats_.writes);
-        metrics->bindCounter("dram.rowHits", stats_.rowHits);
-        metrics->bindCounter("dram.rowMisses", stats_.rowMisses);
-        metrics->bindCounter("dram.bulkCopies", stats_.bulkCopies);
-        metrics->bindCounter("dram.bulkCopyCycles", stats_.bulkCopyCycles);
-        metrics->bindHistogram("dram.latency", stats_.latency);
+        channel.lane = &events_;
     }
+    if (metrics != nullptr) {
+        // Counters are per-channel slices (each written only by its
+        // owning lane under the sharded engine); snapshots read the
+        // merged sums. Summing integers and merging integer-bucket
+        // histograms is exact, so serial snapshots are byte-identical
+        // to the pre-slice single-struct layout.
+        const auto sum = [this](std::uint64_t ChannelStats::*field) {
+            return [this, field] {
+                std::uint64_t total = 0;
+                for (const Channel &ch : channels_)
+                    total += ch.stats.*field;
+                return total;
+            };
+        };
+        metrics->bindCounterFn("dram.reads", sum(&ChannelStats::reads));
+        metrics->bindCounterFn("dram.writes", sum(&ChannelStats::writes));
+        metrics->bindCounterFn("dram.rowHits", sum(&ChannelStats::rowHits));
+        metrics->bindCounterFn("dram.rowMisses",
+                               sum(&ChannelStats::rowMisses));
+        metrics->bindCounter("dram.bulkCopies", bulkCopies_);
+        metrics->bindCounter("dram.bulkCopyCycles", bulkCopyCycles_);
+        // Same exploded entries bindHistogram would emit, computed from
+        // the merged per-channel slices at snapshot time.
+        metrics->bindCounterFn("dram.latency.samples", [this] {
+            return mergedLatency().samples();
+        });
+        metrics->bindGaugeFn("dram.latency.mean",
+                             [this] { return mergedLatency().mean(); });
+        metrics->bindCounterFn("dram.latency.max",
+                               [this] { return mergedLatency().max(); });
+        metrics->bindGaugeFn("dram.latency.p50", [this] {
+            return mergedLatency().percentile(50);
+        });
+        metrics->bindGaugeFn("dram.latency.p95", [this] {
+            return mergedLatency().percentile(95);
+        });
+    }
+}
+
+void
+DramModel::attachSubLanes(HubSubLanes *subs)
+{
+    subs_ = subs;
+    if (subs_ == nullptr) {
+        for (auto &channel : channels_)
+            channel.lane = &events_;
+        return;
+    }
+    assert(subs_->subLaneCount() == channels_.size());
+    for (unsigned c = 0; c < channels_.size(); ++c)
+        channels_[c].lane = &subs_->subQueue(c);
+}
+
+Histogram
+DramModel::mergedLatency() const
+{
+    Histogram merged{32, 64};
+    for (const Channel &ch : channels_)
+        merged.merge(ch.stats.latency);
+    return merged;
+}
+
+DramModel::Stats
+DramModel::stats() const
+{
+    Stats s;
+    for (const Channel &ch : channels_) {
+        s.reads += ch.stats.reads;
+        s.writes += ch.stats.writes;
+        s.rowHits += ch.stats.rowHits;
+        s.rowMisses += ch.stats.rowMisses;
+        s.latency.merge(ch.stats.latency);
+    }
+    s.bulkCopies = bulkCopies_;
+    s.bulkCopyCycles = bulkCopyCycles_;
+    return s;
+}
+
+std::size_t
+DramModel::inFlight() const
+{
+    std::size_t total = 0;
+    for (const Channel &ch : channels_)
+        total += ch.inFlight;
+    return total;
 }
 
 DramModel::Decoded
@@ -69,38 +148,123 @@ DramModel::channelOf(Addr addr) const
 }
 
 void
+DramModel::enqueue(unsigned channelIdx, unsigned bank, std::uint64_t row,
+                   Addr addr, bool isWrite, std::int32_t origin,
+                   SimCallback onDone)
+{
+    Channel &channel = channels_[channelIdx];
+    channel.queue.push_back(DramRequest{addr, isWrite, channel.lane->now(),
+                                        bank, row, origin,
+                                        std::move(onDone)});
+    ++channel.inFlight;
+    if (isWrite)
+        ++channel.stats.writes;
+    else
+        ++channel.stats.reads;
+}
+
+void
 DramModel::access(Addr addr, bool isWrite, SimCallback onDone)
 {
     const Decoded d = decode(addr);
+    if (subs_ == nullptr) {
+        // Serial / hub-only engine: the legacy inline path, byte-identical
+        // to the pre-sub-lane model.
+        enqueue(d.channel, d.bank, d.row, addr, isWrite, kOriginControl,
+                std::move(onDone));
+        tryDispatch(d.channel);
+        return;
+    }
+    // Control phase: sub-lanes are parked, so mutating the channel queue
+    // is safe, but dispatch decisions belong to the owning sub-lane's
+    // clock — kick it at the current control cycle (the sub phase for
+    // this window has not run yet, so the kick lands in-window).
     Channel &channel = channels_[d.channel];
-    channel.queue.push_back(DramRequest{addr, isWrite, events_.now(),
-                                        d.bank, d.row, std::move(onDone)});
-    ++inFlight_;
+    channel.queue.push_back(DramRequest{addr, isWrite, events_.now(), d.bank,
+                                        d.row, kOriginControl,
+                                        std::move(onDone)});
+    ++channel.inFlight;
     if (isWrite)
-        ++stats_.writes;
+        ++channel.stats.writes;
     else
-        ++stats_.reads;
-    tryDispatch(d.channel);
+        ++channel.stats.reads;
+    scheduleDispatch(d.channel, events_.now());
+}
+
+void
+DramModel::accessFromSub(unsigned srcSub, Addr addr, bool isWrite,
+                         SimCallback onDone)
+{
+    assert(subs_ != nullptr);
+    const Decoded d = decode(addr);
+    if (d.channel == srcSub) {
+        enqueue(d.channel, d.bank, d.row, addr, isWrite,
+                static_cast<std::int32_t>(srcSub), std::move(onDone));
+        tryDispatch(d.channel);
+        return;
+    }
+    // The channel lives on another sub-lane; hand the request over
+    // through the router. It arrives at the next window boundary and is
+    // stamped with its arrival cycle (bounded deterministic drift of at
+    // most one window — see hub_sublanes.h).
+    subs_->subToSub(
+        srcSub, d.channel, channels_[srcSub].lane->now(),
+        [this, d, addr, isWrite, srcSub, fn = std::move(onDone)]() mutable {
+            enqueue(d.channel, d.bank, d.row, addr, isWrite,
+                    static_cast<std::int32_t>(srcSub), std::move(fn));
+            tryDispatch(d.channel);
+        });
 }
 
 void
 DramModel::scheduleDispatch(unsigned channelIdx, Cycles when)
 {
     Channel &channel = channels_[channelIdx];
-    if (channel.dispatchScheduled)
+    when = std::max(when, channel.lane->now());
+    // An equal-or-earlier retry already pending covers this request; a
+    // *later* pending retry must not swallow an earlier one (it used to:
+    // a bare "scheduled" flag dropped the earlier cycle and delayed the
+    // dispatch until the stale retry fired), so reschedule instead. The
+    // superseded event still fires and no-ops via the dispatchAt check.
+    if (channel.dispatchScheduled && channel.dispatchAt <= when)
         return;
     channel.dispatchScheduled = true;
-    events_.schedule(std::max(when, events_.now()), [this, channelIdx] {
-        channels_[channelIdx].dispatchScheduled = false;
+    channel.dispatchAt = when;
+    channel.lane->schedule(when, [this, channelIdx, when] {
+        Channel &channel = channels_[channelIdx];
+        if (!channel.dispatchScheduled || channel.dispatchAt != when)
+            return;  // superseded by an earlier reschedule
+        channel.dispatchScheduled = false;
         tryDispatch(channelIdx);
     });
+}
+
+void
+DramModel::completeAt(unsigned channelIdx, Cycles done, std::int32_t origin,
+                      SimCallback fn)
+{
+    Channel &channel = channels_[channelIdx];
+    if (subs_ == nullptr ||
+        origin == static_cast<std::int32_t>(channelIdx)) {
+        // Serial engine, or the completion stays on the owning sub-lane.
+        channel.lane->schedule(done, std::move(fn));
+        return;
+    }
+    // Routed at dispatch time with when = done, which exceeds the window
+    // end for every shipped timing config, so the completion arrives on
+    // the issuer's lane timed-exact (see hub_sublanes.h).
+    if (origin == kOriginControl)
+        subs_->subToControl(channelIdx, done, std::move(fn));
+    else
+        subs_->subToSub(channelIdx, static_cast<unsigned>(origin), done,
+                        std::move(fn));
 }
 
 void
 DramModel::tryDispatch(unsigned channelIdx)
 {
     Channel &channel = channels_[channelIdx];
-    const Cycles now = events_.now();
+    const Cycles now = channel.lane->now();
 
     while (!channel.queue.empty()) {
         // FR-FCFS: among requests whose bank is ready, prefer the oldest
@@ -145,9 +309,9 @@ DramModel::tryDispatch(unsigned channelIdx)
         const Cycles access_latency =
             pick_is_hit ? config_.rowHitCycles : config_.rowMissCycles;
         if (pick_is_hit)
-            ++stats_.rowHits;
+            ++channel.stats.rowHits;
         else
-            ++stats_.rowMisses;
+            ++channel.stats.rowMisses;
 
         // The data burst occupies the channel bus after the bank access;
         // consecutive bursts on one channel serialize on busFreeAt. The
@@ -161,9 +325,9 @@ DramModel::tryDispatch(unsigned channelIdx)
         bank.readyAt = now + (pick_is_hit ? config_.bankBusyHitCycles
                                           : config_.bankBusyMissCycles);
 
-        stats_.latency.record(done - req.issued);
-        --inFlight_;
-        events_.schedule(done, std::move(req.onDone));
+        channel.stats.latency.record(done - req.issued);
+        --channel.inFlight;
+        completeAt(channelIdx, done, req.origin, std::move(req.onDone));
     }
 }
 
@@ -188,9 +352,13 @@ DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
     const Cycles duration = bulkCopyCycles(src, dst, inDramCopy);
 
     // The copy occupies the destination channel's bus (and the source's
-    // too when they differ); model it by pushing out busFreeAt.
+    // too when they differ); model it by pushing out busFreeAt. A
+    // cross-channel copy cannot start until *both* buses are free: it
+    // streams reads off the source bus and writes onto the destination.
     Channel &dst_ch = channels_[dst_channel];
-    const Cycles start = std::max(events_.now(), dst_ch.busFreeAt);
+    Cycles start = std::max(events_.now(), dst_ch.busFreeAt);
+    if (!same_channel)
+        start = std::max(start, channels_[src_channel].busFreeAt);
     const Cycles done = start + duration;
     dst_ch.busFreeAt = done;
     if (!same_channel) {
@@ -198,11 +366,10 @@ DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
         src_ch.busFreeAt = std::max(src_ch.busFreeAt, done);
     }
 
-    ++stats_.bulkCopies;
-    stats_.bulkCopyCycles += duration;
+    ++bulkCopies_;
+    bulkCopyCycles_ += duration;
     if (tracer_ != nullptr && tracer_->on(kTraceDram)) {
-        const std::uint64_t id =
-            traceId(TraceIdSpace::BulkCopy, stats_.bulkCopies);
+        const std::uint64_t id = traceId(TraceIdSpace::BulkCopy, bulkCopies_);
         tracer_->asyncBegin(kTraceDram, TraceTrack::Dram, "dram.bulkCopy",
                             id, start,
                             {"inDram", inDramCopy && same_channel ? 1u : 0u},

@@ -47,20 +47,38 @@ struct EngineShardProfile
     std::vector<std::uint64_t> laneOutMsgs;      ///< per SM lane
     std::vector<std::uint64_t> laneBusyWindows;  ///< per SM lane
 
-    /** hubBusyWindows / epochs: share of windows the hub worked in. */
+    /**
+     * hubBusyWindows / epochs: share of windows the *control* sub-lane
+     * worked in. With hub sub-lanes enabled (ROADMAP 6(b)) the DRAM
+     * channels and their L2 banks run on the per-channel sub-lanes
+     * below, so this measures only the residual serial hub work.
+     */
     double hubOccupancy = 0.0;
+
+    /** Hub sub-lanes (one per DRAM channel); 0 = single-lane hub. */
+    std::uint64_t hubSubLanes = 0;
+    std::vector<std::uint64_t> subEvents;       ///< per hub sub-lane
+    std::vector<std::uint64_t> subOutMsgs;      ///< per hub sub-lane
+    std::vector<std::uint64_t> subBusyWindows;  ///< per hub sub-lane
+    /** Per sub-lane busyWindows / epochs. */
+    std::vector<double> subOccupancy;
 
     // --- wall-clock (host-dependent; bench-only) ---------------------
     std::uint64_t workers = 0;     ///< threads used, incl. coordinator
     double wallSmPhaseSec = 0.0;   ///< total SM-phase wall time
-    double wallHubSec = 0.0;       ///< total hub-phase wall time
+    double wallHubSec = 0.0;       ///< total control-phase wall time
+    double wallSubPhaseSec = 0.0;  ///< total sub-phase wall time
     double wallExchangeSec = 0.0;  ///< barrier + merge + delivery time
     std::vector<double> workerBusySec;  ///< [0]=coordinator, [i]=thread i
 
-    /** sum(workerBusySec) / (workers * wallSmPhaseSec), in [0, 1]. */
+    /**
+     * sum(workerBusySec) / (workers * (wallSmPhaseSec +
+     * wallSubPhaseSec)), in [0, 1]: how full the pool ran during the
+     * parallel phases.
+     */
     double workerUtilization = 0.0;
 
-    /** 1 - workerUtilization: share of SM-phase time spent waiting. */
+    /** 1 - workerUtilization: share of parallel-phase time waiting. */
     double barrierWaitShare = 0.0;
 };
 

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Hub sub-lane routing interface for the sharded engine.
+ *
+ * ROADMAP 6(b): the single hub lane serializes every shared component
+ * and sits at ~0.98 occupancy on walk-heavy workloads, bounding the
+ * sharded engine's speedup. The natural parallel cut inside the hub is
+ * the DRAM channel: the modeled memory system (paper Table 1) has six
+ * *independent* channels, each with its own FR-FCFS queue, banks, and
+ * data bus. This interface splits the hub phase into one *sub-lane*
+ * per DRAM channel — each sub-lane owns its channel plus the L2 cache
+ * banks congruent to it — while the remaining shared machinery (L2
+ * TLB/walker/PWC, managers/CAC, page-table mutation, pager control,
+ * samplers, checker) stays on the *control* sub-lane, which is the
+ * original hub queue.
+ *
+ * Epoch structure with sub-lanes enabled (see DESIGN.md §12):
+ *   SM phase (parallel) -> exchange -> control phase (serial) ->
+ *   sub phase (parallel) -> sub exchange -> advance.
+ * The control phase runs *before* the sub phase, so control code may
+ * schedule directly into a sub queue at its own current cycle
+ * (controlToSub is exact). Sub-lanes run concurrently with each other
+ * and may not touch any queue but their own; everything they emit goes
+ * through per-sub outboxes that the coordinator merges in canonical
+ * (cycle, subLane, sequence) order — the same contract the SM<->hub
+ * exchange already obeys — so results stay byte-identical for every
+ * worker count N >= 1.
+ *
+ * Delivery semantics:
+ *  - smToSub(src, sub, when, fn):  from an SM lane during the SM phase;
+ *    delivered into the sub queue at exactly `when` (before either hub
+ *    phase runs), so requests reach their channel with no added drift.
+ *  - controlToSub(sub, when, fn):  from the control phase; direct and
+ *    exact (the sub phase for this window has not run yet).
+ *  - subToControl / subToSub / subToSm(from, ..., when, fn): from the
+ *    sub phase; delivered at max(when, windowEnd). DRAM completions are
+ *    routed at dispatch time with `when = done`, which exceeds the
+ *    window end whenever rowHit + burst >= the window size (true for
+ *    every shipped config), so they arrive timed-exact; only
+ *    cross-channel request handoffs quantize to the next window start,
+ *    a bounded deterministic drift of at most one window.
+ */
+
+#ifndef MOSAIC_ENGINE_HUB_SUBLANES_H
+#define MOSAIC_ENGINE_HUB_SUBLANES_H
+
+#include "common/types.h"
+#include "engine/event_queue.h"
+
+namespace mosaic {
+
+/** Routes events between hub sub-lanes, the control lane, and SM lanes. */
+class HubSubLanes
+{
+  public:
+    virtual ~HubSubLanes() = default;
+
+    /** Number of sub-lanes (== DRAM channel count by runner contract). */
+    virtual unsigned subLaneCount() const = 0;
+
+    /** Event queue owned by sub-lane @p sub. */
+    virtual EventQueue &subQueue(unsigned sub) = 0;
+
+    /** SM lane -> sub-lane, timed: delivered at exactly @p when. */
+    virtual void smToSub(SmId srcSm, unsigned sub, Cycles when,
+                         SimCallback fn) = 0;
+
+    /** Control phase -> sub-lane, direct and exact (control runs first). */
+    virtual void controlToSub(unsigned sub, Cycles when, SimCallback fn) = 0;
+
+    /** Sub-lane -> control, delivered at max(when, windowEnd). */
+    virtual void subToControl(unsigned srcSub, Cycles when,
+                              SimCallback fn) = 0;
+
+    /** Sub-lane -> sub-lane, delivered at max(when, windowEnd). */
+    virtual void subToSub(unsigned srcSub, unsigned dstSub, Cycles when,
+                          SimCallback fn) = 0;
+
+    /** Sub-lane -> SM lane, delivered at max(when, windowEnd). */
+    virtual void subToSm(unsigned srcSub, SmId sm, Cycles when,
+                         SimCallback fn) = 0;
+};
+
+}  // namespace mosaic
+
+#endif  // MOSAIC_ENGINE_HUB_SUBLANES_H

@@ -50,14 +50,15 @@ ShardedEngine::toHub(SmId srcSm, Cycles when, SimCallback fn)
 {
     Lane &lane = lanes_[srcSm];
     MOSAIC_ASSERT(when >= lane.queue.now(), "toHub message in the past");
-    lane.outbox.push_back(OutMsg{when, std::move(fn)});
+    lane.outbox.push_back(OutMsg{when, kTargetControl, std::move(fn)});
 }
 
 void
 ShardedEngine::callHub(SmId srcSm, SimCallback fn)
 {
     Lane &lane = lanes_[srcSm];
-    lane.outbox.push_back(OutMsg{lane.queue.now(), std::move(fn)});
+    lane.outbox.push_back(
+        OutMsg{lane.queue.now(), kTargetControl, std::move(fn)});
 }
 
 void
@@ -71,6 +72,55 @@ void
 ShardedEngine::callSm(SmId sm, SimCallback fn)
 {
     hubOutbox_.push_back(HubMsg{sm, true, 0, std::move(fn)});
+}
+
+void
+ShardedEngine::enableHubSubLanes(unsigned count)
+{
+    MOSAIC_ASSERT(subs_.empty(), "hub sub-lanes already enabled");
+    MOSAIC_ASSERT(epochs_ == 0,
+                  "hub sub-lanes must be enabled before the first epoch");
+    MOSAIC_ASSERT(count > 0, "need at least one hub sub-lane");
+    subs_ = std::vector<SubLane>(count);
+}
+
+void
+ShardedEngine::smToSub(SmId srcSm, unsigned sub, Cycles when, SimCallback fn)
+{
+    Lane &lane = lanes_[srcSm];
+    MOSAIC_ASSERT(when >= lane.queue.now(), "smToSub message in the past");
+    lane.outbox.push_back(
+        OutMsg{when, static_cast<std::int32_t>(sub), std::move(fn)});
+}
+
+void
+ShardedEngine::controlToSub(unsigned sub, Cycles when, SimCallback fn)
+{
+    // The control phase is serial and runs before the sub phase with
+    // the workers parked, so a direct timed schedule is exact and safe.
+    subs_[sub].queue.schedule(when, std::move(fn));
+}
+
+void
+ShardedEngine::subToControl(unsigned srcSub, Cycles when, SimCallback fn)
+{
+    subs_[srcSub].outbox.push_back(
+        SubMsg{when, kTargetControl, std::move(fn)});
+}
+
+void
+ShardedEngine::subToSub(unsigned srcSub, unsigned dstSub, Cycles when,
+                        SimCallback fn)
+{
+    subs_[srcSub].outbox.push_back(
+        SubMsg{when, static_cast<std::int32_t>(dstSub), std::move(fn)});
+}
+
+void
+ShardedEngine::subToSm(unsigned srcSub, SmId sm, Cycles when, SimCallback fn)
+{
+    subs_[srcSub].outbox.push_back(SubMsg{
+        when, static_cast<std::int32_t>(subs_.size() + sm), std::move(fn)});
 }
 
 void
@@ -117,6 +167,31 @@ ShardedEngine::registerMetrics(StatsRegistry &registry)
                          lanes_[i].busyWindows);
         }
     });
+    if (!subs_.empty()) {
+        // Per-sub-lane occupancy/traffic (ROADMAP 6(b)): shows how much
+        // of the former hub load moved onto the per-channel sub-lanes
+        // and how much stays serial on the control sub-lane
+        // (engine.shard.hub.* above keeps measuring the latter).
+        registry.bindCounterFn("engine.shard.hub.subLanes", [this] {
+            return static_cast<std::uint64_t>(subs_.size());
+        });
+        registry.addProvider([this](StatsRegistry::Sink &sink) {
+            for (std::size_t c = 0; c < subs_.size(); ++c) {
+                const MetricLabels labels{{"sub", std::to_string(c)}};
+                sink.counter("engine.shard.hub.sub.events", labels,
+                             subs_[c].queue.executed());
+                sink.counter("engine.shard.hub.sub.outMsgs", labels,
+                             subs_[c].outMsgs);
+                sink.counter("engine.shard.hub.sub.busyWindows", labels,
+                             subs_[c].busyWindows);
+                sink.gauge("engine.shard.hub.sub.occupancy", labels,
+                           epochs_ == 0
+                               ? 0.0
+                               : static_cast<double>(subs_[c].busyWindows) /
+                                     static_cast<double>(epochs_));
+            }
+        });
+    }
 }
 
 void
@@ -155,9 +230,24 @@ ShardedEngine::profile() const
     p.hubOccupancy = epochs_ == 0 ? 0.0
                                   : static_cast<double>(hubBusyWindows_) /
                                         static_cast<double>(epochs_);
+    p.hubSubLanes = subs_.size();
+    p.subEvents.reserve(subs_.size());
+    p.subOutMsgs.reserve(subs_.size());
+    p.subBusyWindows.reserve(subs_.size());
+    p.subOccupancy.reserve(subs_.size());
+    for (const SubLane &sub : subs_) {
+        p.subEvents.push_back(sub.queue.executed());
+        p.subOutMsgs.push_back(sub.outMsgs);
+        p.subBusyWindows.push_back(sub.busyWindows);
+        p.subOccupancy.push_back(
+            epochs_ == 0 ? 0.0
+                         : static_cast<double>(sub.busyWindows) /
+                               static_cast<double>(epochs_));
+    }
     p.workers = workers();
     p.wallSmPhaseSec = wallSmPhaseNs_ * 1e-9;
     p.wallHubSec = wallHubNs_ * 1e-9;
+    p.wallSubPhaseSec = wallSubPhaseNs_ * 1e-9;
     p.wallExchangeSec = wallExchangeNs_ * 1e-9;
     double busySec = 0.0;
     p.workerBusySec.reserve(workerBusyNs_.size());
@@ -165,10 +255,11 @@ ShardedEngine::profile() const
         p.workerBusySec.push_back(ns * 1e-9);
         busySec += ns * 1e-9;
     }
-    const double smCapacity =
-        static_cast<double>(p.workers) * p.wallSmPhaseSec;
-    if (smCapacity > 0.0) {
-        p.workerUtilization = std::min(1.0, busySec / smCapacity);
+    const double parallelCapacity =
+        static_cast<double>(p.workers) *
+        (p.wallSmPhaseSec + p.wallSubPhaseSec);
+    if (parallelCapacity > 0.0) {
+        p.workerUtilization = std::min(1.0, busySec / parallelCapacity);
         p.barrierWaitShare = 1.0 - p.workerUtilization;
     }
     return p;
@@ -195,6 +286,20 @@ ShardedEngine::sampleTrace(Cycles windowEnd)
                       lane.queue.pending());
         lane.lastSampled = lane.queue.executed();
     }
+    // Sub-lane rings exist only when the mux was built with a matching
+    // sub-lane count (the runner guarantees it; tests may not).
+    const std::size_t nsub =
+        std::min<std::size_t>(subs_.size(), trace_->hubSubLanes());
+    for (std::size_t c = 0; c < nsub; ++c) {
+        SubLane &sub = subs_[c];
+        Tracer *ring = trace_->hubSub(static_cast<unsigned>(c));
+        const std::size_t idx = 1 + lanes_.size() + c;
+        ring->counter(trace_->laneWindowEventsName(idx), windowEnd,
+                      sub.queue.executed() - sub.lastSampled);
+        ring->counter(trace_->laneQueueDepthName(idx), windowEnd,
+                      sub.queue.pending());
+        sub.lastSampled = sub.queue.executed();
+    }
 }
 
 bool
@@ -204,6 +309,9 @@ ShardedEngine::anyWork() const
         return true;
     for (const Lane &lane : lanes_)
         if (!lane.queue.empty())
+            return true;
+    for (const SubLane &sub : subs_)
+        if (!sub.queue.empty())
             return true;
     return false;
 }
@@ -229,7 +337,7 @@ ShardedEngine::runEpoch()
     const auto t0 = std::chrono::steady_clock::now();
 
     // 1. SM phase: lanes run [windowStart_, windowEnd) concurrently.
-    smPhase(windowEnd - 1);
+    parallelPhase(windowEnd - 1, /*subPhase=*/false);
     const auto t1 = std::chrono::steady_clock::now();
 
     // 2. Barrier hooks (checker flushes, epoch sweeps).
@@ -248,10 +356,12 @@ ShardedEngine::runEpoch()
         }
     }
 
-    // 3. Exchange: merge outboxes into the hub queue in canonical
-    //    (cycle, source lane, source sequence) order. The hub queue's
-    //    own (when, seq) tie-break then preserves exactly this order,
-    //    whatever thread produced each message.
+    // 3. Exchange: merge outboxes into the target queues in canonical
+    //    (cycle, source lane, source sequence) order. Each queue's own
+    //    (when, seq) tie-break then preserves exactly this order,
+    //    whatever thread produced each message. Targets: the hub
+    //    (control) queue, or -- with sub-lanes enabled -- a hub
+    //    sub-lane (L2/DRAM requests routed straight to their channel).
     mergeScratch_.clear();
     for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
         const auto &outbox = lanes_[l].outbox;
@@ -267,12 +377,21 @@ ShardedEngine::runEpoch()
                   return a.idx < b.idx;
               });
     hubInMsgs_ += mergeScratch_.size();
-    for (const MergeKey &key : mergeScratch_)
-        hub_.schedule(key.when, std::move(lanes_[key.lane].outbox[key.idx].fn));
+    for (const MergeKey &key : mergeScratch_) {
+        OutMsg &msg = lanes_[key.lane].outbox[key.idx];
+        if (msg.target == kTargetControl)
+            hub_.schedule(msg.when, std::move(msg.fn));
+        else
+            subs_[static_cast<std::size_t>(msg.target)].queue.schedule(
+                msg.when, std::move(msg.fn));
+    }
     for (Lane &lane : lanes_)
         lane.outbox.clear();
 
-    // 4. Hub phase: shared components run the same window serially.
+    // 4. Control phase: the remaining shared components (L2 TLB,
+    //    walker, managers, pager) run the same window serially. It runs
+    //    *before* the sub phase so control code may schedule into sub
+    //    queues at its own cycle (controlToSub is exact).
     hubQueueDepth_.record(hub_.pending());
     const auto t2 = std::chrono::steady_clock::now();
     hub_.runUntil(windowEnd - 1);
@@ -299,12 +418,34 @@ ShardedEngine::runEpoch()
     }
     hubOutbox_.clear();
 
+    // 5b. Sub phase: the per-channel sub-lanes run the same window
+    //     concurrently on the worker pool, then their outboxes merge
+    //     canonically (see exchangeSubOutboxes).
+    auto t4 = t3;
+    auto t5 = t3;
+    if (!subs_.empty()) {
+        t4 = std::chrono::steady_clock::now();
+        parallelPhase(windowEnd - 1, /*subPhase=*/true);
+        t5 = std::chrono::steady_clock::now();
+        for (SubLane &sub : subs_) {
+            sub.outMsgs += sub.outbox.size();
+            const std::uint64_t executed = sub.queue.executed();
+            if (executed != sub.lastExecuted) {
+                ++sub.busyWindows;
+                sub.lastExecuted = executed;
+            }
+        }
+        exchangeSubOutboxes(windowEnd);
+    }
+
     // 6. Advance, skipping whole windows with no pending events. The
     //    jump depends only on queue contents, so it is identical for
     //    every worker count.
     Cycles next = hub_.nextEventAt();
     for (const Lane &lane : lanes_)
         next = std::min(next, lane.queue.nextEventAt());
+    for (const SubLane &sub : subs_)
+        next = std::min(next, sub.queue.nextEventAt());
     windowStart_ = windowEnd;
     if (next != EventQueue::kNoEvent && next > windowEnd)
         windowStart_ = std::max(windowEnd, roundDown(next, kWindowCycles));
@@ -324,19 +465,63 @@ ShardedEngine::runEpoch()
         }
     }
 
-    const auto t4 = std::chrono::steady_clock::now();
+    const auto tEnd = std::chrono::steady_clock::now();
     wallSmPhaseNs_ += elapsedNs(t0, t1);
-    wallExchangeNs_ += elapsedNs(t1, t2) + elapsedNs(t3, t4);
     wallHubNs_ += elapsedNs(t2, t3);
+    wallSubPhaseNs_ += elapsedNs(t4, t5);
+    wallExchangeNs_ +=
+        elapsedNs(t1, t2) + elapsedNs(t3, t4) + elapsedNs(t5, tEnd);
 }
 
 void
-ShardedEngine::smPhase(Cycles limit)
+ShardedEngine::exchangeSubOutboxes(Cycles windowEnd)
+{
+    // Canonical merge of the sub-lane outboxes, keyed by the effective
+    // delivery cycle max(when, windowEnd): a message whose natural time
+    // already clears the window boundary (DRAM completions, sub->SM
+    // fills) arrives timed-exact; anything earlier (cross-channel
+    // request handoffs, sub->control fill notifications) quantizes to
+    // the window start -- a deterministic drift of at most one window.
+    // Ties break on (source sub-lane, source sequence), so the order is
+    // a pure function of the simulation, never of worker scheduling.
+    mergeScratch_.clear();
+    for (std::uint32_t s = 0; s < subs_.size(); ++s) {
+        const auto &outbox = subs_[s].outbox;
+        for (std::uint32_t i = 0; i < outbox.size(); ++i)
+            mergeScratch_.push_back(
+                MergeKey{std::max(outbox[i].when, windowEnd), s, i});
+    }
+    std::sort(mergeScratch_.begin(), mergeScratch_.end(),
+              [](const MergeKey &a, const MergeKey &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.lane != b.lane)
+                      return a.lane < b.lane;
+                  return a.idx < b.idx;
+              });
+    const auto nsubs = static_cast<std::int32_t>(subs_.size());
+    for (const MergeKey &key : mergeScratch_) {
+        SubMsg &msg = subs_[key.lane].outbox[key.idx];
+        if (msg.target == kTargetControl)
+            hub_.schedule(key.when, std::move(msg.fn));
+        else if (msg.target < nsubs)
+            subs_[static_cast<std::size_t>(msg.target)].queue.schedule(
+                key.when, std::move(msg.fn));
+        else
+            lanes_[static_cast<std::size_t>(msg.target - nsubs)]
+                .queue.schedule(key.when, std::move(msg.fn));
+    }
+    for (SubLane &sub : subs_)
+        sub.outbox.clear();
+}
+
+void
+ShardedEngine::parallelPhase(Cycles limit, bool subPhase)
 {
     if (threads_.empty()) {
         laneCursor_.store(0, std::memory_order_relaxed);
         const auto t0 = std::chrono::steady_clock::now();
-        runLanes(limit);
+        runLanes(limit, subPhase);
         workerBusyNs_[0] += elapsedNs(t0, std::chrono::steady_clock::now());
         return;
     }
@@ -344,26 +529,31 @@ ShardedEngine::smPhase(Cycles limit)
         std::lock_guard<std::mutex> lk(m_);
         laneCursor_.store(0, std::memory_order_relaxed);
         laneLimit_ = limit;
+        phaseIsSub_ = subPhase;
         pendingWorkers_ = static_cast<unsigned>(threads_.size());
         ++epochGen_;
     }
     cv_.notify_all();
     const auto t0 = std::chrono::steady_clock::now();
-    runLanes(limit);
+    runLanes(limit, subPhase);
     workerBusyNs_[0] += elapsedNs(t0, std::chrono::steady_clock::now());
     std::unique_lock<std::mutex> lk(m_);
     cvDone_.wait(lk, [this] { return pendingWorkers_ == 0; });
 }
 
 void
-ShardedEngine::runLanes(Cycles limit)
+ShardedEngine::runLanes(Cycles limit, bool subPhase)
 {
-    const unsigned n = static_cast<unsigned>(lanes_.size());
+    const unsigned n = static_cast<unsigned>(subPhase ? subs_.size()
+                                                      : lanes_.size());
     for (;;) {
         unsigned i = laneCursor_.fetch_add(1, std::memory_order_relaxed);
         if (i >= n)
             return;
-        lanes_[i].queue.runUntil(limit);
+        if (subPhase)
+            subs_[i].queue.runUntil(limit);
+        else
+            lanes_[i].queue.runUntil(limit);
     }
 }
 
@@ -373,6 +563,7 @@ ShardedEngine::workerLoop(unsigned worker)
     std::uint64_t seen = 0;
     for (;;) {
         Cycles limit;
+        bool subPhase;
         {
             std::unique_lock<std::mutex> lk(m_);
             cv_.wait(lk, [&] { return epochGen_ != seen || stop_; });
@@ -380,9 +571,10 @@ ShardedEngine::workerLoop(unsigned worker)
                 return;
             seen = epochGen_;
             limit = laneLimit_;
+            subPhase = phaseIsSub_;
         }
         const auto t0 = std::chrono::steady_clock::now();
-        runLanes(limit);
+        runLanes(limit, subPhase);
         // Written before taking m_; the coordinator only reads this
         // slot after the cvDone_ wait on m_, so the lock chain orders
         // the access (no atomics needed, TSan-clean).

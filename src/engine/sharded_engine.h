@@ -25,6 +25,16 @@
  *                    drained queues) cost nothing. The jump is a pure
  *                    function of queue state, hence deterministic.
  *
+ * With hub sub-lanes enabled (enableHubSubLanes; ROADMAP 6(b)) the hub
+ * phase splits in two: the *control* sub-lane (the original hub queue:
+ * L2 TLB, walker, managers, pager) still runs serially in step 4, and a
+ * new parallel *sub phase* follows step 5 in which one sub-lane per
+ * DRAM channel runs its channel plus the congruent L2 cache banks on
+ * the worker pool. Sub-lane emissions merge canonically in (cycle,
+ * subLane, sequence) order, exactly like the SM exchange, so results
+ * remain byte-identical for every worker count. See hub_sublanes.h for
+ * the delivery-semantics contract.
+ *
  * The window size W equals the minimum latency of any lane-crossing
  * interaction (the SM<->L2 interconnect hop, 8 cycles; the L2 TLB probe
  * path is strictly longer), so an event produced in window k can never
@@ -59,6 +69,7 @@
 #include "common/stats.h"
 #include "engine/engine_profile.h"
 #include "engine/event_queue.h"
+#include "engine/hub_sublanes.h"
 #include "engine/lane_router.h"
 
 namespace mosaic {
@@ -67,7 +78,7 @@ class StatsRegistry;
 class TraceMux;
 
 /** Epoch-synchronized multi-lane event engine. */
-class ShardedEngine final : public LaneRouter
+class ShardedEngine final : public LaneRouter, public HubSubLanes
 {
   public:
     /**
@@ -97,6 +108,30 @@ class ShardedEngine final : public LaneRouter
     void callHub(SmId srcSm, SimCallback fn) override;
     void toSm(SmId sm, Cycles when, SimCallback fn) override;
     void callSm(SmId sm, SimCallback fn) override;
+
+    /**
+     * Splits the hub phase into @p count per-DRAM-channel sub-lanes
+     * plus the control sub-lane (the original hub queue). Must be
+     * called before the first epoch and before registerMetrics; the
+     * runner passes the DRAM channel count so DramModel/CacheHierarchy
+     * attachSubLanes() find one sub-lane per channel.
+     */
+    void enableHubSubLanes(unsigned count);
+
+    // HubSubLanes interface ------------------------------------------------
+    unsigned subLaneCount() const override
+    {
+        return static_cast<unsigned>(subs_.size());
+    }
+    EventQueue &subQueue(unsigned sub) override { return subs_[sub].queue; }
+    void smToSub(SmId srcSm, unsigned sub, Cycles when,
+                 SimCallback fn) override;
+    void controlToSub(unsigned sub, Cycles when, SimCallback fn) override;
+    void subToControl(unsigned srcSub, Cycles when, SimCallback fn) override;
+    void subToSub(unsigned srcSub, unsigned dstSub, Cycles when,
+                  SimCallback fn) override;
+    void subToSm(unsigned srcSub, SmId sm, Cycles when,
+                 SimCallback fn) override;
 
     /** Number of SM lanes (excluding the hub lane). */
     unsigned numLanes() const { return static_cast<unsigned>(lanes_.size()); }
@@ -161,10 +196,15 @@ class ShardedEngine final : public LaneRouter
     void drain();
 
   private:
-    /** A cross-lane message captured in a per-lane outbox. */
+    /** Outbox target tag for the control sub-lane / hub queue. */
+    static constexpr std::int32_t kTargetControl = -1;
+
+    /** A cross-lane message captured in a per-SM-lane outbox. */
     struct OutMsg
     {
         Cycles when;
+        /** kTargetControl = the hub queue; else a hub sub-lane index. */
+        std::int32_t target;
         SimCallback fn;
     };
 
@@ -174,6 +214,18 @@ class ShardedEngine final : public LaneRouter
         SmId sm;
         bool deferred;  ///< true: run at next window start, ignore when
         Cycles when;
+        SimCallback fn;
+    };
+
+    /**
+     * A message captured in a sub-lane outbox during the sub phase.
+     * target: kTargetControl = the hub queue; [0, subs) = that
+     * sub-lane; subs + i = SM lane i.
+     */
+    struct SubMsg
+    {
+        Cycles when;
+        std::int32_t target;
         SimCallback fn;
     };
 
@@ -189,7 +241,19 @@ class ShardedEngine final : public LaneRouter
         std::uint64_t lastSampled = 0;   ///< executed() at last trace sample
     };
 
-    /** Merge key for the canonical SM->hub exchange order. */
+    /** One hub sub-lane (a DRAM channel + its congruent L2 banks). */
+    struct alignas(64) SubLane
+    {
+        EventQueue queue;
+        std::vector<SubMsg> outbox;
+        // Self-profiler accounting (coordinator-only, epoch barrier).
+        std::uint64_t outMsgs = 0;       ///< cross-lane messages sent
+        std::uint64_t busyWindows = 0;   ///< windows with dispatches
+        std::uint64_t lastExecuted = 0;  ///< executed() at last barrier
+        std::uint64_t lastSampled = 0;   ///< executed() at last trace sample
+    };
+
+    /** Merge key for the canonical cross-lane exchange order. */
     struct MergeKey
     {
         Cycles when;
@@ -198,13 +262,15 @@ class ShardedEngine final : public LaneRouter
     };
 
     void runEpoch();
-    void smPhase(Cycles limit);
-    void runLanes(Cycles limit);
+    void parallelPhase(Cycles limit, bool subPhase);
+    void runLanes(Cycles limit, bool subPhase);
     void workerLoop(unsigned worker);
     bool anyWork() const;
     void sampleTrace(Cycles windowEnd);
+    void exchangeSubOutboxes(Cycles windowEnd);
 
     std::vector<Lane> lanes_;
+    std::vector<SubLane> subs_;  ///< empty until enableHubSubLanes()
     EventQueue hub_;
     std::vector<HubMsg> hubOutbox_;
     std::vector<MergeKey> mergeScratch_;
@@ -233,6 +299,7 @@ class ShardedEngine final : public LaneRouter
     // access (TSan-clean).
     double wallSmPhaseNs_ = 0.0;
     double wallHubNs_ = 0.0;
+    double wallSubPhaseNs_ = 0.0;
     double wallExchangeNs_ = 0.0;
     std::vector<double> workerBusyNs_;
 
@@ -246,6 +313,7 @@ class ShardedEngine final : public LaneRouter
     std::condition_variable cvDone_;  ///< workers -> coordinator: lanes done
     std::atomic<unsigned> laneCursor_{0};
     Cycles laneLimit_ = 0;
+    bool phaseIsSub_ = false;  ///< guarded by m_: which lane set to run
     std::uint64_t epochGen_ = 0;
     unsigned pendingWorkers_ = 0;
     bool stop_ = false;

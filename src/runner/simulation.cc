@@ -1,6 +1,7 @@
 #include "runner/simulation.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "cache/hierarchy.h"
 #include "check/invariant_checker.h"
+#include "common/parse_num.h"
 #include "engine/event_queue.h"
 #include "engine/sharded_engine.h"
 #include "iobus/demand_paging.h"
@@ -59,9 +61,17 @@ resolveEngineShards(const SimConfig &config)
     unsigned n = config.engineShards;
     if (n == 0) {
         if (const char *env = std::getenv("MOSAIC_SIM_SHARDS")) {
-            const int parsed = std::atoi(env);
-            if (parsed > 0)
+            std::uint64_t parsed = 0;
+            if (parseU64(env, &parsed) && parsed <= 256) {
                 n = static_cast<unsigned>(parsed);
+            } else if (*env != '\0') {
+                // atoi used to turn garbage into a silent 0 here; say so
+                // once instead, and keep the serial engine.
+                std::fprintf(stderr,
+                             "MOSAIC_SIM_SHARDS: invalid value '%s' "
+                             "(want an integer in [0, 256]); ignored\n",
+                             env);
+            }
         }
     }
     const unsigned sweep_threads = activeSweepThreads();
@@ -187,18 +197,22 @@ runSimulation(const Workload &workload, const SimConfig &config)
     std::shared_ptr<TraceMux> tracer;
     if (config.trace.enabled)
         tracer = std::make_shared<TraceMux>(
-            config.trace, shards > 0 ? config.gpu.numSms : 0);
+            config.trace, shards > 0 ? config.gpu.numSms : 0,
+            shards > 0 ? config.dram.channels : 0);
     Tracer *const tr = tracer != nullptr ? tracer->hub() : nullptr;
 
     // Engine selection (DESIGN.md §12): shards == 0 runs the classic
     // single-queue serial engine, byte-identical to every release before
     // sharding existed. shards >= 1 runs the epoch-synchronized sharded
-    // engine -- one lane per SM plus a hub lane for shared components --
-    // whose results are byte-identical across worker counts (the lane
-    // structure is fixed; N only changes wall-clock time).
+    // engine -- one lane per SM, one hub sub-lane per DRAM channel
+    // (ROADMAP 6(b)), and a control lane for the remaining shared
+    // components -- whose results are byte-identical across worker
+    // counts (the lane structure is fixed; N only changes wall-clock
+    // time).
     std::unique_ptr<ShardedEngine> engine;
     if (shards > 0) {
         engine = std::make_unique<ShardedEngine>(config.gpu.numSms, shards);
+        engine->enableHubSubLanes(config.dram.channels);
         // The self-profiler (DESIGN.md §12): engine.shard.* metrics are
         // pure simulation figures, so snapshots stay N-independent.
         engine->registerMetrics(registry);
@@ -220,10 +234,14 @@ runSimulation(const Workload &workload, const SimConfig &config)
                 .reserve(config.gpu.sm.warpsPerSm * 2 + 64);
     }
     DramModel dram(events, config.dram, &registry, tr);
+    if (engine != nullptr)
+        dram.attachSubLanes(engine.get());
 
     CacheHierarchyConfig cache_cfg = config.caches;
     cache_cfg.numSms = config.gpu.numSms;
     CacheHierarchy caches(events, dram, cache_cfg, &registry, router);
+    if (engine != nullptr)
+        caches.attachSubLanes(engine.get());
 
     PageTableWalker walker(events, caches, config.walker, &registry, tr);
     TranslationService translation(events, walker, config.gpu.numSms,

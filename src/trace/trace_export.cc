@@ -339,9 +339,12 @@ writeChromeTrace(const TraceMux &mux, JsonWriter &w,
             if (!used[lane][track])
                 continue;
             const char *base = trackName(static_cast<TraceTrack>(track));
-            const std::string name =
-                lane == 0 ? std::string(base)
-                          : "sm" + std::to_string(lane - 1) + " " + base;
+            std::string name(base);
+            if (lane > 0 && lane <= mux.smLanes())
+                name = "sm" + std::to_string(lane - 1) + " " + base;
+            else if (lane > mux.smLanes())
+                name = "hub-sub" +
+                       std::to_string(lane - 1 - mux.smLanes()) + " " + base;
             w.beginObject();
             w.field("name", "thread_name");
             w.field("ph", "M");

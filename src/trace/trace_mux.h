@@ -15,6 +15,12 @@
  *                       i + 1; capacity ringCapacity / smLanes
  *                       (floor 4096) so the total budget stays within
  *                       ~2x the configured ring.
+ *   ring 1 + smLanes + c -- hub sub-lane c (one per DRAM channel;
+ *                       ROADMAP 6(b)). Id tag smLanes + 1 + c; the
+ *                       same per-lane capacity split as SM lanes.
+ *                       Sub-lane rings carry the engine self-profiler's
+ *                       per-sub counter tracks; hot DRAM events stay
+ *                       untraced as before.
  *
  * In serial mode (smLanes == 0) the mux is exactly one ring and every
  * accessor resolves to it -- components cannot tell the difference, and
@@ -56,11 +62,14 @@ class TraceMux
 
     /**
      * @param smLanes number of SM lanes (0 = serial: one ring total).
+     * @param hubSubLanes number of hub sub-lanes (0 when the hub is a
+     *        single lane; only meaningful when smLanes > 0).
      */
-    explicit TraceMux(const TraceConfig &config, unsigned smLanes = 0)
-        : config_(config), smLanes_(smLanes)
+    explicit TraceMux(const TraceConfig &config, unsigned smLanes = 0,
+                      unsigned hubSubLanes = 0)
+        : config_(config), smLanes_(smLanes), hubSubLanes_(hubSubLanes)
     {
-        rings_.reserve(1 + smLanes);
+        rings_.reserve(1 + smLanes + hubSubLanes);
         rings_.push_back(std::make_unique<Tracer>(config));
         std::size_t laneCap = 0;
         if (smLanes > 0) {
@@ -71,14 +80,21 @@ class TraceMux
         for (unsigned i = 0; i < smLanes; ++i)
             rings_.push_back(
                 std::make_unique<Tracer>(config, /*idTag=*/i + 1, laneCap));
+        for (unsigned c = 0; c < hubSubLanes; ++c)
+            rings_.push_back(std::make_unique<Tracer>(
+                config, /*idTag=*/smLanes + 1 + c, laneCap));
         // Per-lane counter-track names for the engine self-profiler
         // (ring index order; index 0 = hub).
         laneWindowEventsName_.reserve(rings_.size());
         laneQueueDepthName_.reserve(rings_.size());
         for (std::size_t lane = 0; lane < rings_.size(); ++lane) {
-            const std::string tag =
-                lane == 0 ? std::string("hub")
-                          : "lane" + std::to_string(lane - 1);
+            std::string tag;
+            if (lane == 0)
+                tag = "hub";
+            else if (lane <= smLanes)
+                tag = "lane" + std::to_string(lane - 1);
+            else
+                tag = "sub" + std::to_string(lane - 1 - smLanes);
             laneWindowEventsName_.push_back("engine.shard." + tag +
                                             ".windowEvents");
             laneQueueDepthName_.push_back("engine.shard." + tag +
@@ -91,7 +107,10 @@ class TraceMux
 
     unsigned smLanes() const { return smLanes_; }
 
-    /** Total ring count: 1 (serial) or 1 + smLanes. */
+    /** Hub sub-lane ring count (0 when the hub is a single lane). */
+    unsigned hubSubLanes() const { return hubSubLanes_; }
+
+    /** Total ring count: 1 (serial) or 1 + smLanes + hubSubLanes. */
     std::size_t laneCount() const { return rings_.size(); }
 
     /** The hub-lane ring -- also the one-and-only ring when serial. */
@@ -105,7 +124,10 @@ class TraceMux
         return sharded() ? rings_[1 + sm].get() : rings_[0].get();
     }
 
-    /** Ring by lane index (0 = hub, 1 + i = SM lane i). */
+    /** Hub sub-lane @p c's ring (only present when hubSubLanes() > 0). */
+    Tracer *hubSub(unsigned c) { return rings_[1 + smLanes_ + c].get(); }
+
+    /** Ring by lane index (0 = hub, 1 + i = SM i, 1 + smLanes + c = sub c). */
     const Tracer &ring(std::size_t lane) const { return *rings_[lane]; }
 
     /** Hot-path gate, same across all rings (shared config). */
@@ -172,6 +194,7 @@ class TraceMux
   private:
     TraceConfig config_;
     unsigned smLanes_ = 0;
+    unsigned hubSubLanes_ = 0;
     // unique_ptr: Tracer rings are large and must not move once
     // components capture `Tracer *` pointers into them.
     std::vector<std::unique_ptr<Tracer>> rings_;

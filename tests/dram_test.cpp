@@ -142,6 +142,77 @@ TEST(DramTest, BulkCopyOccupiesChannelBus)
     EXPECT_GT(access_done, copy_done);
 }
 
+TEST(DramTest, CrossChannelBulkCopyWaitsForSourceBus)
+{
+    EventQueue ev;
+    DramConfig cfg = testConfig();
+    DramModel dram(ev, cfg);
+    const Cycles via_bus =
+        (kBasePageSize / kCacheLineSize) * cfg.bulkCopyViaBusCyclesPerLine;
+
+    // First copy: channel 0 -> channel 0 via the bus, occupying the
+    // channel-0 bus for [0, via_bus).
+    Cycles first_done = 0, second_done = 0;
+    dram.bulkCopyPage(0, 2 * cfg.channels * kLargePageSize, false,
+                      [&] { first_done = ev.now(); });
+    // Second copy: channel 0 -> channel 1. The destination bus is idle,
+    // but the *source* bus is mid-copy: the cross-channel copy streams
+    // reads off it, so it cannot start before via_bus. (Pre-fix, the
+    // start cycle only consulted the destination bus and this copy
+    // finished at via_bus, overlapping the source bus.)
+    dram.bulkCopyPage(0, kCacheLineSize, true,
+                      [&] { second_done = ev.now(); });
+    ev.runAll();
+    EXPECT_EQ(first_done, via_bus);
+    EXPECT_EQ(second_done, 2 * via_bus);
+}
+
+TEST(DramTest, EarlierRetryReschedulesPendingLaterRetry)
+{
+    // Two banks with long conflict occupancy: bank 1 is primed early
+    // (frees at 100), bank 0 late (frees at 160). A request blocked on
+    // bank 0 schedules a retry at 160; a younger request blocked on
+    // bank 1 then asks for a retry at 100. The old bare "scheduled"
+    // flag dropped the earlier request and the bank-1 hit sat idle
+    // until cycle 160.
+    DramConfig cfg = testConfig();
+    cfg.rowMissCycles = 12;
+    cfg.bankBusyMissCycles = 100;
+    EventQueue ev;
+    DramModel dram(ev, cfg);
+
+    // Channel-0 geometry (see FrFcfsPrefersRowHitOverOlderConflict):
+    // idx = line/2, 4 idx per row, banks interleave by row_seq, so
+    // idx 4..7 -> bank 1 row 1, idx 8..11 -> bank 0 row 2, idx 16..19
+    // -> bank 0 row 4.
+    auto addr_of_idx = [](std::uint64_t idx) {
+        return static_cast<Addr>(idx) * 2 * kCacheLineSize;
+    };
+
+    Cycles b_done = 0, d_done = 0;
+    dram.access(addr_of_idx(4), false, [] {});  // prime bank 1, row 1
+    ev.schedule(60, [&] {
+        dram.access(addr_of_idx(8), false, [] {});  // bank 0, row 2
+    });
+    ev.schedule(61, [&] {
+        // Blocked on bank 0 (busy until 160): retry scheduled at 160.
+        dram.access(addr_of_idx(16), false, [&] { b_done = ev.now(); });
+    });
+    ev.schedule(62, [&] {
+        // Row-1 hit blocked on bank 1 (busy until 100): requests a
+        // retry at 100, which must supersede the pending one at 160.
+        dram.access(addr_of_idx(5), false, [&] { d_done = ev.now(); });
+    });
+    ev.runAll();
+    // Hit dispatches at 100: data ready 110, burst waits for the
+    // channel bus (free at 74) -> done 112. Pre-fix it dispatched only
+    // when the stale 160 retry fired, finishing at 172.
+    EXPECT_EQ(d_done, 112u);
+    // The bank-0 conflict is untouched either way: dispatch 160,
+    // data ready 172, done 174.
+    EXPECT_EQ(b_done, 174u);
+}
+
 TEST(DramTest, ManyAccessesAllComplete)
 {
     EventQueue ev;

@@ -108,6 +108,46 @@ TEST(ShardTest, ChurnStressIsWorkerCountInvariant)
     EXPECT_EQ(snapshotAt(c, 1), snapshotAt(c, 8));
 }
 
+/**
+ * Hub sub-lanes under non-default channel interleaves: Page/Frame
+ * map a request's channel away from its L2 bank's sub-lane, so the
+ * cross-sub handoff path (DramModel::accessFromSub routing through the
+ * sub outbox merge) carries real traffic. Byte-equality across worker
+ * counts proves the canonical (cycle, sub, sequence) merge holds for
+ * it too.
+ */
+TEST(ShardTest, PageInterleaveIsWorkerCountInvariant)
+{
+    SimConfig c = pinnedConfig(SimConfig::mosaicDefault());
+    c.dram.channelInterleave = ChannelInterleave::Page;
+    EXPECT_EQ(snapshotAt(c, 1), snapshotAt(c, 8));
+}
+
+TEST(ShardTest, FrameInterleaveIsWorkerCountInvariant)
+{
+    SimConfig c = pinnedConfig(SimConfig::mosaicDefault());
+    c.dram.channelInterleave = ChannelInterleave::Frame;
+    EXPECT_EQ(snapshotAt(c, 1), snapshotAt(c, 4));
+}
+
+/** Sharded runs expose the per-sub-lane self-profiler metrics: one
+ *  sub-lane per DRAM channel, each with its own occupancy gauge. */
+TEST(ShardTest, SubLaneMetricsAreRegistered)
+{
+    const SimConfig base = pinnedConfig(SimConfig::mosaicDefault());
+    const std::string doc = snapshotAt(base, 2);
+    EXPECT_NE(doc.find("engine.shard.hub.subLanes"), std::string::npos);
+    EXPECT_NE(doc.find("engine.shard.hub.sub.occupancy"),
+              std::string::npos);
+    EXPECT_NE(doc.find("engine.shard.hub.sub.events"), std::string::npos);
+    // Serial runs must register none of it.
+    const SimResult serial = runSimulation(pinnedWorkload(),
+                                           base.withEngineShards(0));
+    const std::string serial_doc =
+        metricsToJson(serial, managerKindName(base.manager));
+    EXPECT_EQ(serial_doc.find("engine.shard.hub.sub"), std::string::npos);
+}
+
 /** MOSAIC_SIM_SHARDS engages the sharded engine without config edits. */
 TEST(ShardTest, EnvVarSelectsShardedEngine)
 {

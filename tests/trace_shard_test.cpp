@@ -118,21 +118,27 @@ TEST(TraceShardTest, ShardedTracingIsObservationOnly)
 }
 
 /** The merged export passes the full replay validation, including the
- *  per-lane tid/thread_name checks, with one lane per SM plus the hub. */
+ *  per-lane tid/thread_name checks, with one lane per SM plus the hub
+ *  plus one ring per DRAM-channel sub-lane (hub sub-lanes). */
 TEST(TraceShardTest, ShardedTraceValidatesWithPerLaneTracks)
 {
-    const std::string json =
-        traceAt(tracedConfig(SimConfig::mosaicDefault()), 4);
+    const SimConfig base = tracedConfig(SimConfig::mosaicDefault());
+    const std::string json = traceAt(base, 4);
     const TraceCheckResult check = validateChromeTraceText(json);
     EXPECT_TRUE(check.ok) << (check.errors.empty() ? ""
                                                    : check.errors.front());
-    EXPECT_EQ(check.lanes, kSms + 1);
+    EXPECT_EQ(check.lanes, kSms + 1 + base.dram.channels);
     EXPECT_GT(check.events, 0u);
     // Engine self-profiler counter tracks sample under sharding.
     EXPECT_GT(check.counterSamples, 0u);
     EXPECT_NE(json.find("engine.shard.hub.windowEvents"),
               std::string::npos);
     EXPECT_NE(json.find("engine.shard.lane0.queueDepth"),
+              std::string::npos);
+    // Sub-lane rings export as their own named threads with their own
+    // counter tracks.
+    EXPECT_NE(json.find("hub-sub0"), std::string::npos);
+    EXPECT_NE(json.find("engine.shard.sub0.windowEvents"),
               std::string::npos);
 }
 

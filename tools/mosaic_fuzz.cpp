@@ -30,6 +30,7 @@
 
 #include "cache/hierarchy.h"
 #include "check/invariant_checker.h"
+#include "common/parse_num.h"
 #include "common/rng.h"
 #include "dram/dram.h"
 #include "engine/event_queue.h"
@@ -430,15 +431,23 @@ readSchedule(const std::string &path, FuzzConfig &cfg)
                 cfg.manager = val;
             else if (key == "oversub")
                 cfg.oversubscribe = val != "0";
-            else if (key == "apps")
-                cfg.apps = static_cast<unsigned>(std::stoul(val));
-            else if (key == "bulkcopy")
+            else if (key == "apps" || key == "interleave" ||
+                     key == "threshold") {
+                std::uint64_t v = 0;
+                if (!parseU64(val.c_str(), &v) || v > 1u << 20) {
+                    std::fprintf(stderr,
+                                 "mosaic_fuzz: %s: bad %s= value '%s'\n",
+                                 path.c_str(), key.c_str(), val.c_str());
+                    return false;
+                }
+                if (key == "apps")
+                    cfg.apps = static_cast<unsigned>(v);
+                else if (key == "interleave")
+                    cfg.interleave = static_cast<unsigned>(v);
+                else
+                    cfg.coalesceThreshold = static_cast<unsigned>(v);
+            } else if (key == "bulkcopy")
                 cfg.useBulkCopy = val != "0";
-            else if (key == "interleave")
-                cfg.interleave = static_cast<unsigned>(std::stoul(val));
-            else if (key == "threshold")
-                cfg.coalesceThreshold =
-                    static_cast<unsigned>(std::stoul(val));
             else if (key == "sizes") {
                 if (!PageSizeHierarchy::parse(val, cfg.sizes)) {
                     std::fprintf(stderr,
@@ -564,14 +573,22 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        // Checked parse: garbage or out-of-range values are usage
+        // errors, not uncaught std::stoul exceptions.
+        auto u64 = [&](std::uint64_t lo, std::uint64_t hi) -> std::uint64_t {
+            std::uint64_t v = 0;
+            if (!parseFlagU64(arg.c_str(), next(), lo, hi, &v))
+                std::exit(usage());
+            return v;
+        };
         if (arg == "--seed")
-            seed = std::stoull(next());
+            seed = u64(0, UINT64_MAX);
         else if (arg == "--ops")
-            ops = std::stoull(next());
+            ops = static_cast<std::size_t>(u64(0, 1u << 24));
         else if (arg == "--apps")
-            apps = static_cast<unsigned>(std::stoul(next()));
+            apps = static_cast<unsigned>(u64(1, 8));
         else if (arg == "--shards")
-            shards = static_cast<unsigned>(std::stoul(next()));
+            shards = static_cast<unsigned>(u64(0, 256));
         else if (arg == "--manager")
             manager = next();
         else if (arg == "--oversubscribe")

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/parse_num.h"
 #include "runner/json_report.h"
 #include "runner/report.h"
 #include "runner/simulation.h"
@@ -113,6 +114,29 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        // Checked numeric values: the whole string must parse and land
+        // inside the flag's accepted range; anything else is a usage
+        // error (atoi used to turn garbage into silent zeros and
+        // negatives into huge unsigned values).
+        auto u64 = [&](const char *flag, std::uint64_t lo,
+                       std::uint64_t hi) -> std::uint64_t {
+            std::uint64_t v = 0;
+            if (!parseFlagU64(flag, next(flag), lo, hi, &v)) {
+                std::fprintf(stderr, "\n");
+                usage();
+                std::exit(1);
+            }
+            return v;
+        };
+        auto f64 = [&](const char *flag, double lo, double hi) -> double {
+            double v = 0.0;
+            if (!parseFlagF64(flag, next(flag), lo, hi, &v)) {
+                std::fprintf(stderr, "\n");
+                usage();
+                std::exit(1);
+            }
+            return v;
+        };
         if (match(a, "--help")) {
             usage();
             return 0;
@@ -130,15 +154,15 @@ main(int argc, char **argv)
         } else if (match(a, "--config")) {
             config_name = next("--config");
         } else if (match(a, "--scale")) {
-            scale = std::atof(next("--scale"));
+            scale = f64("--scale", 1e-6, 1e6);
         } else if (match(a, "--instr")) {
-            instr = static_cast<std::uint64_t>(std::atoll(next("--instr")));
+            instr = u64("--instr", 1, 1ull << 40);
         } else if (match(a, "--warps")) {
-            warps = static_cast<unsigned>(std::atoi(next("--warps")));
+            warps = static_cast<unsigned>(u64("--warps", 1, 1024));
         } else if (match(a, "--sms")) {
-            sms = static_cast<unsigned>(std::atoi(next("--sms")));
+            sms = static_cast<unsigned>(u64("--sms", 1, 4096));
         } else if (match(a, "--io-compression")) {
-            io_comp = std::atof(next("--io-compression"));
+            io_comp = f64("--io-compression", 1e-3, 1e6);
         } else if (match(a, "--no-paging")) {
             no_paging = true;
             if (i + 1 < argc && match(argv[i + 1], "charged")) {
@@ -146,9 +170,9 @@ main(int argc, char **argv)
                 ++i;
             }
         } else if (match(a, "--frag")) {
-            frag = std::atof(next("--frag"));
+            frag = f64("--frag", 0.0, 1.0);
         } else if (match(a, "--occ")) {
-            occ = std::atof(next("--occ"));
+            occ = f64("--occ", 0.0, 1.0);
         } else if (match(a, "--churn")) {
             churn = true;
         } else if (match(a, "--tight-memory")) {
@@ -166,9 +190,9 @@ main(int argc, char **argv)
         } else if (match(a, "--rr")) {
             rr = true;
         } else if (match(a, "--seed")) {
-            seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+            seed = u64("--seed", 0, UINT64_MAX);
         } else if (match(a, "--shards")) {
-            shards = static_cast<unsigned>(std::atoi(next("--shards")));
+            shards = static_cast<unsigned>(u64("--shards", 0, 256));
         } else if (match(a, "--weighted-speedup")) {
             weighted = true;
         } else if (match(a, "--json")) {
@@ -177,7 +201,7 @@ main(int argc, char **argv)
             metrics_json_path = next("--metrics-json");
         } else if (match(a, "--metrics-sample")) {
             metrics_sample =
-                static_cast<Cycles>(std::atoll(next("--metrics-sample")));
+                static_cast<Cycles>(u64("--metrics-sample", 1, 1ull << 40));
         } else if (match(a, "--trace-out")) {
             trace_out_path = next("--trace-out");
         } else if (match(a, "--trace-categories")) {
@@ -195,22 +219,25 @@ main(int argc, char **argv)
         const auto rest = workload_spec.substr(4);
         const auto colon = rest.find(':');
         const std::string app = rest.substr(0, colon);
-        const unsigned copies =
-            colon == std::string::npos
-                ? 1
-                : static_cast<unsigned>(std::atoi(rest.c_str() + colon + 1));
-        w = homogeneousWorkload(app, std::max(1u, copies));
+        std::uint64_t copies = 1;
+        if (colon != std::string::npos &&
+            !parseFlagU64("--workload hom copies", rest.c_str() + colon + 1,
+                          1, 1024, &copies))
+            return 1;
+        w = homogeneousWorkload(app, static_cast<unsigned>(copies));
     } else if (workload_spec.rfind("het:", 0) == 0) {
         const auto rest = workload_spec.substr(4);
         const auto colon = rest.find(':');
-        const unsigned n =
-            static_cast<unsigned>(std::atoi(rest.substr(0, colon).c_str()));
-        const std::uint64_t wseed =
-            colon == std::string::npos
-                ? 42
-                : static_cast<std::uint64_t>(
-                      std::atoll(rest.c_str() + colon + 1));
-        w = heterogeneousWorkload(std::max(1u, n), wseed);
+        std::uint64_t n = 0;
+        if (!parseFlagU64("--workload het count",
+                          rest.substr(0, colon).c_str(), 1, 1024, &n))
+            return 1;
+        std::uint64_t wseed = 42;
+        if (colon != std::string::npos &&
+            !parseFlagU64("--workload het seed", rest.c_str() + colon + 1, 0,
+                          UINT64_MAX, &wseed))
+            return 1;
+        w = heterogeneousWorkload(static_cast<unsigned>(n), wseed);
     } else {
         std::fprintf(stderr, "bad --workload spec '%s'\n",
                      workload_spec.c_str());
