@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/flat_map.h"
 #include "common/inline_function.h"
+#include "common/log.h"
 #include "common/types.h"
 
 namespace mosaic {
@@ -102,6 +104,34 @@ class MshrFile
 
     /** Allocations that exceeded the nominal capacity. */
     std::uint64_t overflows() const { return overflows_; }
+
+    /**
+     * @name Checkpoint hooks (DESIGN.md §14)
+     * In-flight misses hold waiter continuations that cannot be
+     * serialized; the quiesce protocol drains them, so only the
+     * counters survive a checkpoint. The pooled slab and free list are
+     * payload-only storage and are rebuilt by use.
+     * @pre size() == 0 (quiesced).
+     */
+    ///@{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        MOSAIC_ASSERT(index_.size() == 0,
+                      "checkpointing an MSHR file with in-flight misses");
+        w.u64(allocated_);
+        w.u64(merged_);
+        w.u64(overflows_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        allocated_ = r.u64();
+        merged_ = r.u64();
+        overflows_ = r.u64();
+    }
+    ///@}
 
   private:
     struct Entry

@@ -18,10 +18,12 @@
 #ifndef MOSAIC_CACHE_SET_ASSOC_CACHE_H
 #define MOSAIC_CACHE_SET_ASSOC_CACHE_H
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/flat_map.h"
 #include "common/log.h"
 #include "common/rng.h"
@@ -177,6 +179,75 @@ class SetAssocCache
 
     /** Associativity. */
     std::size_t ways() const { return ways_; }
+
+    /** Calls @p fn(key) for every valid entry, in slot order. */
+    template <typename Fn>
+    void
+    forEachKey(Fn fn) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.valid)
+                fn(e.key);
+        }
+    }
+
+    /**
+     * @name Checkpoint hooks (DESIGN.md §14)
+     * Slot-exact serialization: every entry (valid or not) with its
+     * replacement metadata, plus the recency tick and the Random-policy
+     * RNG, so victim selection after a restore is identical to a run
+     * that was never saved. The FlatMap index is pure acceleration and
+     * is rebuilt, not serialized.
+     */
+    ///@{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(tick_);
+        for (const std::uint64_t word : rng_.serializeState())
+            w.u64(word);
+        w.u64(entries_.size());
+        for (const Entry &e : entries_) {
+            w.u64(e.key);
+            w.u64(e.lastUse);
+            w.u64(e.insertedAt);
+            w.u8(static_cast<std::uint8_t>((e.valid ? 1 : 0) |
+                                           (e.dirty ? 2 : 0)));
+        }
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        tick_ = r.u64();
+        std::array<std::uint64_t, 4> rng_state;
+        for (std::uint64_t &word : rng_state)
+            word = r.u64();
+        rng_.deserializeState(rng_state);
+        const std::uint64_t n = r.u64();
+        if (n != entries_.size()) {
+            r.fail("cache geometry mismatch (" + std::to_string(n) +
+                   " serialized entries, " +
+                   std::to_string(entries_.size()) + " configured)");
+            return;
+        }
+        if (indexed_)
+            index_.clear();
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            Entry &e = entries_[i];
+            e.key = r.u64();
+            e.lastUse = r.u64();
+            e.insertedAt = r.u64();
+            const std::uint8_t flags = r.u8();
+            e.valid = (flags & 1) != 0;
+            e.dirty = (flags & 2) != 0;
+            if (!r.ok())
+                return;
+            if (e.valid && indexed_)
+                index_.insert(e.key, static_cast<std::uint32_t>(i));
+        }
+    }
+    ///@}
 
   private:
     /** Below this associativity a linear scan beats the hash probe. */

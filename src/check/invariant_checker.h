@@ -93,6 +93,15 @@ class InvariantChecker final : public PageTableObserver, public CheckSink
     /** Runs a full verification sweep of every attached structure. */
     void verifyAll();
 
+    /**
+     * Checkpoint-restore reseed (DESIGN.md §14): the audited-violation
+     * count normally accumulates through onAuditedViolation as the
+     * manager runs; after a restore the manager's counter arrives via
+     * its serialized stats, so the checker's expectation is reseeded to
+     * match (verifyMosaicState requires exact equality).
+     */
+    void seedAuditedViolations(std::uint64_t count) { audited_ = count; }
+
     /** Mutations reported so far. */
     std::uint64_t mutations() const { return mutations_; }
 

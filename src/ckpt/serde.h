@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Minimal little-endian binary serialization for checkpoint images.
+ *
+ * Writer appends fixed-width primitives to an in-memory buffer; Reader
+ * consumes them in the same order. The Reader never throws and never
+ * reads out of bounds: the first failure (truncation, bad section tag,
+ * implausible count) latches an error message, and every subsequent
+ * read returns zero so callers can bail out at a convenient point and
+ * report `error()`. Section tags frame the stream so that a truncated
+ * or misaligned image fails fast with a named location instead of
+ * silently misinterpreting bytes.
+ *
+ * This header is deliberately standalone (no simulator includes) so
+ * any layer — common, vm, mm, engine — can implement
+ * saveState/loadState without dependency cycles.
+ */
+
+#ifndef MOSAIC_CKPT_SERDE_H
+#define MOSAIC_CKPT_SERDE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mosaic {
+namespace ckpt {
+
+/** Appends primitives to a growable byte buffer (little-endian). */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        appendLe(v, 2);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        appendLe(v, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        appendLe(v, 8);
+    }
+
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /** Writes a section tag; Reader::section() verifies it in order. */
+    void
+    section(std::uint32_t tag)
+    {
+        u32(tag);
+    }
+
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    void
+    appendLe(std::uint64_t v, unsigned bytes)
+    {
+        for (unsigned i = 0; i < bytes; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Consumes primitives written by Writer. Error-latching: after the
+ * first failure every read returns zero and `ok()` is false.
+ */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Reader(const std::vector<std::uint8_t> &buf)
+        : Reader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        return static_cast<std::uint8_t>(takeLe(1));
+    }
+
+    std::uint16_t
+    u16()
+    {
+        return static_cast<std::uint16_t>(takeLe(2));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        return static_cast<std::uint32_t>(takeLe(4));
+    }
+
+    std::uint64_t
+    u64()
+    {
+        return takeLe(8);
+    }
+
+    bool
+    boolean()
+    {
+        const std::uint8_t v = u8();
+        if (ok_ && v > 1)
+            fail("invalid boolean byte");
+        return v != 0;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str(std::uint64_t maxLen = 1u << 20)
+    {
+        const std::uint64_t n = count(maxLen, "string length");
+        if (!ok_)
+            return {};
+        std::string out(reinterpret_cast<const char *>(data_ + pos_),
+                        static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return out;
+    }
+
+    /**
+     * Reads an element count and rejects values above @p max — the
+     * guard that keeps a corrupt image from driving a giant resize.
+     */
+    std::uint64_t
+    count(std::uint64_t max, const char *what)
+    {
+        const std::uint64_t n = u64();
+        if (!ok_)
+            return 0;
+        if (n > max) {
+            fail(std::string("implausible ") + what + " (" +
+                 std::to_string(n) + " > " + std::to_string(max) + ")");
+            return 0;
+        }
+        return n;
+    }
+
+    /** Verifies the next u32 is @p tag, else fails naming @p name. */
+    void
+    section(std::uint32_t tag, const char *name)
+    {
+        const std::uint32_t got = u32();
+        if (ok_ && got != tag)
+            fail(std::string("bad section tag for ") + name + " (got 0x" +
+                 hex(got) + ", want 0x" + hex(tag) + ")");
+    }
+
+    bool ok() const { return ok_; }
+
+    const std::string &error() const { return error_; }
+
+    /** Latches the first failure; later calls are ignored. */
+    void
+    fail(const std::string &msg)
+    {
+        if (!ok_)
+            return;
+        ok_ = false;
+        error_ = msg + " at offset " + std::to_string(pos_);
+    }
+
+    bool atEnd() const { return pos_ == size_; }
+
+    std::size_t offset() const { return pos_; }
+
+  private:
+    static std::string
+    hex(std::uint32_t v)
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out;
+        for (int shift = 28; shift >= 0; shift -= 4)
+            out += digits[(v >> shift) & 0xF];
+        return out;
+    }
+
+    std::uint64_t
+    takeLe(unsigned bytes)
+    {
+        if (!ok_)
+            return 0;
+        if (size_ - pos_ < bytes) {
+            fail("truncated stream");
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += bytes;
+        return v;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+}  // namespace ckpt
+}  // namespace mosaic
+
+#endif  // MOSAIC_CKPT_SERDE_H

@@ -11,7 +11,9 @@
 #ifndef MOSAIC_COMMON_RNG_H
 #define MOSAIC_COMMON_RNG_H
 
+#include <array>
 #include <cstdint>
+#include <cstddef>
 
 namespace mosaic {
 
@@ -77,6 +79,22 @@ class Rng
     {
         return uniform() < p;
     }
+
+    /** @name Checkpoint hooks: the raw xoshiro state (DESIGN.md §14) */
+    ///@{
+    std::array<std::uint64_t, 4>
+    serializeState() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    deserializeState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            state_[i] = s[i];
+    }
+    ///@}
 
   private:
     static std::uint64_t

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/log.h"
+
 namespace mosaic {
 
 DramModel::DramModel(EventQueue &events, const DramConfig &config,
@@ -378,6 +380,47 @@ DramModel::bulkCopyPage(Addr src, Addr dst, bool inDramCopy,
                           done);
     }
     events_.schedule(done, std::move(onDone));
+}
+
+void
+DramModel::saveState(ckpt::Writer &w) const
+{
+    for (const Channel &ch : channels_) {
+        MOSAIC_ASSERT(ch.queue.empty() && ch.inFlight == 0 &&
+                          !ch.dispatchScheduled,
+                      "checkpointing a DRAM channel with queued requests");
+        for (const Bank &bank : ch.banks) {
+            w.u64(static_cast<std::uint64_t>(bank.openRow));
+            w.u64(bank.readyAt);
+        }
+        w.u64(ch.busFreeAt);
+        w.u64(ch.stats.reads);
+        w.u64(ch.stats.writes);
+        w.u64(ch.stats.rowHits);
+        w.u64(ch.stats.rowMisses);
+        saveHistogram(w, ch.stats.latency);
+    }
+    w.u64(bulkCopies_);
+    w.u64(bulkCopyCycles_);
+}
+
+void
+DramModel::loadState(ckpt::Reader &r)
+{
+    for (Channel &ch : channels_) {
+        for (Bank &bank : ch.banks) {
+            bank.openRow = static_cast<std::int64_t>(r.u64());
+            bank.readyAt = r.u64();
+        }
+        ch.busFreeAt = r.u64();
+        ch.stats.reads = r.u64();
+        ch.stats.writes = r.u64();
+        ch.stats.rowHits = r.u64();
+        ch.stats.rowMisses = r.u64();
+        loadHistogram(r, ch.stats.latency);
+    }
+    bulkCopies_ = r.u64();
+    bulkCopyCycles_ = r.u64();
 }
 
 }  // namespace mosaic

@@ -179,6 +179,19 @@ class DramModel
     /** Number of requests currently queued or in flight. */
     std::size_t inFlight() const;
 
+    /**
+     * @name Checkpoint hooks (DESIGN.md §14)
+     * Captures per-channel bank state (open rows, ready times), bus and
+     * dispatch timing, and all counters. Request queues must be empty —
+     * a queued DramRequest holds a completion continuation that cannot
+     * be serialized, so the quiesce protocol drains them first
+     * (asserted).
+     */
+    ///@{
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    ///@}
+
   private:
     struct Bank
     {

@@ -112,6 +112,51 @@ class Gpu
     Cycles totalStallCycles() const { return stallCycles_; }
 
     /**
+     * @name Checkpoint quiesce + serde (DESIGN.md §14)
+     * pauseAll stops issue on every SM so the engine can drain;
+     * resumeAll re-arms every SM at the quiesce cycle in id order —
+     * the same call sequence runs after an in-process save and after a
+     * restore, so both arms schedule identical events.
+     */
+    ///@{
+    void
+    pauseAll()
+    {
+        for (auto &sm : sms_)
+            sm->pause();
+    }
+
+    void
+    resumeAll(Cycles when)
+    {
+        for (auto &sm : sms_)
+            sm->resume(when);
+    }
+
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(sms_.size());
+        for (const auto &sm : sms_)
+            sm->saveState(w);
+        w.u64(stallCycles_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        if (n != sms_.size()) {
+            r.fail("SM count mismatch (config changed?)");
+            return;
+        }
+        for (auto &sm : sms_)
+            sm->loadState(r);
+        stallCycles_ = r.u64();
+    }
+    ///@}
+
+    /**
      * Computes the number of SMs each of @p numApps applications gets
      * under equal partitioning of @p totalSms (remainder SMs go to the
      * lowest-index applications).

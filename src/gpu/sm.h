@@ -75,6 +75,31 @@ class Sm
     /** Prevents issue until @p until (CAC's whole-GPU stall). */
     void stallUntil(Cycles until);
 
+    /**
+     * @name Checkpoint quiesce + serde (DESIGN.md §14)
+     * pause() stops the SM from issuing (in-flight memory operations
+     * still complete and unblock their warps, but no new instruction
+     * issues and no issue event stays scheduled), letting the engine
+     * drain to a quiescent point. saveState then captures the warp
+     * contexts; resume(when) re-arms issue at the quiesce cycle —
+     * identically whether the simulation continues in-process or was
+     * just restored from the checkpoint bytes.
+     */
+    ///@{
+    void pause() { paused_ = true; }
+
+    void
+    resume(Cycles when)
+    {
+        paused_ = false;
+        if (started_ && liveWarps_ > 0)
+            scheduleIssue(when);
+    }
+
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    ///@}
+
     /** True when every warp has retired. */
     bool done() const { return liveWarps_ == 0 && started_; }
 
@@ -119,6 +144,7 @@ class Sm
     unsigned rrCursor_ = 0;
     bool issueScheduled_ = false;
     bool started_ = false;
+    bool paused_ = false;  ///< checkpoint quiesce: no new issue events
     Cycles stalledUntil_ = 0;
     Cycles nextIssueAllowed_ = 0;
     std::uint64_t ageCounter_ = 0;

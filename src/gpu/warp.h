@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 
+#include "ckpt/serde.h"
 #include "common/types.h"
 
 namespace mosaic {
@@ -50,6 +51,19 @@ class WarpStream
      * @return false when the warp has retired its entire stream.
      */
     virtual bool next(WarpInstr &out) = 0;
+
+    /**
+     * @name Checkpoint hooks (DESIGN.md §14)
+     * Serialize/restore the stream's cursor so a restored warp resumes
+     * at exactly the next instruction. The stream is reconstructed from
+     * the workload config before loadState runs, so implementations
+     * only carry mutable progress (position, RNG draw state, pending
+     * compute latency), not the generator parameters.
+     */
+    ///@{
+    virtual void saveState(ckpt::Writer &w) const = 0;
+    virtual void loadState(ckpt::Reader &r) = 0;
+    ///@}
 };
 
 }  // namespace mosaic

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -217,7 +218,87 @@ class FramePool
         return frameBase(idx) + slot * kBasePageSize;
     }
 
+    /** Checkpoint hooks (DESIGN.md §14): every frame's full metadata —
+     *  slot bitmaps as packed words, slotVa only when materialized. */
+    ///@{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(frames_.size());
+        for (const FrameInfo &f : frames_) {
+            w.u16(f.owner);
+            w.u8(static_cast<std::uint8_t>(f.mixed) |
+                 static_cast<std::uint8_t>(f.coalesced) << 1);
+            w.u16(f.usedCount);
+            w.u16(f.residentCount);
+            w.u16(f.pinnedCount);
+            saveBitset(w, f.used);
+            saveBitset(w, f.pinned);
+            w.boolean(!f.slotVa.empty());
+            for (Addr va : f.slotVa)
+                w.u64(va);
+            w.u64(f.midRuns[0]);
+            w.u64(f.midRuns[1]);
+        }
+        w.u64(allocatedPages_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        if (n != frames_.size()) {
+            r.fail("frame-pool size mismatch (config changed?)");
+            return;
+        }
+        for (FrameInfo &f : frames_) {
+            f.owner = r.u16();
+            const std::uint8_t flags = r.u8();
+            f.mixed = (flags & 1) != 0;
+            f.coalesced = (flags & 2) != 0;
+            f.usedCount = r.u16();
+            f.residentCount = r.u16();
+            f.pinnedCount = r.u16();
+            loadBitset(r, f.used);
+            loadBitset(r, f.pinned);
+            if (r.boolean()) {
+                f.slotVa.resize(kBasePagesPerLargePage);
+                for (Addr &va : f.slotVa)
+                    va = r.u64();
+            } else {
+                f.slotVa.clear();
+            }
+            f.midRuns[0] = r.u64();
+            f.midRuns[1] = r.u64();
+            if (!r.ok())
+                return;
+        }
+        allocatedPages_ = r.u64();
+    }
+    ///@}
+
   private:
+    static void
+    saveBitset(ckpt::Writer &w, const std::bitset<kBasePagesPerLargePage> &b)
+    {
+        for (std::size_t base = 0; base < b.size(); base += 64) {
+            std::uint64_t word = 0;
+            for (std::size_t i = 0; i < 64 && base + i < b.size(); ++i)
+                word |= static_cast<std::uint64_t>(b[base + i]) << i;
+            w.u64(word);
+        }
+    }
+
+    static void
+    loadBitset(ckpt::Reader &r, std::bitset<kBasePagesPerLargePage> &b)
+    {
+        for (std::size_t base = 0; base < b.size(); base += 64) {
+            const std::uint64_t word = r.u64();
+            for (std::size_t i = 0; i < 64 && base + i < b.size(); ++i)
+                b[base + i] = (word >> i & 1) != 0;
+        }
+    }
+
     Addr base_;
     std::vector<FrameInfo> frames_;
     std::uint64_t allocatedPages_ = 0;

@@ -42,6 +42,9 @@ class GpuMmuManager : public MemoryManager
     /** Frame bookkeeping (tests/inspection). */
     const FramePool &pool() const { return pool_; }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     FramePool pool_;
     ManagerEnv env_;

@@ -35,6 +35,9 @@ class LargeOnlyManager : public MemoryManager
     const MemoryManagerStats &stats() const override { return stats_; }
     const FramePool *framePool() const override { return &pool_; }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     struct AppState
     {

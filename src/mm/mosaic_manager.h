@@ -113,6 +113,9 @@ class MosaicManager : public MemoryManager
     /** The page-size selector (tests/inspection). */
     InPlaceCoalescer &coalescer() { return coalescer_; }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     /** Assigns a free frame to virtual chunk @p chunkVa of @p app. */
     bool assignChunkFrame(AppId app, Addr chunkVa);

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cache/hierarchy.h"
 #include "common/page_sizes.h"
@@ -140,6 +142,27 @@ struct SimConfig
         bool abortOnViolation = true;
     } invariantChecks;
 
+    /**
+     * Checkpoint/restore (DESIGN.md §14). Checkpoints are taken at the
+     * first quiesce point at-or-after each requested cycle: the runner
+     * pauses SM issue, drains in-flight work, serializes every
+     * component, then resumes — so a checkpointing run's timing differs
+     * (identically) from a never-checkpointing run from the first
+     * trigger on, and a restored run is byte-for-byte the continuation
+     * of the run that saved. Fields are excluded from the config
+     * fingerprint: a restore config must match the *simulated* system,
+     * not the checkpoint schedule.
+     */
+    struct Ckpt
+    {
+        /** (trigger cycle, output path), processed in ascending cycle
+         *  order. Triggers at-or-before the restored cycle re-save
+         *  immediately (byte-identical to the original file). */
+        std::vector<std::pair<Cycles, std::string>> checkpoints;
+        /** Path to restore from before running ("" = fresh start). */
+        std::string restorePath;
+    } ckpt;
+
     /** Baseline GPU-MMU with 4KB pages and demand paging (Table 1). */
     static SimConfig
     baseline()
@@ -237,6 +260,24 @@ struct SimConfig
         SimConfig c = *this;
         c.invariantChecks.enabled = true;
         c.invariantChecks.fullSweepEvery = sweepEvery;
+        return c;
+    }
+
+    /** Adds a checkpoint at the first quiesce point >= @p cycle. */
+    SimConfig
+    withCheckpointAt(Cycles cycle, const std::string &path) const
+    {
+        SimConfig c = *this;
+        c.ckpt.checkpoints.emplace_back(cycle, path);
+        return c;
+    }
+
+    /** Restores from @p path before running. */
+    SimConfig
+    withRestoreFrom(const std::string &path) const
+    {
+        SimConfig c = *this;
+        c.ckpt.restorePath = path;
         return c;
     }
 

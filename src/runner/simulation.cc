@@ -1,15 +1,19 @@
 #include "runner/simulation.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "cache/hierarchy.h"
 #include "check/invariant_checker.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/serde.h"
 #include "common/parse_num.h"
 #include "engine/event_queue.h"
 #include "engine/sharded_engine.h"
@@ -179,6 +183,149 @@ sampleCounterTracks(Tracer &tracer, StatsRegistry &registry, Cycles now)
     }
 }
 
+/**
+ * Checkpoint payload section tags (DESIGN.md §14). Each component's
+ * state is framed by one so a truncated or misaligned image fails with
+ * a named location instead of silently misreading bytes.
+ */
+constexpr std::uint32_t kSecEngine = 0x454E4731;  // "ENG1"
+constexpr std::uint32_t kSecVm = 0x50544231;      // "PTB1"
+constexpr std::uint32_t kSecMm = 0x4D4D4731;      // "MMG1"
+constexpr std::uint32_t kSecXlat = 0x544C4231;    // "TLB1"
+constexpr std::uint32_t kSecWalker = 0x574C4B31;  // "WLK1"
+constexpr std::uint32_t kSecCache = 0x43414331;   // "CAC1"
+constexpr std::uint32_t kSecDram = 0x44524D31;    // "DRM1"
+constexpr std::uint32_t kSecPcie = 0x50434531;    // "PCE1"
+constexpr std::uint32_t kSecPager = 0x50475231;   // "PGR1"
+constexpr std::uint32_t kSecGpu = 0x47505531;     // "GPU1"
+constexpr std::uint32_t kSecRunner = 0x524E5231;  // "RNR1"
+
+/**
+ * FNV-1a fingerprint of the *simulated system*: every knob that
+ * changes which events run (manager kind, component geometry, workload
+ * parameters, seed, engine family) feeds a canonical string.
+ * Presentation and observation knobs -- the label, trace sinks,
+ * invariant checks, the checkpoint schedule itself, and the sharded
+ * worker count N (which never changes results) -- are excluded, so a
+ * restore config may differ in those and still match. trace.enabled is
+ * *included*: serial counter ticks shift event sequence numbers, which
+ * are checkpointed state.
+ */
+std::uint64_t
+configFingerprint(const Workload &workload, const SimConfig &config,
+                  bool sharded)
+{
+    std::string s;
+    const auto num = [&s](std::uint64_t v) {
+        s += std::to_string(v);
+        s += '|';
+    };
+    const auto real = [&s](double v) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g|", v);
+        s += buf;
+    };
+    const auto text = [&s](const std::string &v) {
+        s += v;
+        s += '|';
+    };
+    const auto tlb = [&num](const TlbConfig &t) {
+        num(t.baseEntries);
+        num(t.baseWays);
+        num(t.largeEntries);
+        num(t.largeWays);
+        num(t.latencyCycles);
+        num(t.ports);
+        num(t.numSizeLevels);
+        num(t.midEntries);
+        num(t.midWays);
+        num(t.coltEnabled);
+        num(t.coltEntries);
+        num(t.coltWays);
+        num(t.coltSpanPagesLog2);
+    };
+
+    text(managerKindName(config.manager));
+    num(config.demandPaging);
+    num(config.chargePrefetchBus);
+    num(config.gpu.numSms);
+    num(config.gpu.sm.warpsPerSm);
+    num(static_cast<unsigned>(config.gpu.sm.scheduler));
+    num(config.gpu.sm.maxFaultRetries);
+    tlb(config.translation.l1);
+    tlb(config.translation.l2);
+    num(config.translation.idealTlb);
+    num(config.translation.colt);
+    text(config.translation.sizes.toString());
+    num(config.walker.maxConcurrentWalks);
+    num(config.walker.usePageWalkCache);
+    num(config.walker.pwcEntries);
+    num(config.walker.pwcLatencyCycles);
+    num(config.walker.pteInDram);
+    num(config.caches.l1Bytes);
+    num(config.caches.l1Ways);
+    num(config.caches.l1LatencyCycles);
+    num(config.caches.l1MshrEntries);
+    num(config.caches.l2Bytes);
+    num(config.caches.l2Ways);
+    num(config.caches.l2Banks);
+    num(config.caches.l2LatencyCycles);
+    num(config.caches.l2BankCycleTime);
+    num(config.caches.l2MshrEntries);
+    num(config.caches.interconnectCycles);
+    num(config.dram.channels);
+    num(static_cast<unsigned>(config.dram.channelInterleave));
+    num(config.dram.banksPerChannel);
+    num(config.dram.rowBytes);
+    num(config.dram.rowHitCycles);
+    num(config.dram.rowMissCycles);
+    num(config.dram.bankBusyHitCycles);
+    num(config.dram.bankBusyMissCycles);
+    num(config.dram.burstCycles);
+    num(config.dram.capacityBytes);
+    num(config.dram.bulkCopyInDramCycles);
+    num(config.dram.bulkCopyViaBusCyclesPerLine);
+    num(config.dram.schedulerWindow);
+    num(config.pcie.fixedOverheadCycles);
+    real(config.pcie.bytesPerCycle);
+    num(config.mosaic.cac.enabled);
+    num(config.mosaic.cac.occupancyThresholdPages);
+    num(config.mosaic.cac.useBulkCopy);
+    num(config.mosaic.cac.ideal);
+    text(config.mosaic.sizes.toString());
+    num(config.mosaic.coalescingEnabled);
+    num(config.mosaic.coalesceResidentThreshold);
+    num(config.pageTablePoolBytes);
+    real(config.fragmentationIndex);
+    real(config.fragmentationOccupancy);
+    num(config.churn.enabled);
+    num(config.churn.periodCycles);
+    real(config.churn.releaseFraction);
+    num(config.seed);
+    num(config.maxCycles);
+    num(config.metricsSamplePeriod);
+    num(config.trace.enabled);
+    num(sharded);
+    num(workload.apps.size());
+    for (const AppParams &app : workload.apps) {
+        text(app.name);
+        num(app.bufferSizes.size());
+        for (const std::uint64_t b : app.bufferSizes)
+            num(b);
+        real(app.touchedFraction);
+        num(app.hotBytes);
+        real(app.seqFraction);
+        num(app.strideLines);
+        num(app.computePerMem);
+        num(app.computeMin);
+        num(app.computeMax);
+        num(app.linesPerMem);
+        real(app.storeFraction);
+        num(app.instrPerWarp);
+    }
+    return ckpt::fnv1a(s);
+}
+
 }  // namespace
 
 SimResult
@@ -194,6 +341,29 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // per-SM), merged deterministically at export. Hub-side components
     // take a plain `Tracer *` into the hub ring; null means no tracing.
     const unsigned shards = resolveEngineShards(config);
+
+    // Checkpoint restore (DESIGN.md §14): read and validate the image
+    // up front -- before any component exists -- so a bad file fails
+    // fast with a diagnostic; the payload is applied after assembly.
+    const bool restoring = !config.ckpt.restorePath.empty();
+    ckpt::Header restore_header;
+    std::vector<std::uint8_t> restore_payload;
+    if (restoring) {
+        const std::string err = ckpt::readFile(
+            config.ckpt.restorePath,
+            configFingerprint(workload, config, shards > 0),
+            restore_header, restore_payload);
+        if (!err.empty())
+            MOSAIC_PANIC(err);
+        if (restore_header.sharded != (shards > 0)) {
+            MOSAIC_PANIC("checkpoint " + config.ckpt.restorePath +
+                         ": engine mode mismatch (image is " +
+                         (restore_header.sharded ? "sharded" : "serial") +
+                         ", config is " +
+                         (shards > 0 ? "sharded" : "serial") + ")");
+        }
+    }
+
     std::shared_ptr<TraceMux> tracer;
     if (config.trace.enabled)
         tracer = std::make_shared<TraceMux>(
@@ -290,7 +460,9 @@ runSimulation(const Workload &workload, const SimConfig &config)
     env.checker = checker.get();
     manager->setEnv(env);
 
-    if (config.manager == ManagerKind::Mosaic &&
+    // Restored runs skip fragmentation injection: the pool arrives in
+    // its already-fragmented checkpointed state.
+    if (!restoring && config.manager == ManagerKind::Mosaic &&
         config.fragmentationIndex > 0.0) {
         static_cast<MosaicManager *>(manager.get())
             ->injectFragmentation(config.fragmentationIndex,
@@ -321,10 +493,14 @@ runSimulation(const Workload &workload, const SimConfig &config)
         translation.registerApp(static_cast<AppId>(i), *ctx->pageTable);
         apps.push_back(std::move(ctx));
     }
-    for (auto &ctx : apps) {
-        for (const auto &buf : ctx->layout->buffers())
-            manager->reserveRegion(ctx->pageTable->appId(), buf.va,
-                                   buf.bytes);
+    // Restored runs skip the en masse reservations too: region state
+    // (page tables, frame pool, manager maps) comes from the image.
+    if (!restoring) {
+        for (auto &ctx : apps) {
+            for (const auto &buf : ctx->layout->buffers())
+                manager->reserveRegion(ctx->pageTable->appId(), buf.va,
+                                       buf.bytes);
+        }
     }
 
     DemandPager pager(events, pcie, *manager, &registry, tr, {}, router);
@@ -404,10 +580,33 @@ runSimulation(const Workload &workload, const SimConfig &config)
         }
     }
 
+    // Checkpoint schedule, processed in ascending trigger order. The
+    // `quiescing` flag gates every periodic self-rescheduling tick
+    // (allocation churn, metrics sampler, trace counters): during a
+    // quiesce drain a pending tick must do no work, draw no
+    // randomness, and not reschedule itself, so the drain terminates
+    // and the re-arm below rebuilds the tick chains identically after
+    // an in-process save and after a restore.
+    std::vector<std::pair<Cycles, std::string>> ckpt_schedule =
+        config.ckpt.checkpoints;
+    std::stable_sort(
+        ckpt_schedule.begin(), ckpt_schedule.end(),
+        [](const std::pair<Cycles, std::string> &a,
+           const std::pair<Cycles, std::string> &b) {
+            return a.first < b.first;
+        });
+    std::size_t next_ckpt = 0;
+    bool quiescing = false;
+
     // Launch: with demand paging the SMs start cold and fault pages in;
     // without it, every buffer is prefetched first (optionally charging
     // the PCIe bus) and the application starts when its data is resident.
-    if (config.demandPaging) {
+    // A restored run launches nothing: SM progress (started flags, live
+    // warps, stream cursors) comes from the image, and the re-arm below
+    // reschedules issue at the resume cycle.
+    if (restoring) {
+        // nothing to launch
+    } else if (config.demandPaging) {
         gpu.startAll(0);
     } else {
         for (auto &ctx : apps) {
@@ -452,7 +651,9 @@ runSimulation(const Workload &workload, const SimConfig &config)
     if (config.churn.enabled) {
         churn_tick = std::make_shared<std::function<void()>>();
         *churn_tick = [&apps, &manager, &events, &config, &churn_rng,
-                       churn_tick] {
+                       &quiescing, churn_tick] {
+            if (quiescing)
+                return;  // draining; the checkpoint re-arm reschedules
             std::vector<AppCtx *> live;
             for (auto &ctx : apps) {
                 if (!ctx->finished && !ctx->layout->buffers().empty())
@@ -491,8 +692,10 @@ runSimulation(const Workload &workload, const SimConfig &config)
             events.scheduleAfter(config.churn.periodCycles,
                                  [churn_tick] { (*churn_tick)(); });
         };
-        events.scheduleAfter(config.churn.periodCycles,
-                             [churn_tick] { (*churn_tick)(); });
+        if (!restoring) {
+            events.scheduleAfter(config.churn.periodCycles,
+                                 [churn_tick] { (*churn_tick)(); });
+        }
     }
 
     // Runner-owned metrics: values that only the harness can see (peak
@@ -533,15 +736,19 @@ runSimulation(const Workload &workload, const SimConfig &config)
     std::function<void()> sample_tick;
     if (config.metricsSamplePeriod > 0) {
         sample_tick = [&registry, &samples, &events, &all_finished,
-                       &config, &sample_tick] {
+                       &config, &quiescing, &sample_tick] {
+            if (quiescing)
+                return;  // draining; the checkpoint re-arm reschedules
             samples.push_back(registry.snapshot(events.now()));
             if (!all_finished) {
                 events.scheduleAfter(config.metricsSamplePeriod,
                                      [&sample_tick] { sample_tick(); });
             }
         };
-        events.scheduleAfter(config.metricsSamplePeriod,
-                             [&sample_tick] { sample_tick(); });
+        if (!restoring) {
+            events.scheduleAfter(config.metricsSamplePeriod,
+                                 [&sample_tick] { sample_tick(); });
+        }
     }
 
     // Trace counter tracks: the same observation-only pattern as the
@@ -560,7 +767,9 @@ runSimulation(const Workload &workload, const SimConfig &config)
     } else if (tr != nullptr && tr->on(kTraceCounter) &&
                config.trace.counterPeriodCycles > 0) {
         trace_counter_tick = [tr, &registry, &events, &all_finished,
-                              &config, &trace_counter_tick] {
+                              &config, &quiescing, &trace_counter_tick] {
+            if (quiescing)
+                return;  // draining; the checkpoint re-arm reschedules
             sampleCounterTracks(*tr, registry, events.now());
             if (!all_finished) {
                 events.scheduleAfter(config.trace.counterPeriodCycles,
@@ -569,10 +778,245 @@ runSimulation(const Workload &workload, const SimConfig &config)
                                      });
             }
         };
-        events.scheduleAfter(config.trace.counterPeriodCycles,
-                             [&trace_counter_tick] {
-                                 trace_counter_tick();
-                             });
+        if (!restoring) {
+            events.scheduleAfter(config.trace.counterPeriodCycles,
+                                 [&trace_counter_tick] {
+                                     trace_counter_tick();
+                                 });
+        }
+    }
+
+    // --- Checkpoint/restore machinery (DESIGN.md §14) -------------------
+    const std::uint64_t fingerprint =
+        configFingerprint(workload, config, shards > 0);
+
+    // Serializes every component in canonical section order. Only ever
+    // called at a quiesce point: SMs paused, every queue drained (each
+    // component's saveState asserts its own share of that contract),
+    // and crucially *before* the re-arm, so the captured event-queue
+    // clocks exclude the resume events -- the restore path re-creates
+    // them through the same rearm() call instead.
+    const auto save_all = [&](ckpt::Writer &w) {
+        w.section(kSecEngine);
+        w.boolean(engine != nullptr);
+        if (engine != nullptr) {
+            engine->saveState(w);
+        } else {
+            const EventQueue::Clock c = events.saveClock();
+            w.u64(c.now);
+            w.u64(c.nextSeq);
+            w.u64(c.executed);
+        }
+        w.section(kSecVm);
+        pt_alloc.saveState(w);
+        w.u64(apps.size());
+        for (const auto &ctx : apps)
+            ctx->pageTable->saveState(w);
+        w.section(kSecMm);
+        manager->saveState(w);
+        w.section(kSecXlat);
+        translation.saveState(w);
+        w.section(kSecWalker);
+        walker.saveState(w);
+        w.section(kSecCache);
+        caches.saveState(w);
+        w.section(kSecDram);
+        dram.saveState(w);
+        w.section(kSecPcie);
+        pcie.saveState(w);
+        w.section(kSecPager);
+        pager.saveState(w);
+        w.section(kSecGpu);
+        gpu.saveState(w);
+        w.section(kSecRunner);
+        w.boolean(all_finished);
+        w.u64(end_cycle);
+        w.u64(peak_allocated);
+        w.u64(peak_holes);
+        w.u32(apps_remaining);
+        for (const auto &ctx : apps) {
+            w.u32(ctx->smsDone);
+            w.boolean(ctx->finished);
+            w.u64(ctx->finishAt);
+            w.u32(ctx->prefetchesPending);
+            w.u64(ctx->nextChurnVa);
+            const auto &bufs = ctx->layout->buffers();
+            w.u64(bufs.size());
+            for (const auto &buf : bufs)
+                w.u64(buf.va);
+        }
+        for (const std::uint64_t word : churn_rng.serializeState())
+            w.u64(word);
+    };
+
+    const auto load_all = [&](ckpt::Reader &r) {
+        r.section(kSecEngine, "engine");
+        const bool image_sharded = r.boolean();
+        if (r.ok() && image_sharded != (engine != nullptr)) {
+            r.fail("engine mode mismatch");
+            return;
+        }
+        if (engine != nullptr) {
+            engine->loadState(r);
+        } else {
+            EventQueue::Clock c;
+            c.now = r.u64();
+            c.nextSeq = r.u64();
+            c.executed = r.u64();
+            if (r.ok())
+                events.restoreClock(c);
+        }
+        r.section(kSecVm, "page tables");
+        pt_alloc.loadState(r);
+        const std::uint64_t n_apps = r.u64();
+        if (r.ok() && n_apps != apps.size()) {
+            r.fail("application count mismatch (workload changed?)");
+            return;
+        }
+        // Page tables load before the manager and the TLBs: loading
+        // fires the observer hooks that reseed the checker's shadow
+        // translation map, and the TLB reload below replays its fills
+        // against that shadow.
+        for (const auto &ctx : apps) {
+            ctx->pageTable->loadState(r);
+            if (!r.ok())
+                return;
+        }
+        r.section(kSecMm, "memory manager");
+        manager->loadState(r);
+        r.section(kSecXlat, "translation");
+        translation.loadState(r);
+        r.section(kSecWalker, "walker");
+        walker.loadState(r);
+        r.section(kSecCache, "caches");
+        caches.loadState(r);
+        r.section(kSecDram, "dram");
+        dram.loadState(r);
+        r.section(kSecPcie, "pcie");
+        pcie.loadState(r);
+        r.section(kSecPager, "pager");
+        pager.loadState(r);
+        r.section(kSecGpu, "gpu");
+        gpu.loadState(r);
+        r.section(kSecRunner, "runner");
+        all_finished = r.boolean();
+        end_cycle = r.u64();
+        peak_allocated = r.u64();
+        peak_holes = r.u64();
+        apps_remaining = r.u32();
+        for (const auto &ctx : apps) {
+            ctx->smsDone = r.u32();
+            ctx->finished = r.boolean();
+            ctx->finishAt = r.u64();
+            ctx->prefetchesPending = r.u32();
+            ctx->nextChurnVa = r.u64();
+            const std::uint64_t n_bufs = r.count(1u << 20, "buffer count");
+            if (!r.ok())
+                return;
+            if (n_bufs != ctx->layout->buffers().size()) {
+                r.fail("buffer count mismatch (workload changed?)");
+                return;
+            }
+            // Churn moves buffers to fresh virtual addresses; the
+            // layout (and through it every warp stream) follows.
+            for (std::size_t b = 0; b < n_bufs; ++b) {
+                const Addr va = r.u64();
+                if (r.ok() && va != ctx->layout->buffers()[b].va)
+                    ctx->layout->rebaseBuffer(b, va);
+            }
+        }
+        std::array<std::uint64_t, 4> rng_words;
+        for (std::uint64_t &word : rng_words)
+            word = r.u64();
+        if (r.ok())
+            churn_rng.deserializeState(rng_words);
+    };
+
+    const auto write_checkpoint = [&](const std::string &path, Cycles R) {
+        ckpt::Writer w;
+        save_all(w);
+        ckpt::Header h;
+        h.fingerprint = fingerprint;
+        h.resumeCycle = R;
+        h.sharded = engine != nullptr;
+        const std::string err = ckpt::writeFile(path, h, w.buffer());
+        if (!err.empty())
+            MOSAIC_PANIC(err);
+    };
+
+    // Every scheduled checkpoint whose trigger is at-or-before the
+    // quiesce point R saves the same quiesced state. A restore re-saves
+    // triggers <= its resume cycle here, byte-identical to the original
+    // file (the save->restore->save stability contract).
+    const auto save_due_checkpoints = [&](Cycles R) {
+        while (next_ckpt < ckpt_schedule.size() &&
+               ckpt_schedule[next_ckpt].first <= R) {
+            write_checkpoint(ckpt_schedule[next_ckpt].second, R);
+            ++next_ckpt;
+        }
+    };
+
+    // Re-arms the simulation at quiesce point R: SM issue in id order,
+    // then the periodic tick chains. The identical call sequence runs
+    // after an in-process save and after a restore, scheduling the same
+    // events with the same sequence numbers -- which is what makes the
+    // two arms byte-equal from R on.
+    const auto rearm = [&](Cycles R) {
+        gpu.resumeAll(R);
+        if (config.churn.enabled) {
+            events.schedule(R + config.churn.periodCycles,
+                            [churn_tick] { (*churn_tick)(); });
+        }
+        if (config.metricsSamplePeriod > 0 && !all_finished) {
+            events.schedule(R + config.metricsSamplePeriod,
+                            [&sample_tick] { sample_tick(); });
+        }
+        if (trace_counter_tick) {
+            events.schedule(R + config.trace.counterPeriodCycles,
+                            [&trace_counter_tick] {
+                                trace_counter_tick();
+                            });
+        }
+    };
+
+    // Serial checkpoint trigger: checked before each event dispatch. At
+    // the first moment the next pending event is at-or-after the
+    // trigger cycle, pause SM issue and drain the queue (gated ticks
+    // fire but do no work), then save at R = the drained clock.
+    const auto serial_ckpt_due = [&] {
+        // An empty queue never triggers: that is either the natural end
+        // of the run or a deadlock, and both have their own reporting.
+        return next_ckpt < ckpt_schedule.size() &&
+               events.nextEventAt() != EventQueue::kNoEvent &&
+               events.nextEventAt() >= ckpt_schedule[next_ckpt].first;
+    };
+    const auto serial_quiesce = [&] {
+        gpu.pauseAll();
+        quiescing = true;
+        while (events.runOne()) {
+        }
+        const Cycles R = events.now();
+        save_due_checkpoints(R);
+        quiescing = false;
+        rearm(R);
+    };
+
+    if (restoring) {
+        ckpt::Reader r(restore_payload);
+        load_all(r);
+        if (r.ok() && !r.atEnd())
+            r.fail("trailing bytes after payload");
+        if (!r.ok())
+            MOSAIC_PANIC("checkpoint " + config.ckpt.restorePath + ": " +
+                         r.error());
+        // The audited-violation expectation rides in the manager's
+        // serialized stats; reseed the checker to match.
+        if (checker != nullptr) {
+            checker->seedAuditedViolations(
+                manager->stats().softGuaranteeViolations);
+        }
+        save_due_checkpoints(restore_header.resumeCycle);
+        rearm(restore_header.resumeCycle);
     }
 
     if (engine != nullptr) {
@@ -588,8 +1032,31 @@ runSimulation(const Workload &workload, const SimConfig &config)
                     chk->verifyAll();
             });
         }
-        engine->run(config.maxCycles,
-                    [&all_finished] { return all_finished; });
+        // Checkpoint trigger: at the first epoch barrier at-or-after a
+        // scheduled cycle, pause SM issue and let the engine drain --
+        // run() exits when no events remain anywhere, and that drained
+        // window start is the quiesce point R (a pure function of
+        // queue state, hence the same cycle for every worker count).
+        if (!ckpt_schedule.empty()) {
+            engine->addBarrierHook([&] {
+                if (!quiescing && next_ckpt < ckpt_schedule.size() &&
+                    engine->windowStart() >=
+                        ckpt_schedule[next_ckpt].first) {
+                    quiescing = true;
+                    gpu.pauseAll();
+                }
+            });
+        }
+        for (;;) {
+            engine->run(config.maxCycles,
+                        [&all_finished] { return all_finished; });
+            if (!quiescing)
+                break;
+            const Cycles R = engine->windowStart();
+            save_due_checkpoints(R);
+            quiescing = false;
+            rearm(R);
+        }
         if (!all_finished && engine->windowStart() < config.maxCycles)
             MOSAIC_PANIC("simulation deadlocked: no events pending");
     } else if (tr != nullptr && tr->on(kTraceEngine) &&
@@ -599,6 +1066,10 @@ runSimulation(const Workload &workload, const SimConfig &config)
         const std::uint64_t every = config.trace.engineSampleEvery;
         std::uint64_t executed = 0;
         while (!all_finished && events.now() < config.maxCycles) {
+            if (serial_ckpt_due()) {
+                serial_quiesce();
+                continue;
+            }
             if (!events.runOne())
                 MOSAIC_PANIC("simulation deadlocked: no events pending");
             if (++executed % every == 0) {
@@ -610,9 +1081,19 @@ runSimulation(const Workload &workload, const SimConfig &config)
         }
     } else {
         while (!all_finished && events.now() < config.maxCycles) {
+            if (serial_ckpt_due()) {
+                serial_quiesce();
+                continue;
+            }
             if (!events.runOne())
                 MOSAIC_PANIC("simulation deadlocked: no events pending");
         }
+    }
+    if (next_ckpt < ckpt_schedule.size()) {
+        MOSAIC_WARN_AT(events.now(),
+                       "simulation ended with " +
+                           std::to_string(ckpt_schedule.size() - next_ckpt) +
+                           " scheduled checkpoint(s) never triggered");
     }
     if (!all_finished)
         MOSAIC_WARN_AT(events.now(),

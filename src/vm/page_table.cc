@@ -421,4 +421,123 @@ PageTable::walkPath(Addr va) const
     }
 }
 
+void
+PageTable::saveNode(ckpt::Writer &w, const Node &node, unsigned depth) const
+{
+    w.u64(node.physAddr);
+    if (depth == numLevels_ - 1) {
+        for (std::size_t j = 0; j < node.leafPhys.size(); ++j) {
+            w.u64(node.leafPhys[j]);
+            w.u8(static_cast<std::uint8_t>(
+                (node.leafDisabled[j] ? 1 : 0) |
+                (node.leafResident[j] ? 2 : 0)));
+        }
+        return;
+    }
+    const bool has_bits = !node.childCoalesced.empty();
+    for (std::size_t j = 0; j < node.children.size(); ++j) {
+        w.u8(static_cast<std::uint8_t>(
+            (node.children[j] != nullptr ? 1 : 0) |
+            (has_bits && node.childCoalesced[j] ? 2 : 0)));
+    }
+    for (const std::unique_ptr<Node> &child : node.children) {
+        if (child != nullptr)
+            saveNode(w, *child, depth + 1);
+    }
+}
+
+void
+PageTable::loadNode(ckpt::Reader &r, Node &node, unsigned depth,
+                    Addr vaPrefix)
+{
+    node.physAddr = r.u64();
+    const std::size_t fanout = std::size_t(mask_[depth]) + 1;
+    if (depth == numLevels_ - 1) {
+        node.leafPhys.assign(fanout, kInvalidAddr);
+        node.leafDisabled.assign(fanout, false);
+        node.leafResident.assign(fanout, false);
+        for (std::size_t j = 0; j < fanout; ++j) {
+            const Addr pa = r.u64();
+            const std::uint8_t flags = r.u8();
+            if (!r.ok())
+                return;
+            node.leafPhys[j] = pa;
+            node.leafDisabled[j] = (flags & 1) != 0;
+            node.leafResident[j] = (flags & 2) != 0;
+            if (pa != kInvalidAddr) {
+                ++mappedPages_;
+                if (observer_ != nullptr) {
+                    const Addr va =
+                        vaPrefix | (Addr(j) << shift_[depth]);
+                    observer_->onMap(app_, va, pa,
+                                     node.leafResident[j]);
+                }
+            }
+        }
+        return;
+    }
+
+    node.children.clear();
+    node.children.resize(fanout);
+    const bool has_bits = levelAtDepth_[depth] >= 1;
+    if (has_bits)
+        node.childCoalesced.assign(fanout, false);
+    std::vector<std::uint8_t> slot_flags(fanout, 0);
+    for (std::size_t j = 0; j < fanout; ++j)
+        slot_flags[j] = r.u8();
+    if (!r.ok())
+        return;
+    for (std::size_t j = 0; j < fanout; ++j) {
+        if ((slot_flags[j] & 2) != 0) {
+            if (!has_bits) {
+                r.fail("coalesced bit at a depth without bits");
+                return;
+            }
+            node.childCoalesced[j] = true;
+        }
+        if ((slot_flags[j] & 1) != 0) {
+            node.children[j] = std::make_unique<Node>();
+            loadNode(r, *node.children[j], depth + 1,
+                     vaPrefix | (Addr(j) << shift_[depth]));
+            if (!r.ok())
+                return;
+        }
+    }
+    // Fire the coalesce hooks only after the subtree beneath each bit
+    // is fully loaded, so an observer that probes the table (the
+    // invariant checker re-derives PAs) sees a consistent region.
+    if (observer_ != nullptr && has_bits) {
+        const unsigned level = static_cast<unsigned>(levelAtDepth_[depth]);
+        for (std::size_t j = 0; j < fanout; ++j) {
+            if (!node.childCoalesced[j])
+                continue;
+            const Addr va_base = vaPrefix | (Addr(j) << shift_[depth]);
+            if (level == sizes_.topLevel())
+                observer_->onCoalesce(app_, va_base);
+            else
+                observer_->onCoalesceLevel(app_, va_base, level);
+        }
+    }
+}
+
+void
+PageTable::saveState(ckpt::Writer &w) const
+{
+    w.u64(mappedPages_);
+    saveNode(w, *root_, 0);
+}
+
+void
+PageTable::loadState(ckpt::Reader &r)
+{
+    const std::uint64_t expect_pages = r.u64();
+    root_ = std::make_unique<Node>();
+    mappedPages_ = 0;
+    loadNode(r, *root_, 0, 0);
+    if (r.ok() && mappedPages_ != expect_pages)
+        r.fail("page-table mapped-page count mismatch (" +
+               std::to_string(mappedPages_) + " restored, " +
+               std::to_string(expect_pages) + " recorded)");
+}
+
 }  // namespace mosaic

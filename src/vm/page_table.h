@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/page_sizes.h"
 #include "common/types.h"
 
@@ -104,6 +105,23 @@ class RegionPtNodeAllocator : public PtNodeAllocator
 
     /** Bytes consumed so far. */
     std::uint64_t bytesUsed() const { return used_; }
+
+    /** @name Checkpoint hooks: allocation cursor (DESIGN.md §14) */
+    ///@{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(next_);
+        w.u64(used_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        next_ = r.u64();
+        used_ = r.u64();
+    }
+    ///@}
 
   private:
     Addr next_;
@@ -247,6 +265,23 @@ class PageTable
     /** Attaches (or detaches, with nullptr) a passive mutation observer. */
     void setObserver(PageTableObserver *observer) { observer_ = observer; }
 
+    /**
+     * @name Checkpoint hooks (DESIGN.md §14)
+     * saveState walks the radix tree depth-first in slot order and
+     * records every node's physical address, leaf PTE, and coalesced
+     * bit exactly — node placement comes from the shared
+     * RegionPtNodeAllocator, whose cursor is checkpointed separately,
+     * so restored walkPath() addresses are bit-identical. loadState
+     * rebuilds the tree and fires the observer hooks (onMap,
+     * onResident via the resident flag, onCoalesce/onCoalesceLevel)
+     * for every restored entry so an attached invariant checker's
+     * shadow is reseeded in the same pass.
+     */
+    ///@{
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    ///@}
+
   private:
     struct Node
     {
@@ -269,6 +304,11 @@ class PageTable
     {
         return static_cast<unsigned>((va >> shift_[depth]) & mask_[depth]);
     }
+
+    /** Checkpoint recursion bodies (depth-first, slot order). */
+    void saveNode(ckpt::Writer &w, const Node &node, unsigned depth) const;
+    void loadNode(ckpt::Reader &r, Node &node, unsigned depth,
+                  Addr vaPrefix);
 
     /** Leaf node covering @p va, or nullptr if absent. */
     Node *findLeafNode(Addr va) const;

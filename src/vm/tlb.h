@@ -346,6 +346,95 @@ class Tlb
         return colt_ != nullptr ? colt_->occupancy() : 0;
     }
 
+    /**
+     * @name Entry enumeration (checkpoint restore)
+     * Call @p fn(app, vpn) for every valid entry of one array, in slot
+     * order. The translation service uses these after a restore to
+     * replay CheckSink fill notifications into the invariant checker's
+     * shadow. For CoLT the vpn argument is the *group* vpn.
+     */
+    ///@{
+    template <typename Fn>
+    void
+    forEachBase(Fn fn) const
+    {
+        base_.forEachKey([&](std::uint64_t k) { fn(keyApp(k), keyVpn(k)); });
+    }
+
+    template <typename Fn>
+    void
+    forEachLarge(Fn fn) const
+    {
+        large_.forEachKey([&](std::uint64_t k) { fn(keyApp(k), keyVpn(k)); });
+    }
+
+    template <typename Fn>
+    void
+    forEachMid(unsigned midIdx, Fn fn) const
+    {
+        mid_[midIdx].forEachKey(
+            [&](std::uint64_t k) { fn(keyApp(k), keyVpn(k)); });
+    }
+
+    template <typename Fn>
+    void
+    forEachColtGroup(Fn fn) const
+    {
+        if (colt_ != nullptr)
+            colt_->forEachKey(
+                [&](std::uint64_t k) { fn(keyApp(k), keyVpn(k)); });
+    }
+    ///@}
+
+    /** @name Checkpoint hooks (DESIGN.md §14) */
+    ///@{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        base_.saveState(w);
+        large_.saveState(w);
+        for (const SetAssocCache &mid : mid_)
+            mid.saveState(w);
+        if (colt_ != nullptr)
+            colt_->saveState(w);
+        w.u64(stats_.baseAccesses);
+        w.u64(stats_.baseHits);
+        w.u64(stats_.largeAccesses);
+        w.u64(stats_.largeHits);
+        for (unsigned i = 0; i < kMaxMidLevels; ++i) {
+            w.u64(stats_.midAccesses[i]);
+            w.u64(stats_.midHits[i]);
+        }
+        w.u64(stats_.coltAccesses);
+        w.u64(stats_.coltHits);
+        w.u64(stats_.coltFills);
+        w.u64(stats_.coltShootdowns);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        base_.loadState(r);
+        large_.loadState(r);
+        for (SetAssocCache &mid : mid_)
+            mid.loadState(r);
+        if (colt_ != nullptr)
+            colt_->loadState(r);
+        stats_.baseAccesses = r.u64();
+        stats_.baseHits = r.u64();
+        stats_.largeAccesses = r.u64();
+        stats_.largeHits = r.u64();
+        for (unsigned i = 0; i < kMaxMidLevels; ++i) {
+            stats_.midAccesses[i] = r.u64();
+            stats_.midHits[i] = r.u64();
+        }
+        stats_.coltAccesses = r.u64();
+        stats_.coltHits = r.u64();
+        stats_.coltFills = r.u64();
+        stats_.coltShootdowns = r.u64();
+    }
+    ///@}
+
   private:
     static constexpr unsigned kAppShift = 44;
 
@@ -353,6 +442,18 @@ class Tlb
     key(AppId app, std::uint64_t vpn)
     {
         return (static_cast<std::uint64_t>(app) << kAppShift) | vpn;
+    }
+
+    static AppId
+    keyApp(std::uint64_t k)
+    {
+        return static_cast<AppId>(k >> kAppShift);
+    }
+
+    static std::uint64_t
+    keyVpn(std::uint64_t k)
+    {
+        return k & ((std::uint64_t{1} << kAppShift) - 1);
     }
 
     static std::size_t

@@ -189,6 +189,20 @@ class TranslationService
     /** True when configured as an ideal TLB. */
     bool ideal() const { return config_.idealTlb; }
 
+    /**
+     * @name Checkpoint hooks (DESIGN.md §14)
+     * Captures every TLB array slot-exactly plus the L2 port-contention
+     * state and all statistics slices. In-flight misses cannot exist at
+     * a quiesce point (the MSHRs assert emptiness). loadState replays a
+     * CheckSink fill notification for every restored TLB entry, so an
+     * attached checker re-derives its TLB shadow from the restored page
+     * tables — set the checker and load the page tables first.
+     */
+    ///@{
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    ///@}
+
   private:
     /**
      * Per-app slot: stats plus the app's page table, learned on first

@@ -83,6 +83,14 @@ class TraceWarpStream : public WarpStream
         return true;
     }
 
+    void saveState(ckpt::Writer &w) const override { w.u64(cursor_); }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        cursor_ = static_cast<std::size_t>(r.u64());
+    }
+
   private:
     std::shared_ptr<const TraceFile> trace_;
     std::size_t warpIdx_;

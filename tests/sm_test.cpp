@@ -31,6 +31,9 @@ class ScriptedStream : public WarpStream
         return true;
     }
 
+    void saveState(ckpt::Writer &) const override {}
+    void loadState(ckpt::Reader &) override {}
+
   private:
     std::deque<WarpInstr> script_;
 };

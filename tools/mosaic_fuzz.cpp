@@ -30,6 +30,7 @@
 
 #include "cache/hierarchy.h"
 #include "check/invariant_checker.h"
+#include "ckpt/serde.h"
 #include "common/parse_num.h"
 #include "common/rng.h"
 #include "dram/dram.h"
@@ -110,86 +111,205 @@ struct RunResult
     std::vector<std::string> reports;
 };
 
+/** Checker config shared by every fuzz system (verify every mutation). */
+InvariantChecker::Config
+fuzzCheckerConfig()
+{
+    InvariantChecker::Config c;
+    c.fullSweepEvery = 1;
+    c.abortOnViolation = false;
+    return c;
+}
+
+/**
+ * One complete fuzzable system: engine, DRAM, caches, walker,
+ * translation, manager, page tables, and a shadow checker, built the
+ * same way for a fresh run and for a checkpoint-restore twin. Members
+ * are heap-held (or the struct itself is) so the cross-references the
+ * components take at construction stay valid for the system's life.
+ */
+struct FuzzSystem
+{
+    CacheHierarchyConfig cacheCfg;
+    std::unique_ptr<ShardedEngine> engine;
+    EventQueue serialEvents;
+    DramConfig dramCfg;
+    std::unique_ptr<DramModel> dram;
+    std::unique_ptr<CacheHierarchy> caches;
+    std::unique_ptr<PageTableWalker> walker;
+    TranslationConfig trCfg;
+    std::unique_ptr<TranslationService> translation;
+    MosaicConfig mosaicCfg;
+    std::unique_ptr<MemoryManager> manager;
+    InvariantChecker checker;
+    std::unique_ptr<RegionPtNodeAllocator> ptAlloc;
+    std::vector<std::unique_ptr<PageTable>> tables;
+
+    FuzzSystem(const FuzzConfig &cfg, unsigned shards)
+        : checker(fuzzCheckerConfig())
+    {
+        cacheCfg.numSms = 2;
+        if (shards > 0)
+            engine = std::make_unique<ShardedEngine>(cacheCfg.numSms, shards);
+        LaneRouter *const router = engine.get();
+
+        dramCfg.channelInterleave =
+            static_cast<ChannelInterleave>(cfg.interleave);
+        dramCfg.capacityBytes = 256ull << 20;
+        dram = std::make_unique<DramModel>(events(), dramCfg);
+
+        caches = std::make_unique<CacheHierarchy>(events(), *dram, cacheCfg,
+                                                  nullptr, router);
+        WalkerConfig walker_cfg;
+        walker = std::make_unique<PageTableWalker>(events(), *caches,
+                                                   walker_cfg);
+        trCfg.sizes = cfg.sizes;
+        trCfg.colt = cfg.colt;
+        translation = std::make_unique<TranslationService>(
+            events(), *walker, cacheCfg.numSms, trCfg, nullptr, nullptr,
+            router);
+        if (engine != nullptr) {
+            engine->addBarrierHook([t = translation.get()] {
+                t->flushDeferredCheckHooks();
+            });
+        }
+
+        // Oversubscription: the pool holds far fewer frames than the
+        // schedule's demand, so OOM, reclaim, compaction, and the
+        // emergency failsafe all get exercised.
+        const std::uint64_t pool_bytes =
+            cfg.oversubscribe ? (8ull << 20) : (64ull << 20);
+        mosaicCfg.cac.useBulkCopy = cfg.useBulkCopy;
+        mosaicCfg.coalesceResidentThreshold = cfg.coalesceThreshold;
+        mosaicCfg.sizes = cfg.sizes;
+        manager = makeManager(cfg, 0, pool_bytes, mosaicCfg);
+
+        checker.attachManager(manager.get());
+        checker.attachTranslation(translation.get());
+        checker.attachDram(dram.get());
+        if (cfg.manager == "mosaic") {
+            auto *mm = static_cast<MosaicManager *>(manager.get());
+            checker.attachMosaicState(&mm->state());
+            checker.attachCacConfig(&mosaicCfg.cac);
+        }
+        translation->setChecker(&checker);
+
+        ptAlloc = std::make_unique<RegionPtNodeAllocator>(
+            dramCfg.capacityBytes - (16ull << 20), 16ull << 20);
+        for (unsigned a = 0; a < cfg.apps; ++a) {
+            tables.push_back(std::make_unique<PageTable>(
+                static_cast<AppId>(a), *ptAlloc, cfg.sizes));
+            checker.observePageTable(*tables.back());
+            manager->registerApp(static_cast<AppId>(a), *tables.back());
+            translation->registerApp(static_cast<AppId>(a), *tables.back());
+        }
+        ManagerEnv env;
+        env.events = &events();
+        env.dram = dram.get();
+        env.translation = translation.get();
+        env.checker = &checker;
+        manager->setEnv(env);
+    }
+
+    EventQueue &
+    events()
+    {
+        return engine ? engine->hubQueue() : serialEvents;
+    }
+
+    void
+    drain()
+    {
+        if (engine != nullptr) {
+            engine->drain();
+            return;
+        }
+        while (serialEvents.runOne()) {
+        }
+    }
+
+    /** Serializes the quiesced system (canonical component order). */
+    void
+    saveState(ckpt::Writer &w)
+    {
+        w.boolean(engine != nullptr);
+        if (engine != nullptr) {
+            engine->saveState(w);
+        } else {
+            const EventQueue::Clock c = serialEvents.saveClock();
+            w.u64(c.now);
+            w.u64(c.nextSeq);
+            w.u64(c.executed);
+        }
+        ptAlloc->saveState(w);
+        w.u64(tables.size());
+        for (const auto &t : tables)
+            t->saveState(w);
+        manager->saveState(w);
+        translation->saveState(w);
+        walker->saveState(w);
+        caches->saveState(w);
+        dram->saveState(w);
+    }
+
+    /** Mirror of saveState() into a freshly constructed system. */
+    void
+    loadState(ckpt::Reader &r)
+    {
+        const bool sharded = r.boolean();
+        if (r.ok() && sharded != (engine != nullptr)) {
+            r.fail("engine mode mismatch");
+            return;
+        }
+        if (engine != nullptr) {
+            engine->loadState(r);
+        } else {
+            EventQueue::Clock c;
+            c.now = r.u64();
+            c.nextSeq = r.u64();
+            c.executed = r.u64();
+            if (r.ok())
+                serialEvents.restoreClock(c);
+        }
+        ptAlloc->loadState(r);
+        const std::uint64_t n = r.u64();
+        if (r.ok() && n != tables.size()) {
+            r.fail("page-table count mismatch");
+            return;
+        }
+        for (const auto &t : tables) {
+            t->loadState(r);
+            if (!r.ok())
+                return;
+        }
+        manager->loadState(r);
+        translation->loadState(r);
+        walker->loadState(r);
+        caches->loadState(r);
+        dram->loadState(r);
+        if (r.ok())
+            checker.seedAuditedViolations(
+                manager->stats().softGuaranteeViolations);
+    }
+};
+
 /**
  * Executes @p cfg's schedule from scratch and verifies every invariant
  * after every operation. Deterministic: same config, same outcome.
  * @p shards > 0 builds the services over a ShardedEngine (DESIGN.md
  * §12) so the fuzzer exercises the routed translation/cache paths; the
  * invariant verdicts are unchanged because every op fully drains.
+ * @p checkpointEvery > 0 additionally round-trips the whole system
+ * through the checkpoint serializer every N ops: serialize, restore
+ * into a freshly built twin, verify the twin's reseeded shadow checker,
+ * check save->restore->save byte stability, and continue the schedule
+ * on the twin.
  */
 RunResult
-runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
+runSchedule(const FuzzConfig &cfg, unsigned shards = 0,
+            std::size_t checkpointEvery = 0)
 {
-    CacheHierarchyConfig cache_cfg;
-    cache_cfg.numSms = 2;
-
-    std::unique_ptr<ShardedEngine> engine;
-    if (shards > 0)
-        engine = std::make_unique<ShardedEngine>(cache_cfg.numSms, shards);
-    EventQueue serial_events;
-    EventQueue &events = engine ? engine->hubQueue() : serial_events;
-    LaneRouter *const router = engine.get();
-
-    DramConfig dram_cfg;
-    dram_cfg.channelInterleave =
-        static_cast<ChannelInterleave>(cfg.interleave);
-    dram_cfg.capacityBytes = 256ull << 20;
-    DramModel dram(events, dram_cfg);
-
-    CacheHierarchy caches(events, dram, cache_cfg, nullptr, router);
-    WalkerConfig walker_cfg;
-    PageTableWalker walker(events, caches, walker_cfg);
-    TranslationConfig tr_cfg;
-    tr_cfg.sizes = cfg.sizes;
-    tr_cfg.colt = cfg.colt;
-    TranslationService translation(events, walker, cache_cfg.numSms, tr_cfg,
-                                   nullptr, nullptr, router);
-    if (engine != nullptr) {
-        engine->addBarrierHook(
-            [&translation] { translation.flushDeferredCheckHooks(); });
-    }
-
-    // Oversubscription: the pool holds far fewer frames than the
-    // schedule's demand, so OOM, reclaim, compaction, and the emergency
-    // failsafe all get exercised.
-    const std::uint64_t pool_bytes =
-        cfg.oversubscribe ? (8ull << 20) : (64ull << 20);
-    MosaicConfig mosaic_cfg;
-    mosaic_cfg.cac.useBulkCopy = cfg.useBulkCopy;
-    mosaic_cfg.coalesceResidentThreshold = cfg.coalesceThreshold;
-    mosaic_cfg.sizes = cfg.sizes;
-    auto manager = makeManager(cfg, 0, pool_bytes, mosaic_cfg);
-
-    InvariantChecker::Config check_cfg;
-    check_cfg.fullSweepEvery = 1;  // verify after every manager mutation
-    check_cfg.abortOnViolation = false;
-    InvariantChecker checker(check_cfg);
-    checker.attachManager(manager.get());
-    checker.attachTranslation(&translation);
-    checker.attachDram(&dram);
-    if (cfg.manager == "mosaic") {
-        auto *mm = static_cast<MosaicManager *>(manager.get());
-        checker.attachMosaicState(&mm->state());
-        checker.attachCacConfig(&mosaic_cfg.cac);
-    }
-    translation.setChecker(&checker);
-
-    RegionPtNodeAllocator pt_alloc(dram_cfg.capacityBytes - (16ull << 20),
-                                   16ull << 20);
-    std::vector<std::unique_ptr<PageTable>> tables;
-    for (unsigned a = 0; a < cfg.apps; ++a) {
-        tables.push_back(std::make_unique<PageTable>(
-            static_cast<AppId>(a), pt_alloc, cfg.sizes));
-        checker.observePageTable(*tables.back());
-        manager->registerApp(static_cast<AppId>(a), *tables.back());
-        translation.registerApp(static_cast<AppId>(a), *tables.back());
-    }
-    ManagerEnv env;
-    env.events = &events;
-    env.dram = &dram;
-    env.translation = &translation;
-    env.checker = &checker;
-    manager->setEnv(env);
+    auto sys = std::make_unique<FuzzSystem>(cfg, shards);
 
     // Reserved pages per (app, slot); 0 = slot free. Ops that do not
     // apply to the current state are skipped (keeps minimized schedules
@@ -198,14 +318,6 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
         cfg.apps, std::vector<unsigned>(kSlotsPerApp, 0));
 
     RunResult result;
-    auto drain = [&events, &engine] {
-        if (engine != nullptr) {
-            engine->drain();
-            return;
-        }
-        while (events.runOne()) {
-        }
-    };
 
     for (std::size_t i = 0; i < cfg.ops.size(); ++i) {
         const FuzzOp &op = cfg.ops[i];
@@ -220,14 +332,15 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
             if (pages != 0)
                 break;
             pages = 1 + op.pages % kMaxRegionPages;
-            manager->reserveRegion(id, base,
-                                   static_cast<std::uint64_t>(pages) *
-                                       kBasePageSize);
+            sys->manager->reserveRegion(id, base,
+                                        static_cast<std::uint64_t>(pages) *
+                                            kBasePageSize);
             break;
         case Op::Back:
             if (pages == 0)
                 break;
-            manager->backPage(id, base + (op.page % pages) * kBasePageSize);
+            sys->manager->backPage(id,
+                                   base + (op.page % pages) * kBasePageSize);
             break;
         case Op::Touch: {
             if (pages == 0)
@@ -235,15 +348,16 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
             const Addr va = base + (op.page % pages) * kBasePageSize;
             const SmId sm = static_cast<SmId>(op.page % 2);
             Translation out;
-            translation.translate(sm, *tables[app], va,
-                                  [&out](const Translation &t) { out = t; });
-            drain();
+            sys->translation->translate(
+                sm, *sys->tables[app], va,
+                [&out](const Translation &t) { out = t; });
+            sys->drain();
             if (!out.valid) {
                 // Far-fault: commit physical memory, then refill.
-                if (manager->backPage(id, va)) {
-                    translation.translate(sm, *tables[app], va,
-                                          [](const Translation &) {});
-                    drain();
+                if (sys->manager->backPage(id, va)) {
+                    sys->translation->translate(sm, *sys->tables[app], va,
+                                                [](const Translation &) {});
+                    sys->drain();
                 }
             }
             break;
@@ -251,9 +365,9 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
         case Op::ReleaseAll:
             if (pages == 0)
                 break;
-            manager->releaseRegion(id, base,
-                                   static_cast<std::uint64_t>(pages) *
-                                       kBasePageSize);
+            sys->manager->releaseRegion(id, base,
+                                        static_cast<std::uint64_t>(pages) *
+                                            kBasePageSize);
             pages = 0;
             break;
         case Op::ReleaseSlice: {
@@ -261,22 +375,62 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
                 break;
             const unsigned start = op.page % (pages - 1);
             const unsigned len = 1 + op.pages % (pages - start);
-            manager->releaseRegion(id, base + start * kBasePageSize,
-                                   static_cast<std::uint64_t>(len) *
-                                       kBasePageSize);
+            sys->manager->releaseRegion(id, base + start * kBasePageSize,
+                                        static_cast<std::uint64_t>(len) *
+                                            kBasePageSize);
             // The slot stays reserved: later Back/Touch ops on released
             // pages exercise the re-backing (loose allocation) paths.
             break;
         }
         }
-        drain();
-        checker.verifyAll();
-        if (checker.violationCount() > result.violations) {
+        sys->drain();
+        sys->checker.verifyAll();
+        if (sys->checker.violationCount() > result.violations) {
             result.failed = true;
             result.failOp = i;
-            result.violations = checker.violationCount();
-            result.reports = checker.reports();
+            result.violations = sys->checker.violationCount();
+            result.reports = sys->checker.reports();
             return result;  // stop at the first failing op
+        }
+
+        if (checkpointEvery > 0 && (i + 1) % checkpointEvery == 0) {
+            // Round-trip the quiesced system through the checkpoint
+            // serializer into a fresh twin and keep running on the
+            // twin: any state the serializer loses shows up as a
+            // checker violation (or a divergent verdict) downstream.
+            ckpt::Writer w;
+            sys->saveState(w);
+            auto fresh = std::make_unique<FuzzSystem>(cfg, shards);
+            ckpt::Reader r(w.buffer());
+            fresh->loadState(r);
+            std::string err;
+            if (!r.ok()) {
+                err = "checkpoint round-trip: " + r.error();
+            } else if (!r.atEnd()) {
+                err = "checkpoint round-trip: trailing bytes";
+            } else {
+                ckpt::Writer w2;
+                fresh->saveState(w2);
+                if (w2.buffer() != w.buffer())
+                    err = "checkpoint round-trip: save->restore->save "
+                          "bytes differ";
+            }
+            if (!err.empty()) {
+                result.failed = true;
+                result.failOp = i;
+                result.violations = 1;
+                result.reports = {err};
+                return result;
+            }
+            fresh->checker.verifyAll();
+            if (fresh->checker.violationCount() > 0) {
+                result.failed = true;
+                result.failOp = i;
+                result.violations = fresh->checker.violationCount();
+                result.reports = fresh->checker.reports();
+                return result;
+            }
+            sys = std::move(fresh);
         }
     }
 
@@ -284,20 +438,20 @@ runSchedule(const FuzzConfig &cfg, unsigned shards = 0)
     for (unsigned a = 0; a < cfg.apps; ++a) {
         for (unsigned s = 0; s < kSlotsPerApp; ++s) {
             if (reserved[a][s] != 0) {
-                manager->releaseRegion(
+                sys->manager->releaseRegion(
                     static_cast<AppId>(a), slotVa(a, s),
                     static_cast<std::uint64_t>(reserved[a][s]) *
                         kBasePageSize);
             }
         }
     }
-    drain();
-    checker.verifyAll();
-    if (checker.violationCount() > 0) {
+    sys->drain();
+    sys->checker.verifyAll();
+    if (sys->checker.violationCount() > 0) {
         result.failed = true;
         result.failOp = cfg.ops.size();
-        result.violations = checker.violationCount();
-        result.reports = checker.reports();
+        result.violations = sys->checker.violationCount();
+        result.reports = sys->checker.reports();
     }
     return result;
 }
@@ -356,7 +510,8 @@ generate(std::uint64_t seed, std::size_t numOps, const std::string &manager,
  * sizes down to single ops) while the failure persists.
  */
 FuzzConfig
-minimize(const FuzzConfig &failing, unsigned shards)
+minimize(const FuzzConfig &failing, unsigned shards,
+         std::size_t checkpointEvery = 0)
 {
     FuzzConfig best = failing;
     for (std::size_t window = best.ops.size() / 2; window >= 1;
@@ -369,7 +524,7 @@ minimize(const FuzzConfig &failing, unsigned shards)
                 FuzzConfig trial = best;
                 trial.ops.erase(trial.ops.begin() + start,
                                 trial.ops.begin() + start + window);
-                if (runSchedule(trial, shards).failed) {
+                if (runSchedule(trial, shards, checkpointEvery).failed) {
                     best = std::move(trial);
                     removed_any = true;
                     break;
@@ -479,9 +634,9 @@ readSchedule(const std::string &path, FuzzConfig &cfg)
 /** Runs one config; on failure minimizes, reports, optionally saves. */
 int
 runAndReport(FuzzConfig cfg, std::uint64_t seed, const std::string &outPath,
-             unsigned shards = 0)
+             unsigned shards = 0, std::size_t checkpointEvery = 0)
 {
-    RunResult r = runSchedule(cfg, shards);
+    RunResult r = runSchedule(cfg, shards, checkpointEvery);
     if (!r.failed) {
         std::printf("mosaic_fuzz: OK manager=%s oversub=%d apps=%u "
                     "ops=%zu seed=%llu\n",
@@ -508,7 +663,7 @@ runAndReport(FuzzConfig cfg, std::uint64_t seed, const std::string &outPath,
 
     std::fprintf(stderr, "mosaic_fuzz: minimizing %zu ops...\n",
                  cfg.ops.size());
-    const FuzzConfig minimal = minimize(cfg, shards);
+    const FuzzConfig minimal = minimize(cfg, shards, checkpointEvery);
     std::fprintf(stderr, "mosaic_fuzz: minimized to %zu ops:\n",
                  minimal.ops.size());
     std::ostringstream dump;
@@ -532,6 +687,7 @@ usage()
         "                   [--manager mosaic|gpummu|largeonly]\n"
         "                   [--oversubscribe] [--shards N] [--out FILE]\n"
         "                   [--sizes LIST] [--colt]\n"
+        "                   [--checkpoint-every N]\n"
         "       mosaic_fuzz --smoke [--seed N] [--ops N] [--shards N]\n"
         "       mosaic_fuzz --replay FILE [--shards N]\n"
         "\n"
@@ -542,7 +698,12 @@ usage()
         "separate hash of the seed, so default-pair schedules are\n"
         "byte-identical with or without the flag. --colt enables\n"
         "coalesced base-TLB entries. Replay files carry both settings\n"
-        "in their header.\n");
+        "in their header.\n"
+        "--checkpoint-every N serializes the whole system every N ops,\n"
+        "restores it into a freshly built twin, verifies the twin with\n"
+        "its own shadow checker (plus save->restore->save byte\n"
+        "stability), and continues the schedule on the twin; invariant\n"
+        "verdicts are identical to an uncheckpointed run.\n");
     return 2;
 }
 
@@ -562,6 +723,7 @@ main(int argc, char **argv)
     std::string out_path;
     PageSizeHierarchy sizes;
     bool colt = false;
+    std::size_t ckpt_every = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -606,6 +768,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--colt")
             colt = true;
+        else if (arg == "--checkpoint-every")
+            ckpt_every = static_cast<std::size_t>(u64(1, 1u << 24));
         else
             return usage();
     }
@@ -619,7 +783,8 @@ main(int argc, char **argv)
         FuzzConfig cfg;
         if (!readSchedule(replay_path, cfg))
             return 2;
-        return runAndReport(std::move(cfg), seed, out_path, shards);
+        return runAndReport(std::move(cfg), seed, out_path, shards,
+                            ckpt_every);
     }
 
     if (smoke) {
@@ -628,7 +793,8 @@ main(int argc, char **argv)
             for (const bool over : {false, true}) {
                 FuzzConfig cfg =
                     generate(seed, ops, m, over, apps, sizes, colt);
-                rc |= runAndReport(std::move(cfg), seed, out_path, shards);
+                rc |= runAndReport(std::move(cfg), seed, out_path, shards,
+                                   ckpt_every);
             }
         }
         return rc;
@@ -636,5 +802,5 @@ main(int argc, char **argv)
 
     FuzzConfig cfg =
         generate(seed, ops, manager, oversubscribe, apps, sizes, colt);
-    return runAndReport(std::move(cfg), seed, out_path, shards);
+    return runAndReport(std::move(cfg), seed, out_path, shards, ckpt_every);
 }

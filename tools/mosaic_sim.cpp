@@ -15,6 +15,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/parse_num.h"
 #include "runner/json_report.h"
@@ -67,6 +69,13 @@ usage()
         "                         numeric mask, or a comma list of\n"
         "                         engine,vm,mm,io,dram,counter\n"
         "                         (default all; needs --trace-out)\n"
+        "  --checkpoint-at <n>    save a checkpoint at the first quiesce\n"
+        "                         point at-or-after cycle <n>; repeatable,\n"
+        "                         pairs with the matching --checkpoint-out\n"
+        "  --checkpoint-out <path> output path for the most recent\n"
+        "                         --checkpoint-at (required, one each)\n"
+        "  --restore <path>       resume from a checkpoint image (the\n"
+        "                         config must match the one that saved it)\n"
         "  --list-apps            print the application catalog\n"
         "  --help                 print this message\n");
 }
@@ -103,6 +112,9 @@ main(int argc, char **argv)
     Cycles metrics_sample = 0;
     std::string trace_out_path;
     std::string trace_categories_spec;
+    std::vector<std::pair<Cycles, std::string>> checkpoints;
+    bool checkpoint_at_pending = false;
+    std::string restore_path;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -206,6 +218,29 @@ main(int argc, char **argv)
             trace_out_path = next("--trace-out");
         } else if (match(a, "--trace-categories")) {
             trace_categories_spec = next("--trace-categories");
+        } else if (match(a, "--checkpoint-at")) {
+            if (checkpoint_at_pending) {
+                std::fprintf(stderr,
+                             "--checkpoint-at needs a --checkpoint-out "
+                             "before the next --checkpoint-at\n");
+                return 1;
+            }
+            checkpoints.emplace_back(
+                static_cast<Cycles>(
+                    u64("--checkpoint-at", 0, 1ull << 62)),
+                std::string());
+            checkpoint_at_pending = true;
+        } else if (match(a, "--checkpoint-out")) {
+            if (!checkpoint_at_pending) {
+                std::fprintf(stderr,
+                             "--checkpoint-out needs a preceding "
+                             "--checkpoint-at <cycle>\n");
+                return 1;
+            }
+            checkpoints.back().second = next("--checkpoint-out");
+            checkpoint_at_pending = false;
+        } else if (match(a, "--restore")) {
+            restore_path = next("--restore");
         } else {
             std::fprintf(stderr, "unknown flag %s\n\n", a);
             usage();
@@ -313,6 +348,17 @@ main(int argc, char **argv)
         }
         config = config.withTracing(categories);
     }
+    if (checkpoint_at_pending) {
+        std::fprintf(stderr,
+                     "--checkpoint-at %llu has no --checkpoint-out\n",
+                     static_cast<unsigned long long>(
+                         checkpoints.back().first));
+        return 1;
+    }
+    for (const auto &ck : checkpoints)
+        config = config.withCheckpointAt(ck.first, ck.second);
+    if (!restore_path.empty())
+        config = config.withRestoreFrom(restore_path);
     if (tight) {
         config.pageTablePoolBytes = 16ull << 20;
         config.dram.capacityBytes = std::max<std::uint64_t>(
